@@ -1,0 +1,116 @@
+// Figure 2 (and Table 1): the motivating example — img_floor, img_place,
+// the routing result, the ground-truth heat map img_route, and the
+// pixel-to-pixel difference img_route - img_place, for one small design on
+// the fixed FPGA fabric with channel width 34.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "fpga/netgen.h"
+#include "img/render.h"
+#include "place/sa_placer.h"
+#include "route/router.h"
+
+using namespace paintplace;
+
+int main() {
+  std::printf("== Figure 2: forecasting routing heat map as image colorization ==\n\n");
+
+  // A diffeq1-like small design (Fig. 2 uses a small VTR circuit).
+  const fpga::DesignSpec spec = fpga::scale_spec(fpga::design_by_name("diffeq1"), 0.12);
+  const fpga::Netlist nl = fpga::generate_packed(spec, fpga::NetgenParams{}, 2);
+  const fpga::NetlistStats stats = nl.stats();
+  // Fig. 2's example routes cleanly at width 34; give the fabric the same
+  // headroom VPR's auto-sizing gives real diffeq1 (synthetic nets are a bit
+  // denser per CLB than the original).
+  fpga::ArchParams params;
+  params.target_utilization = 0.35;
+  const fpga::Arch arch = fpga::Arch::auto_sized(
+      {stats.num_clbs, stats.num_inputs + stats.num_outputs, stats.num_mems, stats.num_mults},
+      params);
+  std::printf("fabric: %s\n", arch.summary().c_str());
+
+  place::PlacerOptions opt;
+  opt.seed = 3;
+  place::SaPlacer placer(arch, nl, opt);
+  const place::Placement placement = placer.place();
+
+  route::ChannelGraph graph(arch);
+  route::CongestionMap congestion(graph);
+  route::PathFinderRouter router(graph);
+  const route::RouteResult rr = router.route(placement, congestion);
+  if (rr.success) {
+    // The Fig. 2d caption line.
+    std::printf("Routing succeeded with a channel width factor of %lld.\n",
+                static_cast<long long>(arch.params().channel_width));
+  } else {
+    std::printf("Routing left overuse after %lld iterations.\n",
+                static_cast<long long>(rr.iterations));
+  }
+
+  const img::PixelGeometry geom(arch, 256);
+  const img::Image img_floor = img::render_floorplan(geom);
+  const img::Image img_place = img::render_placement(placement, geom);
+  const img::Image routing_result = img::render_routing_result(placement, congestion, geom);
+  const img::Image img_route = img::render_route_heatmap(placement, congestion, geom);
+  const img::Image diff = img::abs_diff(img_route, img_place);
+
+  img::write_image(img_floor, "fig2a_img_floor.ppm");
+  img::write_image(img_place, "fig2b_img_place.ppm");
+  img::write_image(routing_result, "fig2c_routing_result.ppm");
+  img::write_image(img_route, "fig2d_img_route.ppm");
+  img::write_image(diff, "fig2e_route_minus_place.ppm");
+
+  // Table 1 color scheme, as rendered.
+  std::printf("\nTable 1 color scheme (RGB):\n");
+  const struct {
+    const char* color;
+    img::Color value;
+    const char* meaning;
+  } rows[] = {
+      {"White", img::scheme::kWhite, "routing channels / out of floor plan"},
+      {"Lightblue", img::scheme::kLightBlue, "CLB spots"},
+      {"Pink", img::scheme::kPink, "multiplier columns"},
+      {"Lightyellow", img::scheme::kLightYellow, "memory columns"},
+      {"Black", img::scheme::kBlack, "used CLB and IO spots"},
+  };
+  for (const auto& row : rows) {
+    std::printf("  %-12s (%.2f, %.2f, %.2f)  %s\n", row.color, row.value.r, row.value.g,
+                row.value.b, row.meaning);
+  }
+  std::printf("  %-12s yellow(0) -> purple(1)   routing utilization gradient\n", "Yellow2purple");
+
+  // Fig. 2e property: the difference is confined to the routing area
+  // (channel stripes + the switchbox crossings between them); every block
+  // pixel is bit-identical between img_place and img_route.
+  const img::Image mask = img::channel_mask(geom);
+  double diff_routing_area = 0.0, diff_tiles = 0.0;
+  Index routing_px = 0, tile_px = 0;
+  for (Index y = 0; y < diff.height(); ++y) {
+    for (Index x = 0; x < diff.width(); ++x) {
+      const double d = static_cast<double>(diff.at(x, y, 0)) + diff.at(x, y, 1) + diff.at(x, y, 2);
+      bool in_tile = false;
+      for (Index ty = 0; ty < arch.height() && !in_tile; ++ty) {
+        for (Index tx = 0; tx < arch.width() && !in_tile; ++tx) {
+          if (geom.tile_rect(tx, ty).contains(x, y)) in_tile = true;
+        }
+      }
+      if (in_tile) {
+        diff_tiles += d;
+        tile_px += 1;
+      } else {
+        diff_routing_area += d;
+        routing_px += 1;
+      }
+    }
+  }
+  (void)mask;
+  std::printf("\nimg_route - img_place: mean |diff| %.4f on routing-area pixels, %.6f on "
+              "block pixels\n",
+              diff_routing_area / static_cast<double>(routing_px),
+              diff_tiles / static_cast<double>(tile_px));
+  const route::CongestionStats cs = congestion.stats();
+  std::printf("congestion: mean %.3f, max %.3f over %lld channel segments\n",
+              cs.mean_utilization, cs.max_utilization, static_cast<long long>(cs.segments));
+  std::printf("\nwrote fig2a..fig2e PPM images\n");
+  return 0;
+}

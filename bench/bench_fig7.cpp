@@ -1,0 +1,60 @@
+// Figure 7 (Sec 5.3): ablation of the L1 loss term and the skip
+// connections on the OR1200 design. Trains three models —
+//   (b) L1 + all skip connections (the paper's model),
+//   (c) no L1 + all skips,
+//   (d) L1 + a single skip connection (RouteNet-style)
+// — forecasts one held-out placement with each, writes the images next to
+// the ground truth, and reports per-pixel accuracy. Expected shape:
+// L1+all-skips best; single-skip worst (noisy, mispredicted regions).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "img/image.h"
+
+using namespace paintplace;
+using namespace paintplace::bench;
+
+int main() {
+  Scale scale = Scale::from_env();
+  scale.print("Figure 7: effect of L1 and skip connections (OR1200)");
+
+  const DesignWorld world = build_world("OR1200", scale, 6);
+  std::vector<const data::Sample*> train_set, test_set;
+  for (std::size_t i = 0; i < world.dataset.samples.size(); ++i) {
+    (i + 4 < world.dataset.samples.size() ? train_set : test_set)
+        .push_back(&world.dataset.samples[i]);
+  }
+
+  struct Config {
+    const char* label;
+    const char* file_tag;
+    core::SkipMode skips;
+    bool use_l1;
+  };
+  const Config configs[] = {
+      {"L1 + all skips (paper)", "b_l1_allskip", core::SkipMode::kAll, true},
+      {"w/o L1 + all skips", "c_no_l1", core::SkipMode::kAll, false},
+      {"L1 + single skip", "d_single_skip", core::SkipMode::kSingle, true},
+  };
+
+  const data::Sample& probe = *test_set.front();
+  img::write_image(img::Image::from_tensor(probe.target), "fig7a_truth.ppm");
+
+  std::printf("%-26s %12s %14s %12s\n", "model", "probe acc", "test-set acc", "final L1");
+  for (const Config& cfg : configs) {
+    core::CongestionForecaster forecaster(model_config(scale, cfg.skips, cfg.use_l1));
+    core::TrainConfig tcfg;
+    tcfg.epochs = scale.epochs;
+    const core::TrainHistory history = forecaster.train(train_set, tcfg);
+
+    const nn::Tensor pred = forecaster.predict(probe.input);
+    img::write_image(img::Image::from_tensor(pred), std::string("fig7") + cfg.file_tag + ".ppm");
+    const double probe_acc = data::per_pixel_accuracy(pred, probe.target);
+    const core::EvalResult eval = forecaster.evaluate(test_set);
+    std::printf("%-26s %11.1f%% %13.1f%% %12.3f\n", cfg.label, 100.0 * probe_acc,
+                100.0 * eval.mean_pixel_accuracy, history.back().g_l1);
+  }
+  std::printf("\nwrote fig7a_truth.ppm, fig7b_l1_allskip.ppm, fig7c_no_l1.ppm, "
+              "fig7d_single_skip.ppm\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Section 5.1 speedup: "The speedup is measured using the magnitude of
+// routing runtime divided by inference time". For every Table 2 design this
+// harness reports the mean detailed-routing wall time of the sweep, the
+// generator inference latency, and the resulting speedup magnitude.
+// (The paper reports ~0.09 s inference on a 1080Ti at 256x256.)
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace paintplace;
+using namespace paintplace::bench;
+
+int main() {
+  Scale scale = Scale::from_env();
+  scale.print("Sec 5.1: routing-vs-inference speedup");
+
+  core::CongestionForecaster forecaster(model_config(scale));
+
+  std::printf("%-10s %14s %14s %10s %10s\n", "Design", "route (s)", "infer (s)", "speedup",
+              "magnitude");
+  double total_speedup = 0.0;
+  int rows = 0;
+  for (const fpga::DesignSpec& spec : fpga::table2_designs()) {
+    const DesignWorld world = build_world(spec.name, scale, 7 + rows);
+
+    // Inference latency, averaged over the sweep's inputs (includes the
+    // same dropout-z sampling the paper's generator runs with).
+    Timer t;
+    Index predictions = 0;
+    for (const data::Sample& s : world.dataset.samples) {
+      forecaster.predict(s.input);
+      predictions += 1;
+    }
+    const double infer_s = t.seconds() / static_cast<double>(predictions);
+
+    const double speedup = world.mean_route_seconds / infer_s;
+    std::printf("%-10s %14.4f %14.4f %9.1fx %9.0fx\n", spec.name.c_str(),
+                world.mean_route_seconds, infer_s, speedup,
+                std::pow(10.0, std::round(std::log10(std::max(1.0, speedup)))));
+    total_speedup += speedup;
+    rows += 1;
+  }
+  std::printf("\nmean speedup %.1fx — at paper scale the router works on fabrics ~25x larger\n",
+              total_speedup / rows);
+  std::printf("while inference grows ~16x (256^2/64^2), widening the gap further.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Error-handling primitives shared across the library.
+//
+// Invariant violations throw `paintplace::CheckError` (derived from
+// std::logic_error) so tests can assert on failure paths instead of aborting
+// the process. Release builds keep the checks: all of them guard cheap
+// conditions on module boundaries, never inner loops.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace paintplace {
+
+/// Thrown when a PP_CHECK precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+
+// PP_CHECK(cond) / PP_CHECK_MSG(cond, streamable...) — precondition guards.
+#define PP_CHECK(cond)                                                        \
+  do {                                                                        \
+    if (!(cond)) ::paintplace::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define PP_CHECK_MSG(cond, ...)                                               \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream pp_os_;                                              \
+      pp_os_ << __VA_ARGS__;                                                  \
+      ::paintplace::detail::check_failed(#cond, __FILE__, __LINE__, pp_os_.str()); \
+    }                                                                         \
+  } while (false)
+
+/// Checked narrowing conversion (Core Guidelines ES.46/gsl::narrow):
+/// throws CheckError if the value does not survive the round trip.
+template <typename To, typename From>
+To narrow(From value) {
+  static_assert(std::is_arithmetic_v<From> && std::is_arithmetic_v<To>);
+  const To result = static_cast<To>(value);
+  if (static_cast<From>(result) != value ||
+      (std::is_signed_v<From> != std::is_signed_v<To> && ((value < From{}) != (result < To{})))) {
+    throw CheckError("narrowing conversion lost information");
+  }
+  return result;
+}
+
+/// Index type used for all container/tensor addressing.
+using Index = std::int64_t;
+
+}  // namespace paintplace

@@ -1,0 +1,31 @@
+// Process-wide worker pool with a static-partition parallel_for.
+//
+// The nn layer uses this for GEMM/im2col/elementwise loops; the data layer
+// uses it to route independent placements concurrently. Work is split into
+// contiguous ranges (one per worker) — cheap, deterministic partitioning that
+// fits the regular loops in this codebase.
+#pragma once
+
+#include <functional>
+
+#include "common/check.h"
+
+namespace paintplace {
+
+/// Number of workers the pool was created with (>= 1).
+int parallel_workers();
+
+/// Override the worker count (call before first use; mainly for tests and
+/// for benchmarks that need single-thread numbers). Pass 0 to restore the
+/// hardware default.
+void set_parallel_workers(int workers);
+
+/// Runs fn(begin, end) over a static partition of [0, n). Blocks until all
+/// ranges complete. Exceptions from workers are rethrown on the caller.
+/// fn must be safe to invoke concurrently on disjoint ranges.
+void parallel_for(Index n, const std::function<void(Index, Index)>& fn);
+
+/// Convenience: per-index body.
+void parallel_for_each(Index n, const std::function<void(Index)>& fn);
+
+}  // namespace paintplace

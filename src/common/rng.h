@@ -1,0 +1,63 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (netlist generator, placer, dropout, weight
+// init) takes an explicit seed and owns its own engine, so experiments are
+// reproducible and components never share hidden global state.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/check.h"
+
+namespace paintplace {
+
+/// Thin wrapper around mt19937_64 with the sampling helpers this codebase
+/// actually uses. Copyable (copies clone the stream state).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  Index uniform_int(Index lo, Index hi) {
+    PP_CHECK(lo <= hi);
+    return std::uniform_int_distribution<Index>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    PP_CHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled by `stddev` around `mean`.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Geometric-ish fanout sample in [lo, hi]: P(k) ∝ decay^k. Used for net
+  /// fanout distributions (many 2-pin nets, few high-fanout nets).
+  Index geometric_int(Index lo, Index hi, double decay) {
+    PP_CHECK(lo <= hi);
+    PP_CHECK(decay > 0.0 && decay < 1.0);
+    Index k = lo;
+    while (k < hi && chance(decay)) ++k;
+    return k;
+  }
+
+  /// Derive an independent child stream (for per-thread / per-item use).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace paintplace

@@ -1,0 +1,66 @@
+#include "core/discriminator.h"
+
+namespace paintplace::core {
+
+Index DiscriminatorConfig::num_stride2_layers() const {
+  // After n stride-2 stages the map is image_size / 2^n; the two stride-1
+  // kernel-4 convs each shrink it by one, so require >= 4 before them.
+  Index n = 0, s = image_size;
+  while (n < 3 && s >= 8) {
+    s /= 2;
+    n += 1;
+  }
+  PP_CHECK_MSG(n >= 1, "discriminator needs image_size >= 8");
+  return n;
+}
+
+PatchDiscriminator::PatchDiscriminator(const DiscriminatorConfig& config) : config_(config) {
+  PP_CHECK(config.in_channels >= 1 && config.base_channels >= 1);
+  Rng rng(config.seed);
+  const Index b = config.base_channels;
+  const Index stride2 = config.num_stride2_layers();
+  // C64 (no BN) -> C128 -> C256, stride 2 (count adapted to resolution);
+  // C512 stride 1; C1 stride 1 — the Fig. 5 topology at 256x256.
+  Index in_ch = config.in_channels;
+  Index out_ch = b;
+  for (Index i = 0; i < stride2; ++i) {
+    layers_.add(std::make_unique<nn::Conv2d>("disc.c" + std::to_string(i), in_ch, out_ch, 4, 2, 1,
+                                             rng));
+    if (i > 0) {
+      layers_.add(make_norm(config.norm, "disc.c" + std::to_string(i) + ".bn", out_ch));
+    }
+    layers_.add(std::make_unique<nn::LeakyReLU>(0.2f));
+    in_ch = out_ch;
+    out_ch = std::min(out_ch * 2, 8 * b);
+  }
+  const Index penultimate = std::min(in_ch * 2, 8 * b);
+  layers_.add(std::make_unique<nn::Conv2d>("disc.pen", in_ch, penultimate, 4, 1, 1, rng));
+  layers_.add(make_norm(config.norm, "disc.pen.bn", penultimate));
+  layers_.add(std::make_unique<nn::LeakyReLU>(0.2f));
+  layers_.add(std::make_unique<nn::Conv2d>("disc.out", penultimate, 1, 4, 1, 1, rng));
+}
+
+nn::Tensor PatchDiscriminator::forward(const nn::Tensor& input) {
+  PP_CHECK_MSG(input.rank() == 4 && input.dim(1) == config_.in_channels,
+               "discriminator input " << input.shape().str() << " does not match config");
+  return layers_.forward(input);
+}
+
+nn::Tensor PatchDiscriminator::backward(const nn::Tensor& grad_output) {
+  return layers_.backward(grad_output);
+}
+
+void PatchDiscriminator::collect_parameters(std::vector<nn::Parameter*>& out) {
+  layers_.collect_parameters(out);
+}
+
+void PatchDiscriminator::collect_buffers(std::vector<nn::NamedBuffer>& out) {
+  layers_.collect_buffers(out);
+}
+
+void PatchDiscriminator::set_training(bool training) {
+  nn::Module::set_training(training);
+  layers_.set_training(training);
+}
+
+}  // namespace paintplace::core

@@ -1,0 +1,50 @@
+// Patch discriminator D(x, g/t) — right side of Figure 5.
+//
+// Six-layer convolutional classifier over the stacked (input, candidate)
+// images: C64-C128-C256 stride 2, C512 stride 1, C1 stride 1, producing a
+// patch logit map (30x30 for 256-inputs, matching Fig. 5); the sigmoid is
+// folded into the BCE-with-logits loss.
+#pragma once
+
+#include "core/unet.h"
+#include "nn/activations.h"
+#include "nn/batchnorm2d.h"
+#include "nn/conv2d.h"
+#include "nn/module.h"
+
+namespace paintplace::core {
+
+using paintplace::Index;
+
+struct DiscriminatorConfig {
+  Index in_channels = 7;   ///< generator input channels + image channels (4 + 3)
+  Index base_channels = 64;
+  Index image_size = 256;  ///< input resolution; controls downsampling depth
+  NormKind norm = NormKind::kBatch;
+  std::uint64_t seed = 2;
+
+  /// Stride-2 stages: 3 for the paper's 256-inputs (as in Fig. 5), fewer
+  /// for small images so the two stride-1 k4 convs still have >= 2x2 left.
+  Index num_stride2_layers() const;
+};
+
+class PatchDiscriminator : public nn::Module {
+ public:
+  explicit PatchDiscriminator(const DiscriminatorConfig& config);
+
+  const DiscriminatorConfig& config() const { return config_; }
+
+  /// Input: (1, in_channels, w, w) — concat of condition x and image.
+  /// Output: patch logits (1, 1, p, p).
+  nn::Tensor forward(const nn::Tensor& input) override;
+  nn::Tensor backward(const nn::Tensor& grad_output) override;
+  void collect_parameters(std::vector<nn::Parameter*>& out) override;
+  void collect_buffers(std::vector<nn::NamedBuffer>& out) override;
+  void set_training(bool training) override;
+
+ private:
+  DiscriminatorConfig config_;
+  nn::Sequential layers_;
+};
+
+}  // namespace paintplace::core

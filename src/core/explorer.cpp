@@ -1,0 +1,80 @@
+#include "core/explorer.h"
+
+#include <algorithm>
+
+#include "img/color.h"
+
+namespace paintplace::core {
+
+bool Region::contains(Index x, Index y, Index width, Index height) const {
+  const double fx = (static_cast<double>(x) + 0.5) / static_cast<double>(width);
+  const double fy = (static_cast<double>(y) + 0.5) / static_cast<double>(height);
+  return fx >= x0 && fx < x1 && fy >= y0 && fy < y1;
+}
+
+double region_congestion(const nn::Tensor& heatmap01, const Region& region) {
+  PP_CHECK_MSG(heatmap01.rank() == 4 && heatmap01.dim(1) == 3,
+               "region_congestion expects (1,3,H,W)");
+  const Index H = heatmap01.dim(2), W = heatmap01.dim(3);
+  // Same gradient-distance filter as CongestionForecaster::congestion_score:
+  // only utilization-bearing pixels enter the regional average.
+  double sum = 0.0;
+  Index region_pixels = 0, counted = 0;
+  for (Index y = 0; y < H; ++y) {
+    for (Index x = 0; x < W; ++x) {
+      if (!region.contains(x, y, W, H)) continue;
+      region_pixels += 1;
+      const img::Color c{heatmap01.at(0, 0, y, x), heatmap01.at(0, 1, y, x),
+                         heatmap01.at(0, 2, y, x)};
+      if (img::UtilizationColormap::unmap_distance(c) >
+          img::UtilizationColormap::kOnGradientDistance) {
+        continue;
+      }
+      sum += img::UtilizationColormap::unmap(c);
+      counted += 1;
+    }
+  }
+  PP_CHECK_MSG(region_pixels > 0, "region " << region.name << " covers no pixels");
+  if (counted == 0) return 0.0;
+  return sum / static_cast<double>(counted);
+}
+
+void PlacementExplorer::load_candidates(const std::vector<const data::Sample*>& candidates) {
+  PP_CHECK(!candidates.empty());
+  candidates_ = candidates;
+  predictions_.clear();
+  predictions_.reserve(candidates.size());
+  for (const data::Sample* s : candidates) {
+    predictions_.push_back(forecaster_->predict(s->input));
+  }
+}
+
+const nn::Tensor& PlacementExplorer::prediction(Index i) const {
+  PP_CHECK(i >= 0 && i < num_candidates());
+  return predictions_[static_cast<std::size_t>(i)];
+}
+
+std::vector<ExplorationPick> PlacementExplorer::ranking(const Region& region) const {
+  PP_CHECK_MSG(!predictions_.empty(), "load_candidates first");
+  std::vector<ExplorationPick> picks;
+  picks.reserve(predictions_.size());
+  for (std::size_t i = 0; i < predictions_.size(); ++i) {
+    ExplorationPick p;
+    p.sample_index = static_cast<Index>(i);
+    p.predicted_score = region_congestion(predictions_[i], region);
+    p.true_score = region_congestion(candidates_[i]->target, region);
+    picks.push_back(p);
+  }
+  std::sort(picks.begin(), picks.end(), [](const ExplorationPick& a, const ExplorationPick& b) {
+    return a.predicted_score != b.predicted_score ? a.predicted_score < b.predicted_score
+                                                  : a.sample_index < b.sample_index;
+  });
+  return picks;
+}
+
+ExplorationPick PlacementExplorer::pick(const Region& region, Objective objective) const {
+  const std::vector<ExplorationPick> ranked = ranking(region);
+  return objective == Objective::kMinimize ? ranked.front() : ranked.back();
+}
+
+}  // namespace paintplace::core

@@ -1,0 +1,63 @@
+// Placement exploration (Sec. 5.4): rank candidate placements by predicted
+// congestion, either over the whole floor plan or inside a region (Fig. 9's
+// "upper / lower / right-hand side" objectives), without routing any of
+// them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/forecaster.h"
+
+namespace paintplace::core {
+
+/// Fractional region of the image, half-open: x in [x0,x1), y in [y0,y1),
+/// with 0..1 spanning the full canvas. y grows downward (image convention),
+/// so the paper's "upper side" is y0=0, y1=0.5.
+struct Region {
+  double x0 = 0.0, y0 = 0.0, x1 = 1.0, y1 = 1.0;
+  std::string name = "overall";
+
+  bool contains(Index x, Index y, Index width, Index height) const;
+
+  static Region overall() { return {0.0, 0.0, 1.0, 1.0, "overall"}; }
+  static Region upper() { return {0.0, 0.0, 1.0, 0.5, "upper"}; }
+  static Region lower() { return {0.0, 0.5, 1.0, 1.0, "lower"}; }
+  static Region left() { return {0.0, 0.0, 0.5, 1.0, "left"}; }
+  static Region right() { return {0.5, 0.0, 1.0, 1.0, "right"}; }
+};
+
+/// Mean decoded utilization of a heat-map tensor restricted to a region.
+double region_congestion(const nn::Tensor& heatmap01, const Region& region);
+
+enum class Objective : std::uint8_t { kMinimize, kMaximize };
+
+struct ExplorationPick {
+  Index sample_index = -1;       ///< position in the candidate vector
+  double predicted_score = 0.0;  ///< region congestion of the predicted map
+  double true_score = 0.0;       ///< region congestion of the ground truth
+};
+
+class PlacementExplorer {
+ public:
+  explicit PlacementExplorer(CongestionForecaster& forecaster) : forecaster_(&forecaster) {}
+
+  /// Predicts every candidate once and caches the heat maps.
+  void load_candidates(const std::vector<const data::Sample*>& candidates);
+
+  /// Best candidate for an objective over a region (Fig. 9 queries).
+  ExplorationPick pick(const Region& region, Objective objective) const;
+
+  /// Candidates sorted by predicted region congestion (ascending).
+  std::vector<ExplorationPick> ranking(const Region& region) const;
+
+  Index num_candidates() const { return static_cast<Index>(predictions_.size()); }
+  const nn::Tensor& prediction(Index i) const;
+
+ private:
+  CongestionForecaster* forecaster_;
+  std::vector<const data::Sample*> candidates_;
+  std::vector<nn::Tensor> predictions_;
+};
+
+}  // namespace paintplace::core

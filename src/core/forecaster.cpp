@@ -1,0 +1,100 @@
+#include "core/forecaster.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "img/color.h"
+#include "img/image.h"
+
+namespace paintplace::core {
+
+CongestionForecaster::CongestionForecaster(const Pix2PixConfig& config) : model_(config) {}
+
+TrainHistory CongestionForecaster::run_epochs(const std::vector<const data::Sample*>& samples,
+                                              const TrainConfig& config) {
+  PP_CHECK_MSG(!samples.empty(), "empty training set");
+  PP_CHECK(config.epochs >= 1);
+  Rng rng(config.seed);
+  std::vector<const data::Sample*> order = samples;
+  TrainHistory history;
+  history.reserve(static_cast<std::size_t>(config.epochs));
+  for (Index epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.shuffle) std::shuffle(order.begin(), order.end(), rng.engine());
+    GanLosses epoch_losses;
+    for (const data::Sample* s : order) {
+      epoch_losses += model_.train_step(s->input, s->target);
+    }
+    epoch_losses /= static_cast<double>(order.size());
+    history.push_back(epoch_losses);
+    if (config.on_epoch) config.on_epoch(epoch, epoch_losses);
+  }
+  return history;
+}
+
+TrainHistory CongestionForecaster::train(const std::vector<const data::Sample*>& samples,
+                                         const TrainConfig& config) {
+  return run_epochs(samples, config);
+}
+
+TrainHistory CongestionForecaster::fine_tune(const std::vector<const data::Sample*>& samples,
+                                             const TrainConfig& config, float lr_scale) {
+  PP_CHECK(lr_scale > 0.0f && lr_scale <= 1.0f);
+  model_.reset_optimizers(model_.config().adam.lr * lr_scale);
+  return run_epochs(samples, config);
+}
+
+nn::Tensor CongestionForecaster::predict(const nn::Tensor& input01) {
+  return model_.predict(input01);
+}
+
+double CongestionForecaster::congestion_score(const nn::Tensor& heatmap01) const {
+  PP_CHECK_MSG(heatmap01.rank() == 4 && heatmap01.dim(1) == 3, "score expects (1,3,H,W)");
+  const Index H = heatmap01.dim(2), W = heatmap01.dim(3);
+  // Average decoded utilization over the pixels that lie near the
+  // utilization gradient. Block/background pixels (black CLBs, light-blue
+  // spots, ...) sit far from the gradient polyline; including them would
+  // fold the placement layout itself into the score and drown the
+  // congestion signal when ranking placements.
+  double sum = 0.0;
+  Index counted = 0;
+  for (Index y = 0; y < H; ++y) {
+    for (Index x = 0; x < W; ++x) {
+      const img::Color c{heatmap01.at(0, 0, y, x), heatmap01.at(0, 1, y, x),
+                         heatmap01.at(0, 2, y, x)};
+      if (img::UtilizationColormap::unmap_distance(c) >
+          img::UtilizationColormap::kOnGradientDistance) {
+        continue;
+      }
+      sum += img::UtilizationColormap::unmap(c);
+      counted += 1;
+    }
+  }
+  if (counted == 0) return 0.0;
+  return sum / static_cast<double>(counted);
+}
+
+EvalResult CongestionForecaster::evaluate(const std::vector<const data::Sample*>& test_samples,
+                                          Index top_k) {
+  PP_CHECK(!test_samples.empty());
+  EvalResult result;
+  for (const data::Sample* s : test_samples) {
+    const nn::Tensor pred = predict(s->input);
+    const double acc = data::per_pixel_accuracy(pred, s->target);
+    result.per_sample_accuracy.push_back(acc);
+    result.mean_pixel_accuracy += acc;
+    result.predicted_scores.push_back(congestion_score(pred));
+    result.true_scores.push_back(s->meta.true_total_utilization);
+  }
+  result.mean_pixel_accuracy /= static_cast<double>(test_samples.size());
+  const Index k = std::min<Index>(top_k, static_cast<Index>(test_samples.size()));
+  if (k >= 1) {
+    result.top10 = data::topk_min_overlap(result.predicted_scores, result.true_scores, k);
+  }
+  if (test_samples.size() >= 2) {
+    result.rank_correlation =
+        data::spearman_rank_correlation(result.predicted_scores, result.true_scores);
+  }
+  return result;
+}
+
+}  // namespace paintplace::core

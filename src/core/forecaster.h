@@ -1,0 +1,76 @@
+// CongestionForecaster — the library's main public API.
+//
+// Wraps the cGAN with the paper's training strategies and evaluation:
+//   * train()      — strategy 1, leave-one-design-out training set
+//   * fine_tune()  — strategy 2, transfer-learning update on ~10 pairs of
+//                    the test design
+//   * predict()    — heat map from placement-stage features only
+//   * evaluate()   — per-pixel accuracy + Top-10 retrieval (Table 2)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/pix2pix.h"
+#include "data/metrics.h"
+#include "data/sample.h"
+
+namespace paintplace::core {
+
+struct TrainConfig {
+  Index epochs = 3;             ///< paper: 250
+  bool shuffle = true;
+  std::uint64_t seed = 7;
+  /// Optional observer, e.g. for live logging; called after every epoch
+  /// with the epoch index and that epoch's average losses.
+  std::function<void(Index, const GanLosses&)> on_epoch;
+};
+
+/// Loss trajectory, one entry per epoch (drives Figure 8).
+using TrainHistory = std::vector<GanLosses>;
+
+struct EvalResult {
+  double mean_pixel_accuracy = 0.0;
+  std::vector<double> per_sample_accuracy;
+  std::vector<double> predicted_scores;  ///< decoded total utilization per sample
+  std::vector<double> true_scores;       ///< meta.true_total_utilization
+  double top10 = 0.0;                    ///< Table 2 "Top10" (k = min(10, n))
+  double rank_correlation = 0.0;         ///< Spearman between score vectors
+};
+
+class CongestionForecaster {
+ public:
+  explicit CongestionForecaster(const Pix2PixConfig& config);
+
+  Pix2Pix& model() { return model_; }
+  const Pix2PixConfig& config() const { return model_.config(); }
+
+  TrainHistory train(const std::vector<const data::Sample*>& samples, const TrainConfig& config);
+
+  /// Strategy 2: continue training on a small set from the test design with
+  /// a reduced learning rate (transfer learning).
+  TrainHistory fine_tune(const std::vector<const data::Sample*>& samples,
+                         const TrainConfig& config, float lr_scale = 0.5f);
+
+  /// Predicted heat-map tensor (1,3,w,w) in [0,1] from an input tensor.
+  nn::Tensor predict(const nn::Tensor& input01);
+
+  /// Congestion score of a predicted heat map: mean decoded utilization
+  /// over all pixels via the colormap inverse. Monotone proxy for the
+  /// router's total utilization, used for ranking placements.
+  double congestion_score(const nn::Tensor& heatmap01) const;
+
+  EvalResult evaluate(const std::vector<const data::Sample*>& test_samples, Index top_k = 10);
+
+  void save(const std::string& path) { model_.save(path); }
+  void load(const std::string& path) { model_.load(path); }
+
+ private:
+  TrainHistory run_epochs(const std::vector<const data::Sample*>& samples,
+                          const TrainConfig& config);
+
+  Pix2Pix model_;
+};
+
+}  // namespace paintplace::core

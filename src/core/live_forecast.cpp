@@ -1,0 +1,31 @@
+#include "core/live_forecast.h"
+
+#include "img/image.h"
+
+namespace paintplace::core {
+
+LiveForecast::LiveForecast(CongestionForecaster& forecaster, const img::PixelGeometry& geom,
+                           Index width, double lambda_connect)
+    : forecaster_(&forecaster), geom_(&geom), width_(width), lambda_connect_(lambda_connect) {
+  PP_CHECK(width >= 8);
+}
+
+void LiveForecast::on_snapshot(const place::Placement& placement, Index accepted_moves,
+                               double temperature) {
+  const nn::Tensor input = data::make_input(placement, *geom_, width_, lambda_connect_);
+  const nn::Tensor heat = forecaster_->predict(input);
+
+  LiveFrame frame;
+  frame.accepted_moves = accepted_moves;
+  frame.temperature = temperature;
+  frame.predicted_congestion = forecaster_->congestion_score(heat);
+  frame.placement_cost = placement.total_cost();
+  frames_.push_back(frame);
+
+  if (dump_dir_) {
+    img::Image image = img::Image::from_tensor(heat);
+    img::write_image(image, *dump_dir_ + "/frame_" + std::to_string(frames_.size() - 1) + ".ppm");
+  }
+}
+
+}  // namespace paintplace::core

@@ -1,0 +1,47 @@
+// Real-time congestion forecasting during placement (Sec. 5.4,
+// "Visualizing the simulated annealing placement algorithm"): a snapshot
+// hook for place::SaPlacer that renders the in-flight placement, runs the
+// generator, and records (optionally dumps) the predicted heat maps.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/forecaster.h"
+#include "data/dataset.h"
+
+namespace paintplace::core {
+
+struct LiveFrame {
+  Index accepted_moves = 0;
+  double temperature = 0.0;
+  double predicted_congestion = 0.0;  ///< mean decoded utilization
+  double placement_cost = 0.0;        ///< HPWL at the snapshot
+};
+
+class LiveForecast {
+ public:
+  /// `geom` must describe the same arch the placer runs on; predictions use
+  /// `width` x `width` inputs matching the forecaster's configuration.
+  LiveForecast(CongestionForecaster& forecaster, const img::PixelGeometry& geom, Index width,
+               double lambda_connect);
+
+  /// Directory for dumped PPM frames; unset = keep frames in memory only.
+  void set_dump_dir(std::string dir) { dump_dir_ = std::move(dir); }
+
+  /// place::SaPlacer::SnapshotFn-compatible callback.
+  void on_snapshot(const place::Placement& placement, Index accepted_moves, double temperature);
+
+  const std::vector<LiveFrame>& frames() const { return frames_; }
+
+ private:
+  CongestionForecaster* forecaster_;
+  const img::PixelGeometry* geom_;
+  Index width_;
+  double lambda_connect_;
+  std::optional<std::string> dump_dir_;
+  std::vector<LiveFrame> frames_;
+};
+
+}  // namespace paintplace::core

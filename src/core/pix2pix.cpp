@@ -1,0 +1,166 @@
+#include "core/pix2pix.h"
+
+#include <algorithm>
+
+#include "nn/serialize.h"
+#include "nn/tensor_ops.h"
+
+namespace paintplace::core {
+
+Pix2Pix::Pix2Pix(const Pix2PixConfig& config) : config_(config) {
+  GeneratorConfig gen_cfg = config.generator;
+  gen_cfg.seed = config.seed;
+  generator_ = std::make_unique<UNetGenerator>(gen_cfg);
+  discriminator_ = std::make_unique<PatchDiscriminator>(config.discriminator_config());
+  opt_g_ = std::make_unique<nn::Adam>(generator_->parameters(), config.adam);
+  opt_d_ = std::make_unique<nn::Adam>(discriminator_->parameters(), config.adam);
+}
+
+nn::Tensor Pix2Pix::to_signed(const nn::Tensor& t01) {
+  nn::Tensor t = t01;
+  for (Index i = 0; i < t.numel(); ++i) t[i] = t[i] * 2.0f - 1.0f;
+  return t;
+}
+
+nn::Tensor Pix2Pix::to_unit(const nn::Tensor& signed_t) {
+  nn::Tensor t = signed_t;
+  for (Index i = 0; i < t.numel(); ++i) t[i] = std::clamp((t[i] + 1.0f) * 0.5f, 0.0f, 1.0f);
+  return t;
+}
+
+GanLosses Pix2Pix::train_step(const nn::Tensor& input01, const nn::Tensor& truth01) {
+  const nn::Tensor x = to_signed(input01);
+  const nn::Tensor t = to_signed(truth01);
+
+  generator_->set_training(true);
+  discriminator_->set_training(true);
+
+  // ---- Generator forward (one stochastic draw of z per step). ----
+  const nn::Tensor g = generator_->forward(x);
+
+  GanLosses losses;
+
+  // ---- Discriminator step: real pair -> 1, fake pair -> 0. ----
+  discriminator_->zero_grad();
+  {
+    const nn::Tensor real_logits = discriminator_->forward(nn::concat_channels(x, t));
+    const float loss_real = bce_.forward(real_logits, 1.0f);
+    // Halve each branch so D's total matches the conventional (real+fake)/2.
+    nn::Tensor grad = bce_.backward();
+    grad.mul_(0.5f);
+    discriminator_->backward(grad);
+
+    const nn::Tensor fake_logits = discriminator_->forward(nn::concat_channels(x, g));
+    const float loss_fake = bce_.forward(fake_logits, 0.0f);
+    grad = bce_.backward();
+    grad.mul_(0.5f);
+    discriminator_->backward(grad);
+
+    losses.d_loss = 0.5 * (static_cast<double>(loss_real) + static_cast<double>(loss_fake));
+    opt_d_->step();
+  }
+
+  // ---- Generator step: fool the (updated) discriminator + L1. ----
+  generator_->zero_grad();
+  discriminator_->zero_grad();  // scratch; D is not stepped below
+  {
+    // Re-run D on the fake pair so its activation caches match the weights
+    // used to compute the generator gradient.
+    const nn::Tensor fake_logits = discriminator_->forward(nn::concat_channels(x, g));
+    const float g_gan = bce_.forward(fake_logits, 1.0f);  // non-saturating form
+    const nn::Tensor grad_concat = discriminator_->backward(bce_.backward());
+    auto [grad_x_part, grad_g] = nn::split_channels(grad_concat, config_.generator.in_channels);
+    (void)grad_x_part;  // condition x is an input, not a learnable path
+
+    losses.g_gan = static_cast<double>(g_gan);
+    const float l1 = l1_.forward(g, t);
+    losses.g_l1 = static_cast<double>(l1);
+    if (config_.use_l1) {
+      grad_g.add_(l1_.backward(), config_.lambda_l1);
+    }
+    generator_->backward(grad_g);
+    opt_g_->step();
+  }
+  return losses;
+}
+
+nn::Tensor Pix2Pix::predict(const nn::Tensor& input01) {
+  generator_->set_training(false);  // eval batch-norm; dropout z stays live
+  const nn::Tensor g = generator_->forward(to_signed(input01));
+  return to_unit(g);
+}
+
+void Pix2Pix::reset_optimizers(float lr) {
+  nn::AdamConfig cfg = config_.adam;
+  cfg.lr = lr;
+  opt_g_ = std::make_unique<nn::Adam>(generator_->parameters(), cfg);
+  opt_d_ = std::make_unique<nn::Adam>(discriminator_->parameters(), cfg);
+}
+
+nn::Tensor Pix2Pix::encode_config(const Pix2PixConfig& config) {
+  const GeneratorConfig& g = config.generator;
+  return nn::Tensor(nn::Shape{12},
+                    {static_cast<float>(g.in_channels), static_cast<float>(g.out_channels),
+                     static_cast<float>(g.image_size), static_cast<float>(g.base_channels),
+                     static_cast<float>(g.max_channels),
+                     static_cast<float>(static_cast<int>(g.skips)),
+                     g.dropout ? 1.0f : 0.0f, g.dropout_p,
+                     static_cast<float>(config.disc_base_channels), config.lambda_l1,
+                     config.use_l1 ? 1.0f : 0.0f,
+                     static_cast<float>(static_cast<int>(g.norm))});
+}
+
+Pix2PixConfig Pix2Pix::decode_config(const nn::Tensor& encoded) {
+  PP_CHECK_MSG(encoded.shape() == nn::Shape{12}, "malformed checkpoint config record");
+  Pix2PixConfig cfg;
+  cfg.generator.in_channels = static_cast<Index>(encoded[0]);
+  cfg.generator.out_channels = static_cast<Index>(encoded[1]);
+  cfg.generator.image_size = static_cast<Index>(encoded[2]);
+  cfg.generator.base_channels = static_cast<Index>(encoded[3]);
+  cfg.generator.max_channels = static_cast<Index>(encoded[4]);
+  cfg.generator.skips = static_cast<SkipMode>(static_cast<int>(encoded[5]));
+  cfg.generator.dropout = encoded[6] != 0.0f;
+  cfg.generator.dropout_p = encoded[7];
+  cfg.disc_base_channels = static_cast<Index>(encoded[8]);
+  cfg.lambda_l1 = encoded[9];
+  cfg.use_l1 = encoded[10] != 0.0f;
+  cfg.generator.norm = static_cast<NormKind>(static_cast<int>(encoded[11]));
+  cfg.generator.validate();
+  return cfg;
+}
+
+namespace {
+constexpr const char* kConfigKey = "__pix2pix_config__";
+}  // namespace
+
+void Pix2Pix::save(const std::string& path) {
+  nn::TensorMap map = nn::snapshot_parameters(*generator_);
+  nn::TensorMap disc = nn::snapshot_parameters(*discriminator_);
+  map.insert(disc.begin(), disc.end());
+  map.emplace(kConfigKey, encode_config(config_));
+  nn::save_tensors_file(map, path);
+}
+
+void Pix2Pix::load(const std::string& path) {
+  const nn::TensorMap map = nn::load_tensors_file(path);
+  if (const auto it = map.find(kConfigKey); it != map.end()) {
+    const Pix2PixConfig stored = decode_config(it->second);
+    PP_CHECK_MSG(encode_config(stored).max_abs_diff(encode_config(config_)) == 0.0f,
+                 "checkpoint " << path << " was trained with a different architecture "
+                               << "configuration; use Pix2Pix::load_file to reconstruct it");
+  }
+  nn::restore_parameters(*generator_, map);
+  nn::restore_parameters(*discriminator_, map);
+}
+
+Pix2Pix Pix2Pix::load_file(const std::string& path) {
+  const nn::TensorMap map = nn::load_tensors_file(path);
+  const auto it = map.find(kConfigKey);
+  PP_CHECK_MSG(it != map.end(), "checkpoint " << path << " has no config record");
+  Pix2Pix model(decode_config(it->second));
+  nn::restore_parameters(*model.generator_, map);
+  nn::restore_parameters(*model.discriminator_, map);
+  return model;
+}
+
+}  // namespace paintplace::core

@@ -1,0 +1,99 @@
+// The conditional GAN of Section 4: generator + discriminator + the
+// adversarial/L1 training procedure of Fig. 6 and Eq. 2.
+//
+//   D step: maximize log D(x,t) + log(1 - D(x,G(x,z)))
+//   G step: minimize log(1 - D(x,G(x,z))) + λ_L1 ||t - G(x,z)||₁
+// with the non-saturating -log D(x,G) form for the generator, Adam
+// (lr 2e-4, β1 0.5, β2 0.999, ε 1e-8), batch size 1 — all per Section 5.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/discriminator.h"
+#include "core/unet.h"
+#include "nn/adam.h"
+#include "nn/losses.h"
+
+namespace paintplace::core {
+
+struct Pix2PixConfig {
+  GeneratorConfig generator;
+  Index disc_base_channels = 64;
+  float lambda_l1 = 50.0f;  ///< paper: "The L1 weight is 50"
+  bool use_l1 = true;       ///< Sec. 5.3 ablation switch
+  nn::AdamConfig adam;      ///< defaults already match the paper
+  std::uint64_t seed = 1;
+
+  DiscriminatorConfig discriminator_config() const {
+    return DiscriminatorConfig{generator.in_channels + generator.out_channels,
+                               disc_base_channels, generator.image_size, generator.norm,
+                               seed ^ 0x9e3779b97f4a7c15ULL};
+  }
+};
+
+/// Per-step (and per-epoch, averaged) loss components.
+struct GanLosses {
+  double d_loss = 0.0;   ///< discriminator BCE (real + fake halves averaged)
+  double g_gan = 0.0;    ///< generator adversarial term
+  double g_l1 = 0.0;     ///< unweighted L1 between G(x,z) and truth
+
+  GanLosses& operator+=(const GanLosses& o) {
+    d_loss += o.d_loss;
+    g_gan += o.g_gan;
+    g_l1 += o.g_l1;
+    return *this;
+  }
+  GanLosses& operator/=(double n) {
+    d_loss /= n;
+    g_gan /= n;
+    g_l1 /= n;
+    return *this;
+  }
+};
+
+class Pix2Pix {
+ public:
+  explicit Pix2Pix(const Pix2PixConfig& config);
+
+  const Pix2PixConfig& config() const { return config_; }
+  UNetGenerator& generator() { return *generator_; }
+  PatchDiscriminator& discriminator() { return *discriminator_; }
+
+  /// One optimization step on an (x, truth) pair, both in [0,1].
+  GanLosses train_step(const nn::Tensor& input01, const nn::Tensor& truth01);
+
+  /// Generator inference: [0,1] input -> [0,1] image tensor.
+  nn::Tensor predict(const nn::Tensor& input01);
+
+  /// Resets both Adam optimizers, optionally with a new learning rate —
+  /// used when fine-tuning a trained model (strategy 2).
+  void reset_optimizers(float lr);
+
+  /// Checkpoints are self-describing: weights, batch-norm statistics and
+  /// the architecture configuration are stored together, so load() can
+  /// verify compatibility and load_file() can reconstruct the model.
+  void save(const std::string& path);
+  void load(const std::string& path);
+  static Pix2Pix load_file(const std::string& path);
+
+  /// Encodes/decodes the architecture-defining config fields (everything
+  /// load_file needs; optimizer state and seeds are not persisted).
+  static nn::Tensor encode_config(const Pix2PixConfig& config);
+  static Pix2PixConfig decode_config(const nn::Tensor& encoded);
+
+  /// Maps [0,1] image data to the tanh range [-1,1] and back.
+  static nn::Tensor to_signed(const nn::Tensor& t01);
+  static nn::Tensor to_unit(const nn::Tensor& signed_t);
+
+ private:
+  Pix2PixConfig config_;
+  std::unique_ptr<UNetGenerator> generator_;
+  std::unique_ptr<PatchDiscriminator> discriminator_;
+  std::unique_ptr<nn::Adam> opt_g_;
+  std::unique_ptr<nn::Adam> opt_d_;
+  nn::BceWithLogitsLoss bce_;
+  nn::L1Loss l1_;
+};
+
+}  // namespace paintplace::core

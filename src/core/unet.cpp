@@ -1,0 +1,221 @@
+#include "core/unet.h"
+
+#include <cmath>
+
+#include "nn/tensor_ops.h"
+
+namespace paintplace::core {
+
+const char* skip_mode_name(SkipMode m) {
+  switch (m) {
+    case SkipMode::kAll: return "all-skips";
+    case SkipMode::kSingle: return "single-skip";
+    case SkipMode::kNone: return "no-skips";
+  }
+  return "?";
+}
+
+const char* norm_kind_name(NormKind k) {
+  switch (k) {
+    case NormKind::kBatch: return "batch-norm";
+    case NormKind::kInstance: return "instance-norm";
+  }
+  return "?";
+}
+
+std::unique_ptr<nn::Module> make_norm(NormKind kind, const std::string& name, Index channels) {
+  switch (kind) {
+    case NormKind::kBatch: return std::make_unique<nn::BatchNorm2d>(name, channels);
+    case NormKind::kInstance: return std::make_unique<nn::InstanceNorm2d>(name, channels);
+  }
+  PP_CHECK_MSG(false, "unknown norm kind");
+  return nullptr;
+}
+
+Index GeneratorConfig::depth() const {
+  Index d = 0, s = image_size;
+  while (s > 1) {
+    PP_CHECK_MSG(s % 2 == 0, "image_size must be a power of two");
+    s /= 2;
+    d += 1;
+  }
+  return d;
+}
+
+Index GeneratorConfig::channels_at(Index level) const {
+  Index ch = base_channels;
+  for (Index i = 0; i < level; ++i) ch = std::min(ch * 2, max_channels);
+  return ch;
+}
+
+void GeneratorConfig::validate() const {
+  PP_CHECK(in_channels >= 1 && out_channels >= 1);
+  PP_CHECK_MSG(image_size >= 8, "image_size must be at least 8");
+  PP_CHECK(base_channels >= 1 && max_channels >= base_channels);
+  PP_CHECK(dropout_p >= 0.0f && dropout_p < 1.0f);
+  (void)depth();  // validates power-of-two
+}
+
+bool UNetGenerator::skip_at(Index level) const {
+  const Index d = config_.depth();
+  PP_CHECK(level >= 0 && level < d);
+  if (level == d - 1) return false;  // bottleneck has no skip partner
+  switch (config_.skips) {
+    case SkipMode::kAll: return true;
+    case SkipMode::kSingle: return level == 0;
+    case SkipMode::kNone: return false;
+  }
+  return false;
+}
+
+UNetGenerator::UNetGenerator(const GeneratorConfig& config) : config_(config) {
+  config_.validate();
+  Rng rng(config_.seed);
+  const Index d = config_.depth();
+  enc_.resize(static_cast<std::size_t>(d));
+  dec_.resize(static_cast<std::size_t>(d));
+
+  for (Index i = 0; i < d; ++i) {
+    EncLevel& lvl = enc_[static_cast<std::size_t>(i)];
+    const Index in_ch = i == 0 ? config_.in_channels : config_.channels_at(i - 1);
+    const Index out_ch = config_.channels_at(i);
+    if (i > 0) lvl.act = std::make_unique<nn::LeakyReLU>(0.2f);
+    lvl.conv = std::make_unique<nn::Conv2d>("gen.enc" + std::to_string(i), in_ch, out_ch, 4, 2, 1,
+                                            rng, /*bias=*/true);
+    if (i > 0 && i < d - 1) {
+      lvl.bn = make_norm(config_.norm, "gen.enc" + std::to_string(i) + ".bn", out_ch);
+    }
+  }
+  for (Index i = d - 1; i >= 0; --i) {
+    DecLevel& lvl = dec_[static_cast<std::size_t>(i)];
+    lvl.act = std::make_unique<nn::ReLU>();
+    Index in_ch;
+    if (i == d - 1) {
+      in_ch = config_.channels_at(d - 1);  // bottleneck features
+    } else {
+      in_ch = config_.channels_at(i) * (skip_at(i) ? 2 : 1);
+    }
+    const Index out_ch = i == 0 ? config_.out_channels : config_.channels_at(i - 1);
+    lvl.deconv = std::make_unique<nn::ConvTranspose2d>("gen.dec" + std::to_string(i), in_ch,
+                                                       out_ch, 4, 2, 1, rng, /*bias=*/true);
+    if (i > 0) {
+      lvl.bn = make_norm(config_.norm, "gen.dec" + std::to_string(i) + ".bn", out_ch);
+      if (config_.dropout && i >= d - 3) {
+        lvl.dropout = std::make_unique<nn::Dropout>(config_.dropout_p, rng.engine()(),
+                                                    /*active_in_eval=*/true);
+      }
+    } else {
+      lvl.tanh = std::make_unique<nn::Tanh>();
+    }
+  }
+}
+
+nn::Tensor UNetGenerator::dec_forward(DecLevel& level, const nn::Tensor& x) {
+  nn::Tensor h = level.act->forward(x);
+  h = level.deconv->forward(h);
+  if (level.bn) h = level.bn->forward(h);
+  if (level.dropout) h = level.dropout->forward(h);
+  if (level.tanh) h = level.tanh->forward(h);
+  return h;
+}
+
+nn::Tensor UNetGenerator::dec_backward(DecLevel& level, const nn::Tensor& g) {
+  nn::Tensor h = g;
+  if (level.tanh) h = level.tanh->backward(h);
+  if (level.dropout) h = level.dropout->backward(h);
+  if (level.bn) h = level.bn->backward(h);
+  h = level.deconv->backward(h);
+  return level.act->backward(h);
+}
+
+nn::Tensor UNetGenerator::forward(const nn::Tensor& input) {
+  PP_CHECK_MSG(input.rank() == 4 && input.dim(1) == config_.in_channels &&
+                   input.dim(2) == config_.image_size && input.dim(3) == config_.image_size,
+               "UNet input shape " << input.shape().str() << " does not match config");
+  const Index d = config_.depth();
+  nn::Tensor h = input;
+  for (Index i = 0; i < d; ++i) {
+    EncLevel& lvl = enc_[static_cast<std::size_t>(i)];
+    if (lvl.act) h = lvl.act->forward(h);
+    h = lvl.conv->forward(h);
+    if (lvl.bn) h = lvl.bn->forward(h);
+    lvl.output = h;
+  }
+  for (Index i = d - 1; i >= 1; --i) {
+    h = dec_forward(dec_[static_cast<std::size_t>(i)], h);
+    if (skip_at(i - 1)) {
+      h = nn::concat_channels(h, enc_[static_cast<std::size_t>(i - 1)].output);
+    }
+  }
+  return dec_forward(dec_[static_cast<std::size_t>(0)], h);
+}
+
+nn::Tensor UNetGenerator::backward(const nn::Tensor& grad_output) {
+  const Index d = config_.depth();
+  // Decoder chain (outermost first), collecting skip gradients.
+  std::vector<nn::Tensor> enc_grad(static_cast<std::size_t>(d));
+  nn::Tensor g = dec_backward(dec_[static_cast<std::size_t>(0)], grad_output);
+  for (Index i = 1; i <= d - 1; ++i) {
+    if (skip_at(i - 1)) {
+      auto [g_dec, g_skip] = nn::split_channels(g, config_.channels_at(i - 1));
+      enc_grad[static_cast<std::size_t>(i - 1)] = std::move(g_skip);
+      g = std::move(g_dec);
+    }
+    g = dec_backward(dec_[static_cast<std::size_t>(i)], g);
+  }
+  // Encoder chain (innermost first). `g` is the bottleneck gradient.
+  for (Index i = d - 1; i >= 0; --i) {
+    EncLevel& lvl = enc_[static_cast<std::size_t>(i)];
+    nn::Tensor& skip_g = enc_grad[static_cast<std::size_t>(i)];
+    if (!skip_g.empty()) g.add_(skip_g);
+    if (lvl.bn) g = lvl.bn->backward(g);
+    g = lvl.conv->backward(g);
+    if (lvl.act) g = lvl.act->backward(g);
+  }
+  return g;
+}
+
+void UNetGenerator::collect_parameters(std::vector<nn::Parameter*>& out) {
+  for (EncLevel& lvl : enc_) {
+    lvl.conv->collect_parameters(out);
+    if (lvl.bn) lvl.bn->collect_parameters(out);
+  }
+  for (DecLevel& lvl : dec_) {
+    lvl.deconv->collect_parameters(out);
+    if (lvl.bn) lvl.bn->collect_parameters(out);
+  }
+}
+
+void UNetGenerator::collect_buffers(std::vector<nn::NamedBuffer>& out) {
+  for (EncLevel& lvl : enc_) {
+    if (lvl.bn) lvl.bn->collect_buffers(out);
+  }
+  for (DecLevel& lvl : dec_) {
+    if (lvl.bn) lvl.bn->collect_buffers(out);
+  }
+}
+
+void UNetGenerator::set_training(bool training) {
+  nn::Module::set_training(training);
+  for (EncLevel& lvl : enc_) {
+    if (lvl.act) lvl.act->set_training(training);
+    lvl.conv->set_training(training);
+    if (lvl.bn) lvl.bn->set_training(training);
+  }
+  for (DecLevel& lvl : dec_) {
+    lvl.act->set_training(training);
+    lvl.deconv->set_training(training);
+    if (lvl.bn) lvl.bn->set_training(training);
+    if (lvl.dropout) lvl.dropout->set_training(training);
+    if (lvl.tanh) lvl.tanh->set_training(training);
+  }
+}
+
+void UNetGenerator::reseed_noise(std::uint64_t seed) {
+  Rng rng(seed);
+  for (DecLevel& lvl : dec_) {
+    if (lvl.dropout) lvl.dropout->reseed(rng.engine()());
+  }
+}
+
+}  // namespace paintplace::core

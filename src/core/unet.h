@@ -1,0 +1,104 @@
+// U-Net generator G(x, z) — Figure 5 of the paper.
+//
+// Encoder 64-128-256-512-512-512-512-512 (kernel 4, stride 2, pad 1), a
+// mirrored deconvolution decoder, and skip connections concatenating each
+// encoder level into the matching decoder level. Noise z enters as dropout
+// in the three innermost decoder levels (pix2pix convention; the paper's z
+// follows Isola et al.). Skip topology is configurable for the Sec. 5.3
+// ablation: all skips (paper), a single skip (RouteNet-style), or none.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/batchnorm2d.h"
+#include "nn/conv2d.h"
+#include "nn/conv_transpose2d.h"
+#include "nn/dropout.h"
+#include "nn/instancenorm2d.h"
+#include "nn/module.h"
+
+namespace paintplace::core {
+
+using paintplace::Index;
+
+enum class SkipMode : std::uint8_t {
+  kAll,     ///< every encoder level skips to its decoder level (the paper's model)
+  kSingle,  ///< only the outermost (highest-resolution) skip
+  kNone,    ///< plain encoder-decoder
+};
+
+const char* skip_mode_name(SkipMode m);
+
+/// Normalisation layer family. The paper's TensorFlow model uses batch norm
+/// (with batch size 1); instance norm is the batch-1-native alternative the
+/// pix2pix lineage later settled on — exposed here as an ablation.
+enum class NormKind : std::uint8_t { kBatch, kInstance };
+
+const char* norm_kind_name(NormKind k);
+
+/// Factory shared by the generator and discriminator.
+std::unique_ptr<nn::Module> make_norm(NormKind kind, const std::string& name, Index channels);
+
+struct GeneratorConfig {
+  Index in_channels = 4;    ///< img_place RGB + λ·img_connect
+  Index out_channels = 3;   ///< img_route RGB
+  Index image_size = 256;   ///< power of two, >= 8
+  Index base_channels = 64; ///< first encoder width (Fig. 5: 64)
+  Index max_channels = 512;
+  SkipMode skips = SkipMode::kAll;
+  NormKind norm = NormKind::kBatch;  ///< paper setting; kInstance for the ablation
+  bool dropout = true;      ///< noise z (active at inference too)
+  float dropout_p = 0.5f;
+  std::uint64_t seed = 1;
+
+  /// Number of encoder/decoder levels: downsample to 1x1 like Fig. 5.
+  Index depth() const;
+  /// Encoder output channels at level i (0-based).
+  Index channels_at(Index level) const;
+  void validate() const;
+};
+
+class UNetGenerator : public nn::Module {
+ public:
+  explicit UNetGenerator(const GeneratorConfig& config);
+
+  const GeneratorConfig& config() const { return config_; }
+
+  nn::Tensor forward(const nn::Tensor& input) override;
+  nn::Tensor backward(const nn::Tensor& grad_output) override;
+  void collect_parameters(std::vector<nn::Parameter*>& out) override;
+  void collect_buffers(std::vector<nn::NamedBuffer>& out) override;
+  void set_training(bool training) override;
+
+  /// Whether encoder level `level` feeds a skip connection.
+  bool skip_at(Index level) const;
+
+  /// Re-seed all dropout noise streams (deterministic inference in tests).
+  void reseed_noise(std::uint64_t seed);
+
+ private:
+  struct EncLevel {
+    std::unique_ptr<nn::LeakyReLU> act;  // null at level 0
+    std::unique_ptr<nn::Conv2d> conv;
+    std::unique_ptr<nn::Module> bn;  // batch/instance norm; null at level 0 and innermost
+    nn::Tensor output;               // cached for skips
+  };
+  struct DecLevel {
+    std::unique_ptr<nn::ReLU> act;
+    std::unique_ptr<nn::ConvTranspose2d> deconv;
+    std::unique_ptr<nn::Module> bn;         // null at outermost
+    std::unique_ptr<nn::Dropout> dropout;   // three innermost levels only
+    std::unique_ptr<nn::Tanh> tanh;         // outermost only
+  };
+
+  nn::Tensor dec_forward(DecLevel& level, const nn::Tensor& x);
+  nn::Tensor dec_backward(DecLevel& level, const nn::Tensor& g);
+
+  GeneratorConfig config_;
+  std::vector<EncLevel> enc_;
+  std::vector<DecLevel> dec_;
+};
+
+}  // namespace paintplace::core

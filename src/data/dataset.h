@@ -1,0 +1,65 @@
+// Dataset builder: reproduces the paper's data generation (Sec. 5,
+// "Datasets") — sweep the placer options {seed, alpha_t, inner_num,
+// place_algorithm}, route every placement with default router settings, and
+// render (img_place ⊕ λ·img_connect, img_route) pairs.
+#pragma once
+
+#include <vector>
+
+#include "data/sample.h"
+#include "fpga/arch.h"
+#include "fpga/netlist.h"
+#include "img/geometry.h"
+#include "img/render.h"
+#include "route/router.h"
+
+namespace paintplace::data {
+
+struct SweepConfig {
+  Index num_placements = 24;  ///< paper: 200 per design (#P column)
+  std::vector<double> alpha_ts = {0.8, 0.9, 0.95};
+  std::vector<double> inner_nums = {0.33, 1.0, 2.0};
+  std::vector<place::PlaceAlgorithm> algorithms = {place::PlaceAlgorithm::kAnnealing,
+                                                   place::PlaceAlgorithm::kGreedy};
+  std::uint64_t base_seed = 1;
+
+  /// Option combination for the i-th placement of the sweep.
+  place::PlacerOptions options_at(Index i) const;
+};
+
+struct DatasetConfig {
+  Index image_width = 64;          ///< model resolution w (paper: 256)
+  Index render_target_width = 256; ///< canvas bound before resizing to w
+  double lambda_connect = 0.1;     ///< λ weighting of the connectivity channel
+  SweepConfig sweep;
+  route::RouterOptions router;
+};
+
+struct Dataset {
+  std::string design;
+  DatasetConfig config;
+  std::vector<Sample> samples;
+};
+
+/// Renders the model input tensor for a placement: RGB img_place stacked
+/// with λ·img_connect, resized to width x width. Exposed for the live
+/// forecasting application, which predicts on placements mid-anneal.
+nn::Tensor make_input(const place::Placement& placement, const img::PixelGeometry& geom,
+                      Index width, double lambda_connect);
+
+/// Grayscale variant (Sec. 5.2): 1-channel img_place + λ·img_connect.
+nn::Tensor make_input_grayscale(const place::Placement& placement,
+                                const img::PixelGeometry& geom, Index width,
+                                double lambda_connect);
+
+/// Renders the ground-truth tensor from a routed congestion map.
+nn::Tensor make_target(const place::Placement& placement, const route::CongestionMap& congestion,
+                       const img::PixelGeometry& geom, Index width);
+
+/// Runs the full sweep for one design. Placements are placed/routed in
+/// parallel across the worker pool; results are deterministic given the
+/// config.
+Dataset build_dataset(const fpga::Netlist& packed, const fpga::Arch& arch,
+                      const DatasetConfig& config);
+
+}  // namespace paintplace::data

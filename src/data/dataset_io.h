@@ -1,0 +1,15 @@
+// Binary dataset cache: build_dataset() runs a full place-and-route sweep,
+// which dominates experiment startup; save/load lets harnesses reuse the
+// routed ground truth across runs and share datasets between machines.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace paintplace::data {
+
+void save_dataset(const Dataset& dataset, const std::string& path);
+Dataset load_dataset(const std::string& path);
+
+}  // namespace paintplace::data

@@ -1,0 +1,88 @@
+#include "data/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace paintplace::data {
+
+double per_pixel_accuracy(const nn::Tensor& generated, const nn::Tensor& truth, float tolerance) {
+  PP_CHECK_MSG(generated.shape() == truth.shape(), "accuracy shape mismatch");
+  PP_CHECK_MSG(generated.rank() == 4, "accuracy expects (N,C,H,W)");
+  const Index N = generated.dim(0), C = generated.dim(1), H = generated.dim(2),
+              W = generated.dim(3);
+  Index correct = 0;
+  for (Index n = 0; n < N; ++n) {
+    for (Index y = 0; y < H; ++y) {
+      for (Index x = 0; x < W; ++x) {
+        float max_err = 0.0f;
+        for (Index c = 0; c < C; ++c) {
+          max_err = std::max(max_err, std::fabs(generated.at(n, c, y, x) - truth.at(n, c, y, x)));
+        }
+        if (max_err <= tolerance) correct += 1;
+      }
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(N * H * W);
+}
+
+std::vector<Index> k_smallest_indices(const std::vector<double>& scores, Index k) {
+  PP_CHECK(k >= 1 && k <= static_cast<Index>(scores.size()));
+  std::vector<Index> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](Index a, Index b) {
+    const double sa = scores[static_cast<std::size_t>(a)];
+    const double sb = scores[static_cast<std::size_t>(b)];
+    return sa != sb ? sa < sb : a < b;
+  });
+  idx.resize(static_cast<std::size_t>(k));
+  return idx;
+}
+
+double topk_min_overlap(const std::vector<double>& predicted, const std::vector<double>& truth,
+                        Index k) {
+  PP_CHECK_MSG(predicted.size() == truth.size(), "score vector size mismatch");
+  const std::vector<Index> p = k_smallest_indices(predicted, k);
+  const std::vector<Index> t = k_smallest_indices(truth, k);
+  Index hits = 0;
+  for (Index i : p) {
+    if (std::find(t.begin(), t.end(), i) != t.end()) hits += 1;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+namespace {
+
+std::vector<double> ranks_of(const std::vector<double>& v) {
+  std::vector<Index> idx(v.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](Index a, Index b) {
+    return v[static_cast<std::size_t>(a)] < v[static_cast<std::size_t>(b)];
+  });
+  std::vector<double> ranks(v.size());
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    ranks[static_cast<std::size_t>(idx[r])] = static_cast<double>(r);
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman_rank_correlation(const std::vector<double>& a, const std::vector<double>& b) {
+  PP_CHECK(a.size() == b.size() && a.size() >= 2);
+  const std::vector<double> ra = ranks_of(a), rb = ranks_of(b);
+  const double n = static_cast<double>(a.size());
+  const double mean = (n - 1.0) / 2.0;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (ra[i] - mean) * (rb[i] - mean);
+    var_a += (ra[i] - mean) * (ra[i] - mean);
+    var_b += (rb[i] - mean) * (rb[i] - mean);
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace paintplace::data

@@ -1,0 +1,40 @@
+// Evaluation metrics of Section 5.1:
+//   * per-pixel accuracy between generated and ground-truth images
+//     (Acc.1 / Acc.2 of Table 2);
+//   * Top-10 accuracy for retrieving the min-congestion placements of a
+//     test set from predicted heat maps.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace paintplace::data {
+
+using paintplace::Index;
+
+/// Tolerance defining a "correct" pixel: max-channel absolute error within
+/// 16 8-bit levels. The paper does not publish its exact threshold; this
+/// constant is the repo-wide definition (see DESIGN.md).
+inline constexpr float kPixelTolerance = 16.0f / 255.0f;
+
+/// Fraction of pixels whose max-channel absolute difference is within
+/// `tolerance`. Tensors must be (1,C,H,W) with matching shapes.
+double per_pixel_accuracy(const nn::Tensor& generated, const nn::Tensor& truth,
+                          float tolerance = kPixelTolerance);
+
+/// Top-k retrieval accuracy: |{k lowest predicted} ∩ {k lowest true}| / k.
+/// `predicted`/`truth` are congestion scores per placement (lower = less
+/// congested). Paper metric with k = 10 (Table 2 "Top10").
+double topk_min_overlap(const std::vector<double>& predicted, const std::vector<double>& truth,
+                        Index k);
+
+/// Indices of the k smallest scores, ascending by score (ties broken by
+/// index for determinism).
+std::vector<Index> k_smallest_indices(const std::vector<double>& scores, Index k);
+
+/// Spearman rank correlation between two score vectors (used by tests to
+/// check that predicted congestion orders placements like the truth).
+double spearman_rank_correlation(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace paintplace::data

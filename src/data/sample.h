@@ -1,0 +1,34 @@
+// A training/evaluation sample: the paper's (x, truth) image pair plus the
+// provenance needed by the evaluation harnesses.
+#pragma once
+
+#include <string>
+
+#include "nn/tensor.h"
+#include "place/sa_placer.h"
+
+namespace paintplace::data {
+
+using paintplace::Index;
+
+struct SampleMeta {
+  std::string design;
+  place::PlacerOptions placer_options;
+  double placement_cost = 0.0;        ///< final weighted HPWL
+  double true_total_utilization = 0;  ///< sum of channel utilizations (router ground truth)
+  double rudy_total = 0.0;            ///< RUDY estimate (classical baseline, place::RudyMap)
+  double route_seconds = 0.0;         ///< routing wall time (Sec. 5.1 speedup)
+  bool route_success = false;
+  Index route_iterations = 0;
+};
+
+struct Sample {
+  /// stack(img_place, lambda * img_connect): (1, 4, w, w), values in [0,1]
+  /// (the connectivity channel in [0, lambda]).
+  nn::Tensor input;
+  /// img_route heat map: (1, 3, w, w), values in [0,1].
+  nn::Tensor target;
+  SampleMeta meta;
+};
+
+}  // namespace paintplace::data

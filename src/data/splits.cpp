@@ -1,0 +1,39 @@
+#include "data/splits.h"
+
+#include <algorithm>
+
+namespace paintplace::data {
+
+Split leave_one_design_out(const std::vector<Dataset>& datasets, const std::string& test_design,
+                           Index fine_tune_pairs, std::uint64_t seed) {
+  PP_CHECK(fine_tune_pairs >= 0);
+  Split split;
+  const Dataset* test_ds = nullptr;
+  for (const Dataset& ds : datasets) {
+    if (ds.design == test_design) {
+      PP_CHECK_MSG(test_ds == nullptr, "duplicate dataset for design " << test_design);
+      test_ds = &ds;
+      continue;
+    }
+    for (const Sample& s : ds.samples) split.train.push_back(&s);
+  }
+  PP_CHECK_MSG(test_ds != nullptr, "no dataset named " << test_design);
+  PP_CHECK_MSG(fine_tune_pairs < static_cast<Index>(test_ds->samples.size()),
+               "fine-tune set would swallow the whole test design");
+
+  std::vector<Index> idx(test_ds->samples.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<Index>(i);
+  Rng rng(seed);
+  std::shuffle(idx.begin(), idx.end(), rng.engine());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const Sample* s = &test_ds->samples[static_cast<std::size_t>(idx[i])];
+    if (static_cast<Index>(i) < fine_tune_pairs) {
+      split.fine_tune.push_back(s);
+    } else {
+      split.test.push_back(s);
+    }
+  }
+  return split;
+}
+
+}  // namespace paintplace::data

@@ -1,0 +1,28 @@
+// Train/test splits of Section 5.1:
+//   strategy 1 — leave-one-design-out: train on every design except the
+//     test design (Acc.1: inference on unseen designs);
+//   strategy 2 — transfer learning: additionally fine-tune on ten image
+//     pairs from the test design (Acc.2).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace paintplace::data {
+
+struct Split {
+  std::vector<const Sample*> train;
+  std::vector<const Sample*> test;
+  std::vector<const Sample*> fine_tune;  ///< strategy-2 pairs (subset of the test design)
+};
+
+/// Builds the leave-one-design-out split: all samples of `datasets` except
+/// `test_design` go to train; the test design's samples are split into
+/// `fine_tune_pairs` fine-tuning samples (chosen deterministically from
+/// `seed`) and the remaining test samples.
+Split leave_one_design_out(const std::vector<Dataset>& datasets, const std::string& test_design,
+                           Index fine_tune_pairs = 10, std::uint64_t seed = 99);
+
+}  // namespace paintplace::data

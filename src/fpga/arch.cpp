@@ -1,0 +1,110 @@
+#include "fpga/arch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace paintplace::fpga {
+
+const char* tile_type_name(TileType t) {
+  switch (t) {
+    case TileType::kIo: return "IO";
+    case TileType::kClb: return "CLB";
+    case TileType::kMem: return "MEM";
+    case TileType::kMult: return "MULT";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_periodic_column(Index interior_col, Index start, Index period) {
+  if (start <= 0 || period <= 0) return false;
+  return interior_col >= start && (interior_col - start) % period == 0;
+}
+
+}  // namespace
+
+Arch::Arch(Index interior_cols, Index interior_rows, ArchParams params)
+    : width_(interior_cols + 2), height_(interior_rows + 2), params_(params) {
+  PP_CHECK_MSG(interior_cols >= 1 && interior_rows >= 1, "architecture needs a logic area");
+  PP_CHECK(params_.io_ports_per_pad >= 1);
+  PP_CHECK(params_.channel_width >= 1);
+  tiles_.assign(static_cast<std::size_t>(width_ * height_), TileType::kClb);
+
+  for (Index y = 0; y < height_; ++y) {
+    for (Index x = 0; x < width_; ++x) {
+      TileType type;
+      if (x == 0 || x == width_ - 1 || y == 0 || y == height_ - 1) {
+        type = TileType::kIo;
+      } else {
+        const Index interior_col = x;  // 1-based interior column index, like the paper's Fig. 2
+        if (is_periodic_column(interior_col, params_.mem_column_start, params_.mem_column_period) &&
+            interior_cols >= params_.mem_column_start) {
+          type = TileType::kMem;
+        } else if (is_periodic_column(interior_col, params_.mult_column_start,
+                                      params_.mult_column_period) &&
+                   interior_cols >= params_.mult_column_start) {
+          type = TileType::kMult;
+        } else {
+          type = TileType::kClb;
+        }
+      }
+      tiles_[static_cast<std::size_t>(y * width_ + x)] = type;
+    }
+  }
+
+  for (Index y = 0; y < height_; ++y) {
+    for (Index x = 0; x < width_; ++x) {
+      if (is_corner(x, y)) continue;  // corners hold no pads or logic
+      switch (tile_type(x, y)) {
+        case TileType::kIo:
+          for (Index sub = 0; sub < params_.io_ports_per_pad; ++sub) {
+            io_slots_.push_back(GridLoc{x, y, sub});
+          }
+          break;
+        case TileType::kClb: clb_slots_.push_back(GridLoc{x, y, 0}); break;
+        case TileType::kMem: mem_slots_.push_back(GridLoc{x, y, 0}); break;
+        case TileType::kMult: mult_slots_.push_back(GridLoc{x, y, 0}); break;
+      }
+    }
+  }
+}
+
+Arch Arch::auto_sized(const BlockDemand& demand, ArchParams params) {
+  PP_CHECK(params.target_utilization > 0.0 && params.target_utilization <= 1.0);
+  for (Index side = 2;; ++side) {
+    Arch candidate(side, side, params);
+    const Index util_cap = static_cast<Index>(
+        std::floor(static_cast<double>(candidate.capacity(TileType::kClb)) *
+                   params.target_utilization));
+    const bool clb_ok = demand.clbs <= util_cap;
+    const bool io_ok = demand.ios <= candidate.capacity(TileType::kIo);
+    const bool mem_ok = demand.mems <= candidate.capacity(TileType::kMem);
+    const bool mult_ok = demand.mults <= candidate.capacity(TileType::kMult);
+    if (clb_ok && io_ok && mem_ok && mult_ok) return candidate;
+    PP_CHECK_MSG(side < 4096, "auto_sized: demand cannot be satisfied");
+  }
+}
+
+const std::vector<GridLoc>& Arch::slots(TileType type) const {
+  switch (type) {
+    case TileType::kIo: return io_slots_;
+    case TileType::kClb: return clb_slots_;
+    case TileType::kMem: return mem_slots_;
+    case TileType::kMult: return mult_slots_;
+  }
+  PP_CHECK_MSG(false, "unknown tile type");
+  return clb_slots_;  // unreachable
+}
+
+std::string Arch::summary() const {
+  std::ostringstream os;
+  os << width_ << "x" << height_ << " grid (interior " << (width_ - 2) << "x" << (height_ - 2)
+     << "), IO ports " << capacity(TileType::kIo) << ", CLB " << capacity(TileType::kClb)
+     << ", MEM " << capacity(TileType::kMem) << ", MULT " << capacity(TileType::kMult)
+     << ", channel width " << params_.channel_width;
+  return os.str();
+}
+
+}  // namespace paintplace::fpga

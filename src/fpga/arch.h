@@ -1,0 +1,96 @@
+// Island-style FPGA architecture model (the paper's fixed FPGA target,
+// Figure 2a): an IO ring around interior columns of CLB spots, with
+// dedicated memory and multiplier columns, and routing channels between all
+// tiles. Mirrors the VPR architecture the paper renders.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace paintplace::fpga {
+
+using paintplace::Index;
+
+/// What a grid tile can hold.
+enum class TileType : std::uint8_t {
+  kIo,    ///< perimeter pad; holds up to `io_ports_per_pad` input/output ports
+  kClb,   ///< one cluster-based logic block
+  kMem,   ///< memory block column (lightyellow in Table 1)
+  kMult,  ///< multiplier block column (pink in Table 1)
+};
+
+const char* tile_type_name(TileType t);
+
+/// Grid coordinate. `sub` selects a port within an IO pad (0 for others).
+struct GridLoc {
+  Index x = -1;
+  Index y = -1;
+  Index sub = 0;
+
+  bool operator==(const GridLoc&) const = default;
+  bool valid() const { return x >= 0 && y >= 0 && sub >= 0; }
+};
+
+struct ArchParams {
+  Index io_ports_per_pad = 8;   ///< ports per IO pad (paper Sec. 3)
+  Index mem_column_start = 3;   ///< first interior column index holding memory
+  Index mem_column_period = 8;  ///< repeat distance of memory columns
+  Index mult_column_start = 7;
+  Index mult_column_period = 8;
+  Index channel_width = 34;     ///< routing tracks per channel (Fig. 2 caption)
+  double target_utilization = 0.6;  ///< CLB fill ratio targeted by auto-sizing
+};
+
+/// Counts used by auto-sizing.
+struct BlockDemand {
+  Index clbs = 0;
+  Index ios = 0;
+  Index mems = 0;
+  Index mults = 0;
+};
+
+/// Immutable architecture/floorplan: tile types over a (width x height)
+/// grid. Column 0, row 0, last column and last row are the IO ring; the
+/// interior is CLB columns with periodic MEM/MULT columns.
+class Arch {
+ public:
+  /// interior_cols/interior_rows: the logic area between the IO ring.
+  Arch(Index interior_cols, Index interior_rows, ArchParams params = {});
+
+  /// Smallest square-ish arch whose capacities fit `demand` at the params'
+  /// target utilization.
+  static Arch auto_sized(const BlockDemand& demand, ArchParams params = {});
+
+  Index width() const { return width_; }    ///< tiles across, including IO ring
+  Index height() const { return height_; }  ///< tiles down, including IO ring
+  const ArchParams& params() const { return params_; }
+
+  TileType tile_type(Index x, Index y) const {
+    PP_CHECK_MSG(in_grid(x, y), "tile (" << x << "," << y << ") outside " << width_ << "x"
+                                         << height_);
+    return tiles_[static_cast<std::size_t>(y * width_ + x)];
+  }
+  bool in_grid(Index x, Index y) const { return x >= 0 && x < width_ && y >= 0 && y < height_; }
+  bool is_corner(Index x, Index y) const {
+    return (x == 0 || x == width_ - 1) && (y == 0 || y == height_ - 1);
+  }
+
+  /// Placement slots (tile + sub-tile) able to hold a block of the given
+  /// tile type, in deterministic scan order. Corners hold nothing.
+  const std::vector<GridLoc>& slots(TileType type) const;
+
+  /// Total capacity in block units for the given type.
+  Index capacity(TileType type) const { return static_cast<Index>(slots(type).size()); }
+
+  std::string summary() const;
+
+ private:
+  Index width_, height_;
+  ArchParams params_;
+  std::vector<TileType> tiles_;
+  std::vector<GridLoc> io_slots_, clb_slots_, mem_slots_, mult_slots_;
+};
+
+}  // namespace paintplace::fpga

@@ -1,0 +1,28 @@
+#include "fpga/design_suite.h"
+
+namespace paintplace::fpga {
+
+const std::vector<DesignSpec>& table2_designs() {
+  // name, LUTs, FFs, nets (Table 2); inputs, outputs, mems, mults (VTR-like).
+  static const std::vector<DesignSpec> kDesigns = {
+      {"diffeq1", 563, 193, 2059, 162, 96, 0, 5},
+      {"diffeq2", 419, 96, 1560, 66, 96, 0, 5},
+      {"raygentop", 1920, 1047, 5023, 214, 305, 1, 18},
+      {"SHA", 2501, 911, 10910, 38, 36, 0, 0},
+      {"OR1200", 2823, 670, 12336, 385, 394, 2, 1},
+      {"ode", 5488, 1316, 20981, 247, 96, 8, 5},
+      {"dcsg", 9088, 1618, 36912, 132, 64, 0, 16},
+      {"bfly", 9503, 1748, 38582, 130, 64, 0, 16},
+  };
+  return kDesigns;
+}
+
+const DesignSpec& design_by_name(const std::string& name) {
+  for (const DesignSpec& d : table2_designs()) {
+    if (d.name == name) return d;
+  }
+  PP_CHECK_MSG(false, "unknown design " << name);
+  return table2_designs().front();  // unreachable
+}
+
+}  // namespace paintplace::fpga

@@ -1,0 +1,21 @@
+// The eight benchmark designs of Table 2, reproduced as DesignSpecs for the
+// synthetic generator. LUT/FF/net counts are the paper's exact numbers; IO,
+// memory and multiplier counts are not reported by the paper and follow VTR
+// conventions (IO ~ a few dozen to a couple hundred pins; a handful of
+// hard blocks for the DSP-flavoured designs).
+#pragma once
+
+#include <vector>
+
+#include "fpga/netgen.h"
+
+namespace paintplace::fpga {
+
+/// Specs for diffeq1, diffeq2, raygentop, SHA, OR1200, ode, dcsg, bfly —
+/// in the row order of Table 2.
+const std::vector<DesignSpec>& table2_designs();
+
+/// Lookup by name; throws CheckError for unknown names.
+const DesignSpec& design_by_name(const std::string& name);
+
+}  // namespace paintplace::fpga

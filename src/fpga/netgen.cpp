@@ -1,0 +1,251 @@
+#include "fpga/netgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paintplace::fpga {
+namespace {
+
+/// Picks a sink near `driver_pos` (in block-id space) with the configured
+/// locality, else uniformly. Block ids act as a 1-D proxy for logical
+/// proximity: the generator allocates related logic contiguously, the same
+/// way clustered synthesis output orders BLIF primitives.
+///
+/// `pin_load` (optional) enables power-of-two-choices balancing: draw two
+/// candidates, keep the one with fewer pins so far. Blocks in real packed
+/// netlists have bounded pin counts; without balancing a handful of blocks
+/// can accumulate more terminals than their four adjacent routing channels
+/// can physically carry.
+Index pick_sink(Index driver_pos, Index universe, const NetgenParams& params, Rng& rng,
+                const std::vector<Index>* pin_load = nullptr) {
+  PP_CHECK(universe >= 2);
+  auto draw = [&]() -> Index {
+    if (rng.chance(params.locality)) {
+      const Index lo = std::max<Index>(0, driver_pos - params.locality_window);
+      const Index hi = std::min<Index>(universe - 1, driver_pos + params.locality_window);
+      return rng.uniform_int(lo, hi);
+    }
+    return rng.uniform_int(0, universe - 1);
+  };
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Index candidate = draw();
+    if (params.balance_pins && pin_load != nullptr) {
+      const Index alternative = draw();
+      if (alternative != driver_pos &&
+          (candidate == driver_pos ||
+           (*pin_load)[static_cast<std::size_t>(alternative)] <
+               (*pin_load)[static_cast<std::size_t>(candidate)])) {
+        candidate = alternative;
+      }
+    }
+    if (candidate != driver_pos) return candidate;
+  }
+  return (driver_pos + 1) % universe;
+}
+
+}  // namespace
+
+DesignSpec scale_spec(const DesignSpec& spec, double factor) {
+  PP_CHECK(factor > 0.0);
+  auto scale = [factor](Index v) -> Index {
+    if (v == 0) return 0;
+    return std::max<Index>(1, static_cast<Index>(std::llround(static_cast<double>(v) * factor)));
+  };
+  DesignSpec s = spec;
+  s.num_luts = scale(spec.num_luts);
+  s.num_ffs = scale(spec.num_ffs);
+  s.num_nets = std::max<Index>(2, scale(spec.num_nets));
+  s.num_inputs = scale(spec.num_inputs);
+  s.num_outputs = scale(spec.num_outputs);
+  s.num_mems = scale(spec.num_mems);
+  s.num_mults = scale(spec.num_mults);
+  return s;
+}
+
+Netlist generate_flat(const DesignSpec& spec, const NetgenParams& params, std::uint64_t seed) {
+  PP_CHECK_MSG(spec.num_luts >= 1, "flat design needs LUTs");
+  PP_CHECK_MSG(spec.num_inputs >= 1 && spec.num_outputs >= 1, "design needs IO");
+  Rng rng(seed);
+  Netlist nl(spec.name);
+
+  std::vector<BlockId> inputs, outputs, logic;  // logic = LUT/FF/MEM/MULT, net drivers
+  for (Index i = 0; i < spec.num_inputs; ++i) {
+    inputs.push_back(nl.add_block(BlockKind::kInputPad, "in" + std::to_string(i)));
+  }
+  for (Index i = 0; i < spec.num_outputs; ++i) {
+    outputs.push_back(nl.add_block(BlockKind::kOutputPad, "out" + std::to_string(i)));
+  }
+  // Interleave FFs among LUTs so that id-locality couples them, mimicking
+  // LUT->FF pairs that the packer later fuses into BLEs.
+  const Index total_prims = spec.num_luts + spec.num_ffs;
+  Index luts_made = 0, ffs_made = 0;
+  for (Index i = 0; i < total_prims; ++i) {
+    const bool make_ff =
+        ffs_made < spec.num_ffs &&
+        (luts_made >= spec.num_luts ||
+         rng.chance(static_cast<double>(spec.num_ffs - ffs_made) /
+                    static_cast<double>(total_prims - i)));
+    if (make_ff) {
+      logic.push_back(nl.add_block(BlockKind::kFf, "ff" + std::to_string(ffs_made++)));
+    } else {
+      logic.push_back(nl.add_block(BlockKind::kLut, "lut" + std::to_string(luts_made++)));
+    }
+  }
+  for (Index i = 0; i < spec.num_mems; ++i) {
+    logic.push_back(nl.add_block(BlockKind::kMem, "mem" + std::to_string(i)));
+  }
+  for (Index i = 0; i < spec.num_mults; ++i) {
+    logic.push_back(nl.add_block(BlockKind::kMult, "mult" + std::to_string(i)));
+  }
+
+  const Index n_logic = static_cast<Index>(logic.size());
+  // Every logic block and every input pad drives one net.
+  std::vector<NetId> nets;
+  std::vector<Index> pin_load(static_cast<std::size_t>(n_logic), 0);
+  auto make_net = [&](BlockId driver, Index driver_pos, const std::string& base) {
+    const Index fanout = rng.geometric_int(1, params.max_fanout, params.fanout_decay);
+    std::vector<BlockId> sinks;
+    sinks.reserve(static_cast<std::size_t>(fanout));
+    for (Index f = 0; f < fanout; ++f) {
+      const Index pos = pick_sink(driver_pos, n_logic, params, rng, &pin_load);
+      sinks.push_back(logic[static_cast<std::size_t>(pos)]);
+      pin_load[static_cast<std::size_t>(pos)] += 1;
+    }
+    sinks.erase(std::remove(sinks.begin(), sinks.end(), driver), sinks.end());
+    if (sinks.empty()) {
+      sinks.push_back(logic[static_cast<std::size_t>(pick_sink(driver_pos, n_logic, params, rng))]);
+      if (sinks.back() == driver) {
+        sinks.back() = logic[static_cast<std::size_t>((driver_pos + 1) % n_logic)];
+      }
+    }
+    nets.push_back(nl.add_net(base, driver, std::move(sinks)));
+  };
+
+  for (Index i = 0; i < static_cast<Index>(inputs.size()); ++i) {
+    // Input pads fan into logic near a random anchor.
+    make_net(inputs[static_cast<std::size_t>(i)], rng.uniform_int(0, n_logic - 1),
+             "n_in" + std::to_string(i));
+  }
+  for (Index i = 0; i < n_logic; ++i) {
+    make_net(logic[static_cast<std::size_t>(i)], i, "n" + std::to_string(i));
+  }
+  // Output pads sink the nets of the last few logic drivers.
+  for (Index i = 0; i < static_cast<Index>(outputs.size()); ++i) {
+    const Index src = rng.uniform_int(0, n_logic - 1);
+    const NetId net_id = nl.nets_of(logic[static_cast<std::size_t>(src)]).front();
+    // Rebuild is avoided: outputs get dedicated 2-pin nets from their source.
+    (void)net_id;
+    nl.add_net("n_out" + std::to_string(i), logic[static_cast<std::size_t>(src)],
+               {outputs[static_cast<std::size_t>(i)]});
+  }
+
+  nl.validate();
+  return nl;
+}
+
+Netlist generate_packed(const DesignSpec& spec, const NetgenParams& params, std::uint64_t seed) {
+  PP_CHECK_MSG(spec.num_luts >= 1, "design needs LUTs");
+  PP_CHECK_MSG(spec.num_inputs >= 1 && spec.num_outputs >= 1, "design needs IO");
+  PP_CHECK(params.clb_capacity >= 1);
+  Rng rng(seed);
+  Netlist nl(spec.name);
+
+  const Index num_clbs = std::max<Index>(
+      1, (std::max(spec.num_luts, spec.num_ffs) + params.clb_capacity - 1) / params.clb_capacity);
+
+  // Logic blocks (CLB/MEM/MULT) can drive and sink many nets; IO follows
+  // the physical pad model — an input pad drives exactly one net, an output
+  // pad sinks exactly one net. Without that constraint a pad tile would
+  // accumulate more terminal pins than its adjacent channels can carry and
+  // the fabric would become structurally unroutable.
+  std::vector<BlockId> logic;  // CLB/MEM/MULT: ids equal positions
+  Index luts_left = spec.num_luts, ffs_left = spec.num_ffs;
+  for (Index i = 0; i < num_clbs; ++i) {
+    const Index luts_here = std::min(luts_left, params.clb_capacity);
+    const Index ffs_here = std::min(ffs_left, params.clb_capacity);
+    luts_left -= luts_here;
+    ffs_left -= ffs_here;
+    logic.push_back(
+        nl.add_block(BlockKind::kClb, "clb" + std::to_string(i), luts_here, ffs_here));
+  }
+  for (Index i = 0; i < spec.num_mems; ++i) {
+    logic.push_back(nl.add_block(BlockKind::kMem, "mem" + std::to_string(i)));
+  }
+  for (Index i = 0; i < spec.num_mults; ++i) {
+    logic.push_back(nl.add_block(BlockKind::kMult, "mult" + std::to_string(i)));
+  }
+  std::vector<BlockId> inputs, outputs;
+  for (Index i = 0; i < spec.num_inputs; ++i) {
+    inputs.push_back(nl.add_block(BlockKind::kInputPad, "in" + std::to_string(i)));
+  }
+  for (Index i = 0; i < spec.num_outputs; ++i) {
+    outputs.push_back(nl.add_block(BlockKind::kOutputPad, "out" + std::to_string(i)));
+  }
+
+  const Index n_logic = static_cast<Index>(logic.size());
+  PP_CHECK_MSG(n_logic >= 2, "need at least two logic blocks");
+
+  Index nets_made = 0;
+  std::vector<Index> pin_load(static_cast<std::size_t>(n_logic), 0);
+  auto logic_sinks = [&](Index anchor, BlockId exclude, Index min_count) {
+    const Index fanout =
+        std::max(min_count, rng.geometric_int(1, params.max_fanout, params.fanout_decay));
+    std::vector<BlockId> sinks;
+    for (Index f = 0; f < fanout; ++f) {
+      const Index pos = pick_sink(anchor, n_logic, params, rng, &pin_load);
+      const BlockId cand = logic[static_cast<std::size_t>(pos)];
+      if (cand != exclude) {
+        sinks.push_back(cand);
+        pin_load[static_cast<std::size_t>(pos)] += 1;
+      }
+    }
+    while (sinks.empty()) {
+      Index pos = pick_sink(anchor, n_logic, params, rng, &pin_load);
+      if (logic[static_cast<std::size_t>(pos)] == exclude) pos = (pos + 1) % n_logic;
+      sinks.push_back(logic[static_cast<std::size_t>(pos)]);
+      pin_load[static_cast<std::size_t>(pos)] += 1;
+    }
+    return sinks;
+  };
+
+  // Input pads: one net each, fanning into logic near a random anchor.
+  for (BlockId pad : inputs) {
+    nl.add_net("net" + std::to_string(nets_made++), pad,
+               logic_sinks(rng.uniform_int(0, n_logic - 1), -1, 1));
+  }
+  // Output pads: one net each — a logic driver whose sink set contains the
+  // pad (and often continues into logic, as output nets do in practice).
+  for (BlockId pad : outputs) {
+    const Index driver_pos = rng.uniform_int(0, n_logic - 1);
+    const BlockId driver = logic[static_cast<std::size_t>(driver_pos)];
+    pin_load[static_cast<std::size_t>(driver_pos)] += 1;
+    std::vector<BlockId> sinks{pad};
+    if (rng.chance(0.5)) {
+      for (BlockId s : logic_sinks(driver_pos, driver, 1)) sinks.push_back(s);
+    }
+    nl.add_net("net" + std::to_string(nets_made++), driver, std::move(sinks));
+  }
+  // Remaining nets: logic-to-logic with id-space locality.
+  while (nets_made < spec.num_nets) {
+    const Index driver_pos = rng.uniform_int(0, n_logic - 1);
+    const BlockId driver = logic[static_cast<std::size_t>(driver_pos)];
+    pin_load[static_cast<std::size_t>(driver_pos)] += 1;
+    nl.add_net("net" + std::to_string(nets_made++), driver, logic_sinks(driver_pos, driver, 1));
+  }
+
+  // Mop up logic blocks the random fill missed (possible when the net
+  // target is small): one extra 2-pin net each, beyond the target rather
+  // than violating connectivity.
+  for (BlockId b : logic) {
+    if (!nl.nets_of(b).empty()) continue;
+    Index pos = rng.uniform_int(0, n_logic - 1);
+    if (logic[static_cast<std::size_t>(pos)] == b) pos = (pos + 1) % n_logic;
+    nl.add_net("fix" + std::to_string(b), b, {logic[static_cast<std::size_t>(pos)]});
+  }
+
+  nl.validate();
+  PP_CHECK(nl.is_packed());
+  return nl;
+}
+
+}  // namespace paintplace::fpga

@@ -1,0 +1,54 @@
+// Synthetic netlist generation.
+//
+// The paper's eight benchmark designs are VTR circuits we cannot ship, so
+// the suite is reproduced with a statistical generator (see DESIGN.md,
+// "Substitutions"). Two entry points:
+//   * generate_flat   — LUT/FF/IO primitive netlist with Rent's-rule
+//     locality and a geometric fanout distribution; feed through pack() for
+//     the full Fig.-1 flow.
+//   * generate_packed — CLB-level netlist hitting an exact net count, used
+//     to mirror the Table 2 statistics for dataset generation.
+#pragma once
+
+#include "common/rng.h"
+#include "fpga/netlist.h"
+
+namespace paintplace::fpga {
+
+struct DesignSpec {
+  std::string name;
+  Index num_luts = 0;
+  Index num_ffs = 0;
+  Index num_nets = 0;     ///< target hyperedge count (packed generator only)
+  Index num_inputs = 0;
+  Index num_outputs = 0;
+  Index num_mems = 0;
+  Index num_mults = 0;
+};
+
+struct NetgenParams {
+  Index clb_capacity = 10;      ///< BLEs per CLB (VTR-like)
+  double locality = 0.75;       ///< probability a sink is near its driver
+  Index locality_window = 24;   ///< "near" = within this many block ids
+  double fanout_decay = 0.55;   ///< geometric fanout: P(extra sink) per step
+  Index max_fanout = 48;
+  /// Balance terminal pins across blocks (power-of-two-choices): real packed
+  /// blocks have bounded pin counts, so sinks must not pile onto a few
+  /// blocks — unbalanced netlists create unroutable pin hotspots.
+  bool balance_pins = true;
+};
+
+/// Flat primitive netlist: every LUT/FF drives exactly one net; input pads
+/// drive nets; output pads sink nets. Net count is emergent.
+Netlist generate_flat(const DesignSpec& spec, const NetgenParams& params, std::uint64_t seed);
+
+/// Packed CLB-level netlist with exactly spec.num_nets nets over
+/// ceil(max(luts, ffs)/clb_capacity) CLBs plus IO/MEM/MULT blocks.
+Netlist generate_packed(const DesignSpec& spec, const NetgenParams& params, std::uint64_t seed);
+
+/// Scales every count of `spec` by `factor` (>= 0), keeping at least one
+/// block of each nonzero category and at least two nets. Used to run the
+/// Table 2 suite at CPU-friendly sizes.
+DesignSpec scale_spec(const DesignSpec& spec, double factor);
+
+}  // namespace paintplace::fpga

@@ -1,0 +1,107 @@
+#include "fpga/netlist_io.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+namespace paintplace::fpga {
+namespace {
+
+std::optional<BlockKind> kind_from_name(const std::string& name) {
+  static const std::map<std::string, BlockKind> kKinds = {
+      {"LUT", BlockKind::kLut},      {"FF", BlockKind::kFf},
+      {"IPAD", BlockKind::kInputPad}, {"OPAD", BlockKind::kOutputPad},
+      {"MEM", BlockKind::kMem},      {"MULT", BlockKind::kMult},
+      {"CLB", BlockKind::kClb},
+  };
+  const auto it = kKinds.find(name);
+  if (it == kKinds.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace
+
+void write_netlist(const Netlist& netlist, std::ostream& out) {
+  out << "# paintplace netlist v1\n";
+  out << "design " << netlist.name() << "\n";
+  for (const Block& b : netlist.blocks()) {
+    out << "block " << b.name << " " << block_kind_name(b.kind);
+    if (b.kind == BlockKind::kClb) out << " " << b.num_luts << " " << b.num_ffs;
+    out << "\n";
+  }
+  for (const Net& n : netlist.nets()) {
+    out << "net " << n.name << " " << netlist.block(n.driver).name;
+    for (BlockId s : n.sinks) out << " " << netlist.block(s).name;
+    out << "\n";
+  }
+  PP_CHECK_MSG(out.good(), "netlist write failed");
+}
+
+Netlist read_netlist(std::istream& in) {
+  std::optional<Netlist> netlist;
+  std::map<std::string, BlockId> blocks_by_name;
+  std::string line;
+  Index line_no = 0;
+  while (std::getline(in, line)) {
+    line_no += 1;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream tokens(line);
+    std::string keyword;
+    tokens >> keyword;
+    if (keyword == "design") {
+      std::string name;
+      tokens >> name;
+      PP_CHECK_MSG(!name.empty(), "line " << line_no << ": design needs a name");
+      PP_CHECK_MSG(!netlist.has_value(), "line " << line_no << ": duplicate design line");
+      netlist.emplace(name);
+    } else if (keyword == "block") {
+      PP_CHECK_MSG(netlist.has_value(), "line " << line_no << ": block before design");
+      std::string name, kind_name;
+      tokens >> name >> kind_name;
+      const std::optional<BlockKind> kind = kind_from_name(kind_name);
+      PP_CHECK_MSG(kind.has_value(), "line " << line_no << ": unknown kind " << kind_name);
+      Index luts = 0, ffs = 0;
+      if (*kind == BlockKind::kClb) tokens >> luts >> ffs;
+      PP_CHECK_MSG(blocks_by_name.count(name) == 0,
+                   "line " << line_no << ": duplicate block " << name);
+      blocks_by_name[name] = netlist->add_block(*kind, name, luts, ffs);
+    } else if (keyword == "net") {
+      PP_CHECK_MSG(netlist.has_value(), "line " << line_no << ": net before design");
+      std::string name, driver_name;
+      tokens >> name >> driver_name;
+      const auto driver = blocks_by_name.find(driver_name);
+      PP_CHECK_MSG(driver != blocks_by_name.end(),
+                   "line " << line_no << ": unknown driver " << driver_name);
+      std::vector<BlockId> sinks;
+      std::string sink_name;
+      while (tokens >> sink_name) {
+        const auto sink = blocks_by_name.find(sink_name);
+        PP_CHECK_MSG(sink != blocks_by_name.end(),
+                     "line " << line_no << ": unknown sink " << sink_name);
+        sinks.push_back(sink->second);
+      }
+      PP_CHECK_MSG(!sinks.empty(), "line " << line_no << ": net " << name << " has no sinks");
+      netlist->add_net(name, driver->second, std::move(sinks));
+    } else {
+      PP_CHECK_MSG(false, "line " << line_no << ": unknown keyword " << keyword);
+    }
+  }
+  PP_CHECK_MSG(netlist.has_value(), "no design line found");
+  netlist->validate();
+  return std::move(*netlist);
+}
+
+void write_netlist_file(const Netlist& netlist, const std::string& path) {
+  std::ofstream out(path);
+  PP_CHECK_MSG(out.is_open(), "cannot open " << path << " for writing");
+  write_netlist(netlist, out);
+}
+
+Netlist read_netlist_file(const std::string& path) {
+  std::ifstream in(path);
+  PP_CHECK_MSG(in.is_open(), "cannot open " << path);
+  return read_netlist(in);
+}
+
+}  // namespace paintplace::fpga

@@ -1,0 +1,26 @@
+// Plain-text netlist interchange format (BLIF-spirited, hypergraph level):
+//
+//   design <name>
+//   block <name> <kind> [<luts> <ffs>]
+//   net <name> <driver-block> <sink-block> [<sink-block> ...]
+//
+// Lines starting with '#' are comments. Block kinds use the names of
+// block_kind_name(): LUT, FF, IPAD, OPAD, MEM, MULT, CLB. Lets users bring
+// their own designs instead of the synthetic generator, and makes datasets
+// reproducible across tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fpga/netlist.h"
+
+namespace paintplace::fpga {
+
+void write_netlist(const Netlist& netlist, std::ostream& out);
+Netlist read_netlist(std::istream& in);
+
+void write_netlist_file(const Netlist& netlist, const std::string& path);
+Netlist read_netlist_file(const std::string& path);
+
+}  // namespace paintplace::fpga

@@ -1,0 +1,169 @@
+#include "fpga/pack.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace paintplace::fpga {
+namespace {
+
+struct Ble {
+  BlockId lut = -1;  ///< -1 when the BLE is a lone FF
+  BlockId ff = -1;   ///< -1 when the BLE is a lone LUT
+};
+
+/// BLE formation: an FF whose only driver is a LUT and that is that LUT's
+/// sole FF sink gets fused with it (the classic VPack pattern); leftovers
+/// become single-primitive BLEs.
+std::vector<Ble> form_bles(const Netlist& flat) {
+  std::vector<Ble> bles;
+  std::vector<bool> used(static_cast<std::size_t>(flat.num_blocks()), false);
+  // Map FF -> driving block (an FF has exactly one driving net in our model:
+  // the first net where it appears as sink).
+  for (const Block& b : flat.blocks()) {
+    if (b.kind != BlockKind::kFf) continue;
+    BlockId driver = -1;
+    for (NetId nid : flat.nets_of(b.id)) {
+      const Net& n = flat.net(nid);
+      if (n.driver != b.id &&
+          std::find(n.sinks.begin(), n.sinks.end(), b.id) != n.sinks.end()) {
+        driver = n.driver;
+        break;
+      }
+    }
+    if (driver >= 0 && flat.block(driver).kind == BlockKind::kLut &&
+        !used[static_cast<std::size_t>(driver)]) {
+      bles.push_back(Ble{driver, b.id});
+      used[static_cast<std::size_t>(driver)] = true;
+      used[static_cast<std::size_t>(b.id)] = true;
+    }
+  }
+  for (const Block& b : flat.blocks()) {
+    if (used[static_cast<std::size_t>(b.id)]) continue;
+    if (b.kind == BlockKind::kLut) {
+      bles.push_back(Ble{b.id, -1});
+      used[static_cast<std::size_t>(b.id)] = true;
+    } else if (b.kind == BlockKind::kFf) {
+      bles.push_back(Ble{-1, b.id});
+      used[static_cast<std::size_t>(b.id)] = true;
+    }
+  }
+  return bles;
+}
+
+}  // namespace
+
+PackResult pack(const Netlist& flat, const PackParams& params) {
+  PP_CHECK(params.clb_capacity >= 1);
+  const std::vector<Ble> bles = form_bles(flat);
+  const Index n_bles = static_cast<Index>(bles.size());
+
+  // Net ids touched by each BLE (for the attraction function).
+  std::vector<std::vector<NetId>> ble_nets(static_cast<std::size_t>(n_bles));
+  for (Index i = 0; i < n_bles; ++i) {
+    std::unordered_set<NetId> nets;
+    for (BlockId prim : {bles[static_cast<std::size_t>(i)].lut,
+                         bles[static_cast<std::size_t>(i)].ff}) {
+      if (prim < 0) continue;
+      for (NetId nid : flat.nets_of(prim)) nets.insert(nid);
+    }
+    ble_nets[static_cast<std::size_t>(i)].assign(nets.begin(), nets.end());
+  }
+
+  // Greedy cluster growth.
+  std::vector<Index> cluster_of_ble(static_cast<std::size_t>(n_bles), -1);
+  Index num_clusters = 0;
+  std::vector<bool> clustered(static_cast<std::size_t>(n_bles), false);
+  Index remaining = n_bles;
+  Index next_seed = 0;
+  while (remaining > 0) {
+    while (next_seed < n_bles && clustered[static_cast<std::size_t>(next_seed)]) ++next_seed;
+    const Index cluster_id = num_clusters++;
+    std::unordered_map<NetId, int> cluster_net_weight;
+    auto absorb = [&](Index ble_idx) {
+      clustered[static_cast<std::size_t>(ble_idx)] = true;
+      cluster_of_ble[static_cast<std::size_t>(ble_idx)] = cluster_id;
+      remaining -= 1;
+      for (NetId nid : ble_nets[static_cast<std::size_t>(ble_idx)]) {
+        cluster_net_weight[nid] += 1;
+      }
+    };
+    absorb(next_seed);
+    for (Index fill = 1; fill < params.clb_capacity && remaining > 0; ++fill) {
+      // Pick the unclustered BLE sharing the most nets with the cluster.
+      Index best = -1;
+      int best_gain = -1;
+      for (Index cand = 0; cand < n_bles; ++cand) {
+        if (clustered[static_cast<std::size_t>(cand)]) continue;
+        int gain = 0;
+        for (NetId nid : ble_nets[static_cast<std::size_t>(cand)]) {
+          if (cluster_net_weight.count(nid) > 0) gain += 1;
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = cand;
+        }
+      }
+      if (best < 0) break;
+      absorb(best);
+    }
+  }
+
+  // Emit the packed netlist: clusters first (ids == cluster ids), then the
+  // pass-through blocks.
+  PackResult result{Netlist(flat.name() + ".packed"), {}, n_bles};
+  result.flat_to_packed.assign(static_cast<std::size_t>(flat.num_blocks()), -1);
+  std::vector<Index> luts_in(static_cast<std::size_t>(num_clusters), 0);
+  std::vector<Index> ffs_in(static_cast<std::size_t>(num_clusters), 0);
+  for (Index i = 0; i < n_bles; ++i) {
+    const Index c = cluster_of_ble[static_cast<std::size_t>(i)];
+    if (bles[static_cast<std::size_t>(i)].lut >= 0) luts_in[static_cast<std::size_t>(c)] += 1;
+    if (bles[static_cast<std::size_t>(i)].ff >= 0) ffs_in[static_cast<std::size_t>(c)] += 1;
+  }
+  for (Index c = 0; c < num_clusters; ++c) {
+    result.packed.add_block(BlockKind::kClb, "clb" + std::to_string(c),
+                            luts_in[static_cast<std::size_t>(c)],
+                            ffs_in[static_cast<std::size_t>(c)]);
+  }
+  for (Index i = 0; i < n_bles; ++i) {
+    const Index c = cluster_of_ble[static_cast<std::size_t>(i)];
+    if (bles[static_cast<std::size_t>(i)].lut >= 0) {
+      result.flat_to_packed[static_cast<std::size_t>(bles[static_cast<std::size_t>(i)].lut)] = c;
+    }
+    if (bles[static_cast<std::size_t>(i)].ff >= 0) {
+      result.flat_to_packed[static_cast<std::size_t>(bles[static_cast<std::size_t>(i)].ff)] = c;
+    }
+  }
+  for (const Block& b : flat.blocks()) {
+    if (b.kind == BlockKind::kLut || b.kind == BlockKind::kFf) continue;
+    const BlockId packed_id = result.packed.add_block(b.kind, b.name);
+    result.flat_to_packed[static_cast<std::size_t>(b.id)] = packed_id;
+  }
+
+  // Re-emit nets whose endpoints span more than one packed block.
+  for (const Net& n : flat.nets()) {
+    const BlockId driver = result.flat_to_packed[static_cast<std::size_t>(n.driver)];
+    std::vector<BlockId> sinks;
+    for (BlockId s : n.sinks) {
+      const BlockId ps = result.flat_to_packed[static_cast<std::size_t>(s)];
+      if (ps != driver) sinks.push_back(ps);
+    }
+    if (!sinks.empty()) result.packed.add_net(n.name, driver, std::move(sinks));
+  }
+
+  // Packing can orphan a CLB whose nets were all absorbed; tie it to its
+  // neighbour so the netlist stays connected for placement.
+  for (const Block& b : result.packed.blocks()) {
+    if (!result.packed.nets_of(b.id).empty()) continue;
+    const BlockId other = b.id > 0 ? b.id - 1 : b.id + 1;
+    PP_CHECK(other >= 0 && other < result.packed.num_blocks());
+    result.packed.add_net("tie" + std::to_string(b.id), b.id, {other});
+  }
+
+  result.packed.validate();
+  PP_CHECK(result.packed.is_packed());
+  return result;
+}
+
+}  // namespace paintplace::fpga

@@ -1,0 +1,27 @@
+// Greedy connectivity-driven packing (the "Packing" step of Fig. 1).
+//
+// VPack-style two-phase clustering: fuse LUT->FF pairs into BLEs, then grow
+// CLBs by repeatedly absorbing the unclustered BLE with the highest
+// attraction (shared-net count) to the open cluster.
+#pragma once
+
+#include "fpga/netlist.h"
+
+namespace paintplace::fpga {
+
+struct PackParams {
+  Index clb_capacity = 10;  ///< BLEs per CLB
+};
+
+struct PackResult {
+  Netlist packed;
+  /// packed block id for every flat block id (LUT/FF map to their CLB).
+  std::vector<BlockId> flat_to_packed;
+  Index num_bles = 0;
+};
+
+/// Packs a flat LUT/FF/IO/MEM/MULT netlist into a CLB-level netlist.
+/// Nets internal to one CLB are absorbed (not emitted).
+PackResult pack(const Netlist& flat, const PackParams& params);
+
+}  // namespace paintplace::fpga

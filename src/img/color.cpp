@@ -1,0 +1,60 @@
+#include "img/color.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paintplace::img {
+
+Color UtilizationColormap::map(double utilization) {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  // Piecewise-linear over the stop list.
+  const double pos = u * static_cast<double>(kStops.size() - 1);
+  const std::size_t seg = std::min<std::size_t>(static_cast<std::size_t>(pos), kStops.size() - 2);
+  const float t = static_cast<float>(pos - static_cast<double>(seg));
+  const Color& a = kStops[seg];
+  const Color& b = kStops[seg + 1];
+  return Color{a.r + (b.r - a.r) * t, a.g + (b.g - a.g) * t, a.b + (b.b - a.b) * t};
+}
+
+namespace {
+
+struct Projection {
+  double utilization;
+  double distance;
+};
+
+Projection project_onto_gradient(const Color& c, const std::array<Color, 3>& stops) {
+  double best_u = 0.0;
+  float best_d = std::numeric_limits<float>::max();
+  for (std::size_t seg = 0; seg + 1 < stops.size(); ++seg) {
+    const Color& a = stops[seg];
+    const Color& b = stops[seg + 1];
+    const float abr = b.r - a.r, abg = b.g - a.g, abb = b.b - a.b;
+    const float len_sq = abr * abr + abg * abg + abb * abb;
+    float t = 0.0f;
+    if (len_sq > 0.0f) {
+      t = ((c.r - a.r) * abr + (c.g - a.g) * abg + (c.b - a.b) * abb) / len_sq;
+      t = std::clamp(t, 0.0f, 1.0f);
+    }
+    const Color p{a.r + abr * t, a.g + abg * t, a.b + abb * t};
+    const float d = c.distance_sq(p);
+    if (d < best_d) {
+      best_d = d;
+      best_u = (static_cast<double>(seg) + static_cast<double>(t)) /
+               static_cast<double>(stops.size() - 1);
+    }
+  }
+  return Projection{best_u, std::sqrt(static_cast<double>(best_d))};
+}
+
+}  // namespace
+
+double UtilizationColormap::unmap(const Color& c) {
+  return project_onto_gradient(c, kStops).utilization;
+}
+
+double UtilizationColormap::unmap_distance(const Color& c) {
+  return project_onto_gradient(c, kStops).distance;
+}
+
+}  // namespace paintplace::img

@@ -1,0 +1,65 @@
+// Table 1 color scheme and the yellow-to-purple utilization colormap
+// (with an exact inverse used to decode predicted heat maps back into
+// utilization numbers).
+#pragma once
+
+#include <array>
+
+#include "common/check.h"
+
+namespace paintplace::img {
+
+using paintplace::Index;
+
+struct Color {
+  float r = 0.0f, g = 0.0f, b = 0.0f;
+
+  bool operator==(const Color&) const = default;
+  float distance_sq(const Color& o) const {
+    const float dr = r - o.r, dg = g - o.g, db = b - o.b;
+    return dr * dr + dg * dg + db * db;
+  }
+};
+
+/// Table 1 of the paper (VPR interactive-mode defaults). Every pair is
+/// separated in RGB euclidean distance, which Sec. 4.2 calls out as the
+/// requirement on any alternative scheme.
+namespace scheme {
+inline constexpr Color kWhite{1.0f, 1.0f, 1.0f};            // routing channels / out of plan
+inline constexpr Color kLightBlue{0.678f, 0.847f, 0.902f};  // CLB spots
+inline constexpr Color kPink{1.0f, 0.753f, 0.796f};         // multiplier columns
+inline constexpr Color kLightYellow{1.0f, 1.0f, 0.878f};    // memory columns
+inline constexpr Color kBlack{0.0f, 0.0f, 0.0f};            // used CLB and IO spots
+inline constexpr Color kIoPad{0.85f, 0.85f, 0.85f};         // unused IO pad ports
+}  // namespace scheme
+
+/// Yellow(0) -> red-violet(0.5) -> purple(1) gradient for channel
+/// utilization (the paper's "Yellow2purple gradient" row of Table 1).
+class UtilizationColormap {
+ public:
+  /// Maps utilization (clamped to [0,1]) to a color.
+  static Color map(double utilization);
+
+  /// Inverse: nearest point on the gradient polyline, as a utilization in
+  /// [0,1]. Exact for colors produced by map(); nearest-match for network
+  /// outputs that drift off the polyline.
+  static double unmap(const Color& c);
+
+  /// Euclidean RGB distance from `c` to the gradient polyline. Small for
+  /// genuine heat-map pixels; large for block/background colors — used to
+  /// restrict congestion scoring to pixels that actually encode utilization.
+  static double unmap_distance(const Color& c);
+
+  /// Distance below which a pixel is treated as utilization-bearing. The
+  /// nearest non-gradient scheme color (pink) sits at distance ~0.45.
+  static constexpr double kOnGradientDistance = 0.2;
+
+ private:
+  static constexpr std::array<Color, 3> kStops = {
+      Color{1.0f, 0.92f, 0.20f},   // u = 0.0, yellow
+      Color{0.86f, 0.38f, 0.42f},  // u = 0.5
+      Color{0.42f, 0.05f, 0.58f},  // u = 1.0, purple
+  };
+};
+
+}  // namespace paintplace::img

@@ -1,0 +1,70 @@
+#include "img/geometry.h"
+
+#include <algorithm>
+
+namespace paintplace::img {
+
+PixelGeometry::PixelGeometry(const Arch& arch, Index target_width) : arch_(&arch) {
+  PP_CHECK(target_width >= 8);
+  const Index tiles = std::max(arch.width(), arch.height());
+  // Largest tile_px with chan_px = ceil(tile_px / 2) fitting target_width.
+  for (Index t = target_width; t >= 2; --t) {
+    const Index c = (t + 1) / 2;
+    const Index needed = tiles * t + (tiles + 1) * c;
+    if (needed <= target_width) {
+      tile_px_ = t;
+      chan_px_ = c;
+      break;
+    }
+  }
+  PP_CHECK_MSG(tile_px_ >= 2, "target_width " << target_width << " too small for a "
+                                              << arch.width() << "x" << arch.height()
+                                              << " fabric (needs elements >= 2x2 px)");
+  canvas_w_ = arch.width() * tile_px_ + (arch.width() + 1) * chan_px_;
+  canvas_h_ = arch.height() * tile_px_ + (arch.height() + 1) * chan_px_;
+}
+
+Index PixelGeometry::span_offset(Index lattice_coord) const {
+  // Lattice runs channel, tile, channel, tile, ..., channel.
+  const Index pairs = lattice_coord / 2;      // full (channel+tile) pairs before
+  const Index extra = lattice_coord % 2;      // leading channel of this pair
+  return pairs * (chan_px_ + tile_px_) + extra * chan_px_;
+}
+
+PixelRect PixelGeometry::lattice_rect(Index lx, Index ly) const {
+  const Index lw = 2 * arch_->width() + 1, lh = 2 * arch_->height() + 1;
+  PP_CHECK_MSG(lx >= 0 && lx < lw && ly >= 0 && ly < lh, "lattice (" << lx << "," << ly
+                                                                     << ") out of range");
+  PixelRect r;
+  r.x0 = span_offset(lx);
+  r.x1 = span_offset(lx + 1);
+  r.y0 = span_offset(ly);
+  r.y1 = span_offset(ly + 1);
+  return r;
+}
+
+PixelRect PixelGeometry::io_port_rect(const GridLoc& pad, Index total) const {
+  PP_CHECK(total >= 1 && pad.sub >= 0 && pad.sub < total);
+  const PixelRect tile = tile_rect(pad.x, pad.y);
+  // Ports stack vertically for side pads, horizontally for top/bottom pads.
+  const bool vertical = pad.x == 0 || pad.x == arch_->width() - 1;
+  PixelRect r = tile;
+  if (vertical) {
+    const Index span = tile.height();
+    r.y0 = tile.y0 + pad.sub * span / total;
+    r.y1 = tile.y0 + (pad.sub + 1) * span / total;
+  } else {
+    const Index span = tile.width();
+    r.x0 = tile.x0 + pad.sub * span / total;
+    r.x1 = tile.x0 + (pad.sub + 1) * span / total;
+  }
+  return r;
+}
+
+void PixelGeometry::tile_center(Index x, Index y, Index& px, Index& py) const {
+  const PixelRect r = tile_rect(x, y);
+  px = (r.x0 + r.x1) / 2;
+  py = (r.y0 + r.y1) / 2;
+}
+
+}  // namespace paintplace::img

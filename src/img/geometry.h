@@ -1,0 +1,59 @@
+// Pixel geometry: the mapping between fabric coordinates (tiles, channel
+// lattice) and image pixels.
+//
+// Tiles render as tile_px-square blocks, channels as chan_px-wide stripes
+// between them, mirroring VPR's interactive display. Per the paper
+// (Sec. 4.2 "Resolution") the geometry guarantees every placement element
+// covers at least 2x2 pixels; target_width is an upper bound on the canvas
+// (the largest feasible cell sizes are chosen, then the canvas is exactly
+// as big as the fabric needs).
+#pragma once
+
+#include "fpga/arch.h"
+
+namespace paintplace::img {
+
+using fpga::Arch;
+using fpga::GridLoc;
+using paintplace::Index;
+
+/// Half-open pixel rectangle.
+struct PixelRect {
+  Index x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+  Index width() const { return x1 - x0; }
+  Index height() const { return y1 - y0; }
+  bool contains(Index x, Index y) const { return x >= x0 && x < x1 && y >= y0 && y < y1; }
+};
+
+class PixelGeometry {
+ public:
+  PixelGeometry(const Arch& arch, Index target_width);
+
+  const Arch& arch() const { return *arch_; }
+  Index canvas_width() const { return canvas_w_; }
+  Index canvas_height() const { return canvas_h_; }
+  Index tile_px() const { return tile_px_; }
+  Index chan_px() const { return chan_px_; }
+
+  /// Pixel rect of a lattice cell (see route::ChannelGraph for the lattice).
+  PixelRect lattice_rect(Index lx, Index ly) const;
+
+  /// Pixel rect of the tile at grid position (x, y).
+  PixelRect tile_rect(Index x, Index y) const { return lattice_rect(2 * x + 1, 2 * y + 1); }
+
+  /// Sub-rectangle of an IO pad for one of its ports (ports stack along the
+  /// pad's long axis; `total` = ports per pad).
+  PixelRect io_port_rect(const GridLoc& pad, Index total) const;
+
+  /// Center pixel of a tile (for connectivity line endpoints).
+  void tile_center(Index x, Index y, Index& px, Index& py) const;
+
+ private:
+  Index span_offset(Index lattice_coord) const;
+
+  const Arch* arch_;
+  Index tile_px_ = 0, chan_px_ = 0;
+  Index canvas_w_ = 0, canvas_h_ = 0;
+};
+
+}  // namespace paintplace::img

@@ -1,0 +1,72 @@
+// Float image container (HWC interleaved, values nominally in [0,1]) with
+// PPM/PGM round-trip IO and conversion to/from the nn tensor layout (CHW).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "nn/tensor.h"
+
+namespace paintplace::img {
+
+using paintplace::Index;
+
+class Image {
+ public:
+  Image() = default;
+  Image(Index width, Index height, Index channels)
+      : width_(width), height_(height), channels_(channels) {
+    PP_CHECK(width > 0 && height > 0 && (channels == 1 || channels == 3));
+    data_.assign(static_cast<std::size_t>(width * height * channels), 0.0f);
+  }
+
+  Index width() const { return width_; }
+  Index height() const { return height_; }
+  Index channels() const { return channels_; }
+  bool empty() const { return data_.empty(); }
+  Index num_pixels() const { return width_ * height_; }
+
+  float& at(Index x, Index y, Index c) { return data_[offset(x, y, c)]; }
+  float at(Index x, Index y, Index c) const { return data_[offset(x, y, c)]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void fill(float value) { data_.assign(data_.size(), value); }
+
+  /// CHW tensor of shape (1, C, H, W), values copied verbatim.
+  nn::Tensor to_tensor() const;
+  static Image from_tensor(const nn::Tensor& t);
+
+  /// Clamps all values into [0,1].
+  void clamp01();
+
+ private:
+  std::size_t offset(Index x, Index y, Index c) const {
+    PP_CHECK_MSG(x >= 0 && x < width_ && y >= 0 && y < height_ && c >= 0 && c < channels_,
+                 "pixel (" << x << "," << y << "," << c << ") out of " << width_ << "x" << height_
+                           << "x" << channels_);
+    return static_cast<std::size_t>((y * width_ + x) * channels_ + c);
+  }
+
+  Index width_ = 0, height_ = 0, channels_ = 0;
+  std::vector<float> data_;
+};
+
+/// 8-bit binary PPM (3-channel) / PGM (1-channel) writers and readers.
+void write_image(const Image& image, const std::string& path);
+Image read_image(const std::string& path);
+
+/// Resample to (new_width, new_height): bilinear when magnifying,
+/// area-averaging when minifying (so sub-pixel features like 1-px
+/// connectivity lines contribute to the result instead of being skipped).
+Image resize_bilinear(const Image& image, Index new_width, Index new_height);
+
+/// Luminance grayscale (matches tf.image.rgb_to_grayscale weights).
+Image to_grayscale(const Image& rgb);
+
+/// Per-pixel absolute difference (same shape); used for Fig. 2e.
+Image abs_diff(const Image& a, const Image& b);
+
+}  // namespace paintplace::img

@@ -1,0 +1,81 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace paintplace::nn {
+
+Tensor LeakyReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out(input.shape());
+  const Index n = input.numel();
+  for (Index i = 0; i < n; ++i) out[i] = input[i] > 0.0f ? input[i] : slope_ * input[i];
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  PP_CHECK_MSG(!cached_input_.empty(), "LeakyReLU backward before forward");
+  PP_CHECK(grad_output.shape() == cached_input_.shape());
+  Tensor gin(grad_output.shape());
+  const Index n = grad_output.numel();
+  for (Index i = 0; i < n; ++i) {
+    gin[i] = cached_input_[i] > 0.0f ? grad_output[i] : slope_ * grad_output[i];
+  }
+  return gin;
+}
+
+Tensor ReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  Tensor out(input.shape());
+  const Index n = input.numel();
+  for (Index i = 0; i < n; ++i) out[i] = input[i] > 0.0f ? input[i] : 0.0f;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  PP_CHECK_MSG(!cached_input_.empty(), "ReLU backward before forward");
+  PP_CHECK(grad_output.shape() == cached_input_.shape());
+  Tensor gin(grad_output.shape());
+  const Index n = grad_output.numel();
+  for (Index i = 0; i < n; ++i) gin[i] = cached_input_[i] > 0.0f ? grad_output[i] : 0.0f;
+  return gin;
+}
+
+Tensor Tanh::forward(const Tensor& input) {
+  Tensor out(input.shape());
+  const Index n = input.numel();
+  for (Index i = 0; i < n; ++i) out[i] = std::tanh(input[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  PP_CHECK_MSG(!cached_output_.empty(), "Tanh backward before forward");
+  PP_CHECK(grad_output.shape() == cached_output_.shape());
+  Tensor gin(grad_output.shape());
+  const Index n = grad_output.numel();
+  for (Index i = 0; i < n; ++i) {
+    gin[i] = grad_output[i] * (1.0f - cached_output_[i] * cached_output_[i]);
+  }
+  return gin;
+}
+
+Tensor Sigmoid::forward(const Tensor& input) {
+  Tensor out(input.shape());
+  const Index n = input.numel();
+  for (Index i = 0; i < n; ++i) out[i] = 1.0f / (1.0f + std::exp(-input[i]));
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  PP_CHECK_MSG(!cached_output_.empty(), "Sigmoid backward before forward");
+  PP_CHECK(grad_output.shape() == cached_output_.shape());
+  Tensor gin(grad_output.shape());
+  const Index n = grad_output.numel();
+  for (Index i = 0; i < n; ++i) {
+    gin[i] = grad_output[i] * cached_output_[i] * (1.0f - cached_output_[i]);
+  }
+  return gin;
+}
+
+}  // namespace paintplace::nn

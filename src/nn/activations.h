@@ -1,0 +1,48 @@
+// Elementwise activation modules: LeakyReLU(0.2) for encoders/discriminator,
+// ReLU for decoders, Tanh for the generator head, Sigmoid exposed for
+// completeness (training uses BCE-with-logits instead).
+#pragma once
+
+#include "nn/module.h"
+
+namespace paintplace::nn {
+
+class LeakyReLU : public Module {
+ public:
+  explicit LeakyReLU(float negative_slope = 0.2f) : slope_(negative_slope) {}
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  float slope_;
+  Tensor cached_input_;
+};
+
+class ReLU : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor cached_input_;
+};
+
+class Tanh : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor cached_output_;
+};
+
+class Sigmoid : public Module {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace paintplace::nn

@@ -1,0 +1,45 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace paintplace::nn {
+
+Adam::Adam(std::vector<Parameter*> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  PP_CHECK(config_.lr > 0.0f && config_.eps > 0.0f);
+  PP_CHECK(config_.beta1 >= 0.0f && config_.beta1 < 1.0f);
+  PP_CHECK(config_.beta2 >= 0.0f && config_.beta2 < 1.0f);
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    PP_CHECK(p != nullptr);
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  t_ += 1;
+  const float b1 = config_.beta1, b2 = config_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  const float alpha = config_.lr * std::sqrt(bias2) / bias1;
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Parameter& p = *params_[pi];
+    Tensor& m = m_[pi];
+    Tensor& v = v_[pi];
+    const Index n = p.value.numel();
+    for (Index i = 0; i < n; ++i) {
+      const float g = p.grad[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * g;
+      v[i] = b2 * v[i] + (1.0f - b2) * g * g;
+      p.value[i] -= alpha * m[i] / (std::sqrt(v[i]) + config_.eps);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (Parameter* p : params_) p->grad.fill(0.0f);
+}
+
+}  // namespace paintplace::nn

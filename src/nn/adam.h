@@ -1,0 +1,41 @@
+// Adam optimizer with the paper's hyper-parameters as defaults:
+// lr = 2e-4, beta1 = 0.5, beta2 = 0.999, eps = 1e-8 (Section 5).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace paintplace::nn {
+
+struct AdamConfig {
+  float lr = 2e-4f;
+  float beta1 = 0.5f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Parameter*> params, AdamConfig config = {});
+
+  /// Applies one update from the gradients currently accumulated in the
+  /// parameters, then leaves the gradients untouched (call zero_grad on the
+  /// module before the next backward).
+  void step();
+
+  /// Zeroes all parameter gradients.
+  void zero_grad();
+
+  Index step_count() const { return t_; }
+  const AdamConfig& config() const { return config_; }
+  void set_lr(float lr) { config_.lr = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  AdamConfig config_;
+  std::vector<Tensor> m_, v_;
+  Index t_ = 0;
+};
+
+}  // namespace paintplace::nn

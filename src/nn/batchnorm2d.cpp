@@ -1,0 +1,124 @@
+#include "nn/batchnorm2d.h"
+
+#include <cmath>
+
+namespace paintplace::nn {
+
+BatchNorm2d::BatchNorm2d(std::string name, Index channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_(name + ".gamma", Shape{channels}),
+      beta_(name + ".beta", Shape{channels}),
+      running_mean_(Shape{channels}),
+      running_var_(Shape{channels}) {
+  PP_CHECK(channels > 0 && eps > 0.0f);
+  gamma_.value.fill(1.0f);
+  running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+  PP_CHECK_MSG(input.rank() == 4 && input.dim(1) == channels_,
+               "BatchNorm2d " << gamma_.name << ": bad input " << input.shape().str());
+  const Index N = input.dim(0), H = input.dim(2), W = input.dim(3);
+  const Index plane = H * W;
+  const Index count = N * plane;
+  Tensor output(input.shape());
+
+  if (training_) {
+    cached_normalized_ = Tensor(input.shape());
+    cached_inv_std_.assign(static_cast<std::size_t>(channels_), 0.0f);
+    cached_count_ = count;
+    for (Index c = 0; c < channels_; ++c) {
+      double sum = 0.0, sq_sum = 0.0;
+      for (Index n = 0; n < N; ++n) {
+        const float* x = input.data() + (n * channels_ + c) * plane;
+        for (Index i = 0; i < plane; ++i) {
+          sum += static_cast<double>(x[i]);
+          sq_sum += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+        }
+      }
+      const double mean = sum / static_cast<double>(count);
+      const double var = std::max(0.0, sq_sum / static_cast<double>(count) - mean * mean);
+      const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      cached_inv_std_[static_cast<std::size_t>(c)] = inv_std;
+      running_mean_[c] = (1.0f - momentum_) * running_mean_[c] +
+                         momentum_ * static_cast<float>(mean);
+      running_var_[c] = (1.0f - momentum_) * running_var_[c] + momentum_ * static_cast<float>(var);
+      const float g = gamma_.value[c], b = beta_.value[c], m = static_cast<float>(mean);
+      for (Index n = 0; n < N; ++n) {
+        const float* x = input.data() + (n * channels_ + c) * plane;
+        float* xh = cached_normalized_.data() + (n * channels_ + c) * plane;
+        float* y = output.data() + (n * channels_ + c) * plane;
+        for (Index i = 0; i < plane; ++i) {
+          xh[i] = (x[i] - m) * inv_std;
+          y[i] = g * xh[i] + b;
+        }
+      }
+    }
+  } else {
+    for (Index c = 0; c < channels_; ++c) {
+      const float inv_std = 1.0f / std::sqrt(running_var_[c] + eps_);
+      const float g = gamma_.value[c], b = beta_.value[c], m = running_mean_[c];
+      for (Index n = 0; n < N; ++n) {
+        const float* x = input.data() + (n * channels_ + c) * plane;
+        float* y = output.data() + (n * channels_ + c) * plane;
+        for (Index i = 0; i < plane; ++i) y[i] = g * (x[i] - m) * inv_std + b;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  PP_CHECK_MSG(training_, "BatchNorm2d backward only defined in training mode");
+  PP_CHECK_MSG(!cached_normalized_.empty(), "BatchNorm2d backward before forward");
+  PP_CHECK(grad_output.shape() == cached_normalized_.shape());
+  const Index N = grad_output.dim(0), H = grad_output.dim(2), W = grad_output.dim(3);
+  const Index plane = H * W;
+  const double count = static_cast<double>(cached_count_);
+
+  Tensor grad_input(grad_output.shape());
+  for (Index c = 0; c < channels_; ++c) {
+    // Standard batch-norm backward:
+    // dx = (gamma * inv_std / m) * (m*dy - sum(dy) - x_hat * sum(dy*x_hat))
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (Index n = 0; n < N; ++n) {
+      const float* dy = grad_output.data() + (n * channels_ + c) * plane;
+      const float* xh = cached_normalized_.data() + (n * channels_ + c) * plane;
+      for (Index i = 0; i < plane; ++i) {
+        sum_dy += static_cast<double>(dy[i]);
+        sum_dy_xhat += static_cast<double>(dy[i]) * static_cast<double>(xh[i]);
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_dy);
+    const double g_inv_std_m =
+        static_cast<double>(gamma_.value[c]) *
+        static_cast<double>(cached_inv_std_[static_cast<std::size_t>(c)]) / count;
+    for (Index n = 0; n < N; ++n) {
+      const float* dy = grad_output.data() + (n * channels_ + c) * plane;
+      const float* xh = cached_normalized_.data() + (n * channels_ + c) * plane;
+      float* dx = grad_input.data() + (n * channels_ + c) * plane;
+      for (Index i = 0; i < plane; ++i) {
+        dx[i] = static_cast<float>(g_inv_std_m * (count * static_cast<double>(dy[i]) - sum_dy -
+                                                  static_cast<double>(xh[i]) * sum_dy_xhat));
+      }
+    }
+  }
+  return grad_input;
+}
+
+void BatchNorm2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+void BatchNorm2d::collect_buffers(std::vector<NamedBuffer>& out) {
+  // Derive stable names from the gamma parameter ("<layer>.gamma").
+  const std::string base = gamma_.name.substr(0, gamma_.name.size() - std::string("gamma").size());
+  out.push_back(NamedBuffer{base + "running_mean", &running_mean_});
+  out.push_back(NamedBuffer{base + "running_var", &running_var_});
+}
+
+}  // namespace paintplace::nn

@@ -1,0 +1,35 @@
+// Batch normalisation over (N,H,W) per channel, with running statistics for
+// eval mode. pix2pix applies it after every conv except the outermost ones.
+#pragma once
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace paintplace::nn {
+
+class BatchNorm2d : public Module {
+ public:
+  BatchNorm2d(std::string name, Index channels, float eps = 1e-5f, float momentum = 0.1f);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+  void collect_buffers(std::vector<NamedBuffer>& out) override;
+
+  /// Running statistics (not learnable, but serialized with the model).
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+ private:
+  Index channels_;
+  float eps_, momentum_;
+  Parameter gamma_, beta_;
+  Tensor running_mean_, running_var_;
+
+  // Caches from forward (training mode).
+  Tensor cached_normalized_;  // x_hat
+  std::vector<float> cached_inv_std_;
+  Index cached_count_ = 0;  // N*H*W
+};
+
+}  // namespace paintplace::nn

@@ -1,0 +1,100 @@
+#include "nn/conv2d.h"
+
+#include <vector>
+
+#include "nn/gemm.h"
+#include "nn/init.h"
+
+namespace paintplace::nn {
+
+Conv2d::Conv2d(std::string name, Index in_channels, Index out_channels, Index kernel, Index stride,
+               Index pad, Rng& rng, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias),
+      weight_(name + ".weight", Shape{out_channels, in_channels, kernel, kernel}),
+      bias_(name + ".bias", Shape{bias ? out_channels : 0}) {
+  PP_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0 && pad >= 0);
+  init_normal(weight_.value, rng);
+}
+
+ConvGeom Conv2d::geom_for(Index h, Index w) const {
+  return ConvGeom{in_channels_, h, w, kernel_, stride_, pad_};
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  PP_CHECK_MSG(input.rank() == 4 && input.dim(1) == in_channels_,
+               "Conv2d " << weight_.name << ": bad input " << input.shape().str());
+  cached_input_ = input;
+  const Index N = input.dim(0), H = input.dim(2), W = input.dim(3);
+  const ConvGeom g = geom_for(H, W);
+  const Index Ho = g.out_height(), Wo = g.out_width();
+  Tensor output(Shape{N, out_channels_, Ho, Wo});
+  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  for (Index n = 0; n < N; ++n) {
+    im2col(g, input.data() + n * in_channels_ * H * W, col.data());
+    // out(Cout, Ho*Wo) = weight(Cout, Cin*k*k) * col
+    sgemm(out_channels_, g.col_cols(), g.col_rows(), 1.0f, weight_.value.data(), col.data(), 0.0f,
+          output.data() + n * out_channels_ * Ho * Wo);
+  }
+  if (has_bias_) {
+    const Index plane = Ho * Wo;
+    for (Index n = 0; n < N; ++n) {
+      for (Index c = 0; c < out_channels_; ++c) {
+        float* o = output.data() + (n * out_channels_ + c) * plane;
+        const float b = bias_.value[c];
+        for (Index i = 0; i < plane; ++i) o[i] += b;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  PP_CHECK_MSG(!cached_input_.empty(), "Conv2d backward before forward");
+  const Tensor& input = cached_input_;
+  const Index N = input.dim(0), H = input.dim(2), W = input.dim(3);
+  const ConvGeom g = geom_for(H, W);
+  const Index Ho = g.out_height(), Wo = g.out_width();
+  PP_CHECK_MSG(grad_output.rank() == 4 && grad_output.dim(0) == N &&
+                   grad_output.dim(1) == out_channels_ && grad_output.dim(2) == Ho &&
+                   grad_output.dim(3) == Wo,
+               "Conv2d backward: bad grad shape " << grad_output.shape().str());
+
+  Tensor grad_input(input.shape());
+  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  std::vector<float> dcol(col.size());
+  for (Index n = 0; n < N; ++n) {
+    const float* go = grad_output.data() + n * out_channels_ * Ho * Wo;
+    // dW += go(Cout, Ho*Wo) * col^T
+    im2col(g, input.data() + n * in_channels_ * H * W, col.data());
+    sgemm_bt(out_channels_, g.col_rows(), g.col_cols(), 1.0f, go, col.data(), 1.0f,
+             weight_.grad.data());
+    // dcol = W^T(Cin*k*k, Cout) * go
+    sgemm_at(g.col_rows(), g.col_cols(), out_channels_, 1.0f, weight_.value.data(), go, 0.0f,
+             dcol.data());
+    col2im(g, dcol.data(), grad_input.data() + n * in_channels_ * H * W);
+  }
+  if (has_bias_) {
+    const Index plane = Ho * Wo;
+    for (Index n = 0; n < N; ++n) {
+      for (Index c = 0; c < out_channels_; ++c) {
+        const float* go = grad_output.data() + (n * out_channels_ + c) * plane;
+        double s = 0.0;
+        for (Index i = 0; i < plane; ++i) s += static_cast<double>(go[i]);
+        bias_.grad[c] += static_cast<float>(s);
+      }
+    }
+  }
+  return grad_input;
+}
+
+void Conv2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+}  // namespace paintplace::nn

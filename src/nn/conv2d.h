@@ -1,0 +1,35 @@
+// 2-D convolution (NCHW), the encoder/discriminator workhorse.
+// pix2pix uses kernel 4, stride 2, pad 1 throughout; the layer is general.
+#pragma once
+
+#include "common/rng.h"
+#include "nn/im2col.h"
+#include "nn/module.h"
+
+namespace paintplace::nn {
+
+class Conv2d : public Module {
+ public:
+  /// Weight shape: (out_channels, in_channels, kernel, kernel).
+  Conv2d(std::string name, Index in_channels, Index out_channels, Index kernel, Index stride,
+         Index pad, Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+  Index in_channels() const { return in_channels_; }
+  Index out_channels() const { return out_channels_; }
+  Parameter& weight() { return weight_; }
+
+ private:
+  ConvGeom geom_for(Index h, Index w) const;
+
+  Index in_channels_, out_channels_, kernel_, stride_, pad_;
+  bool has_bias_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace paintplace::nn

@@ -1,0 +1,107 @@
+#include "nn/conv_transpose2d.h"
+
+#include <vector>
+
+#include "nn/gemm.h"
+#include "nn/init.h"
+
+namespace paintplace::nn {
+
+// Transposed convolution is the adjoint of a strided convolution: if conv
+// with geometry g maps an image of size (out_h, out_w) down to (in_h, in_w),
+// then this layer maps (in_h, in_w) up to (out_h, out_w) by running the
+// conv's backward-data pass as its forward (col2im scatter) and the conv's
+// forward as its backward.
+
+ConvTranspose2d::ConvTranspose2d(std::string name, Index in_channels, Index out_channels,
+                                 Index kernel, Index stride, Index pad, Rng& rng, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias),
+      weight_(name + ".weight", Shape{in_channels, out_channels, kernel, kernel}),
+      bias_(name + ".bias", Shape{bias ? out_channels : 0}) {
+  PP_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0 && pad >= 0);
+  init_normal(weight_.value, rng);
+}
+
+ConvGeom ConvTranspose2d::geom_for_output(Index out_h, Index out_w) const {
+  return ConvGeom{out_channels_, out_h, out_w, kernel_, stride_, pad_};
+}
+
+Tensor ConvTranspose2d::forward(const Tensor& input) {
+  PP_CHECK_MSG(input.rank() == 4 && input.dim(1) == in_channels_,
+               "ConvTranspose2d " << weight_.name << ": bad input " << input.shape().str());
+  cached_input_ = input;
+  const Index N = input.dim(0), H = input.dim(2), W = input.dim(3);
+  const Index Ho = out_height(H), Wo = out_width(W);
+  PP_CHECK_MSG(Ho > 0 && Wo > 0, "ConvTranspose2d output would be empty");
+  const ConvGeom g = geom_for_output(Ho, Wo);
+  PP_CHECK(g.out_height() == H && g.out_width() == W);
+
+  Tensor output(Shape{N, out_channels_, Ho, Wo});
+  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  for (Index n = 0; n < N; ++n) {
+    // col(Cout*k*k, H*W) = weight^T(Cout*k*k, Cin) * x(Cin, H*W)
+    sgemm_at(g.col_rows(), H * W, in_channels_, 1.0f, weight_.value.data(),
+             input.data() + n * in_channels_ * H * W, 0.0f, col.data());
+    col2im(g, col.data(), output.data() + n * out_channels_ * Ho * Wo);
+  }
+  if (has_bias_) {
+    const Index plane = Ho * Wo;
+    for (Index n = 0; n < N; ++n) {
+      for (Index c = 0; c < out_channels_; ++c) {
+        float* o = output.data() + (n * out_channels_ + c) * plane;
+        const float b = bias_.value[c];
+        for (Index i = 0; i < plane; ++i) o[i] += b;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
+  PP_CHECK_MSG(!cached_input_.empty(), "ConvTranspose2d backward before forward");
+  const Tensor& input = cached_input_;
+  const Index N = input.dim(0), H = input.dim(2), W = input.dim(3);
+  const Index Ho = out_height(H), Wo = out_width(W);
+  PP_CHECK_MSG(grad_output.rank() == 4 && grad_output.dim(0) == N &&
+                   grad_output.dim(1) == out_channels_ && grad_output.dim(2) == Ho &&
+                   grad_output.dim(3) == Wo,
+               "ConvTranspose2d backward: bad grad shape " << grad_output.shape().str());
+  const ConvGeom g = geom_for_output(Ho, Wo);
+
+  Tensor grad_input(input.shape());
+  std::vector<float> dcol(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  for (Index n = 0; n < N; ++n) {
+    const float* go = grad_output.data() + n * out_channels_ * Ho * Wo;
+    im2col(g, go, dcol.data());
+    // dx(Cin, H*W) = weight(Cin, Cout*k*k) * dcol
+    sgemm(in_channels_, H * W, g.col_rows(), 1.0f, weight_.value.data(), dcol.data(), 0.0f,
+          grad_input.data() + n * in_channels_ * H * W);
+    // dW(Cin, Cout*k*k) += x(Cin, H*W) * dcol^T
+    sgemm_bt(in_channels_, g.col_rows(), H * W, 1.0f, input.data() + n * in_channels_ * H * W,
+             dcol.data(), 1.0f, weight_.grad.data());
+  }
+  if (has_bias_) {
+    const Index plane = Ho * Wo;
+    for (Index n = 0; n < N; ++n) {
+      for (Index c = 0; c < out_channels_; ++c) {
+        const float* go = grad_output.data() + (n * out_channels_ + c) * plane;
+        double s = 0.0;
+        for (Index i = 0; i < plane; ++i) s += static_cast<double>(go[i]);
+        bias_.grad[c] += static_cast<float>(s);
+      }
+    }
+  }
+  return grad_input;
+}
+
+void ConvTranspose2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+}  // namespace paintplace::nn

@@ -1,0 +1,35 @@
+// Transposed 2-D convolution (a.k.a. deconvolution) for the U-Net decoder.
+// With kernel 4, stride 2, pad 1 it exactly doubles the spatial extent.
+#pragma once
+
+#include "common/rng.h"
+#include "nn/im2col.h"
+#include "nn/module.h"
+
+namespace paintplace::nn {
+
+class ConvTranspose2d : public Module {
+ public:
+  /// Weight shape: (in_channels, out_channels, kernel, kernel) — PyTorch layout.
+  ConvTranspose2d(std::string name, Index in_channels, Index out_channels, Index kernel,
+                  Index stride, Index pad, Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+  Index out_height(Index in_h) const { return (in_h - 1) * stride_ - 2 * pad_ + kernel_; }
+  Index out_width(Index in_w) const { return (in_w - 1) * stride_ - 2 * pad_ + kernel_; }
+
+ private:
+  /// Geometry of the *equivalent forward conv* that maps output -> input.
+  ConvGeom geom_for_output(Index out_h, Index out_w) const;
+
+  Index in_channels_, out_channels_, kernel_, stride_, pad_;
+  bool has_bias_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace paintplace::nn

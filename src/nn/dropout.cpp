@@ -1,0 +1,33 @@
+#include "nn/dropout.h"
+
+namespace paintplace::nn {
+
+Tensor Dropout::forward(const Tensor& input) {
+  if (probability_ == 0.0f || !active()) {
+    mask_ = Tensor::full(input.shape(), 1.0f);
+    return input;
+  }
+  // Inverted dropout: surviving units scaled by 1/keep so eval needs no rescale.
+  const float keep = 1.0f - probability_;
+  const float scale = 1.0f / keep;
+  mask_ = Tensor(input.shape());
+  Tensor out(input.shape());
+  const Index n = input.numel();
+  for (Index i = 0; i < n; ++i) {
+    const float m = rng_.chance(static_cast<double>(keep)) ? scale : 0.0f;
+    mask_[i] = m;
+    out[i] = input[i] * m;
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  PP_CHECK_MSG(!mask_.empty(), "Dropout backward before forward");
+  PP_CHECK(grad_output.shape() == mask_.shape());
+  Tensor gin(grad_output.shape());
+  const Index n = grad_output.numel();
+  for (Index i = 0; i < n; ++i) gin[i] = grad_output[i] * mask_[i];
+  return gin;
+}
+
+}  // namespace paintplace::nn

@@ -1,0 +1,36 @@
+// Dropout — pix2pix's replacement for the GAN noise vector z.
+//
+// Unlike classifier dropout, the paper's model (following Isola et al.)
+// keeps dropout ACTIVE at inference: it is the stochastic input z of
+// G(x, z). `set_training(false)` therefore does not disable it; construct
+// with `active_in_eval = false` for conventional behaviour.
+#pragma once
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace paintplace::nn {
+
+class Dropout : public Module {
+ public:
+  Dropout(float probability, std::uint64_t seed, bool active_in_eval = true)
+      : probability_(probability), rng_(seed), active_in_eval_(active_in_eval) {
+    PP_CHECK(probability >= 0.0f && probability < 1.0f);
+  }
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  /// Re-seed the noise stream (used to make inference deterministic in tests).
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
+
+ private:
+  bool active() const { return training_ || active_in_eval_; }
+
+  float probability_;
+  Rng rng_;
+  bool active_in_eval_;
+  Tensor mask_;  // scaled keep-mask of the last forward
+};
+
+}  // namespace paintplace::nn

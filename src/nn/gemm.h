@@ -1,0 +1,26 @@
+// Single-precision GEMM for the convolution kernels.
+//
+// C (MxN) = alpha * op(A) * op(B) + beta * C, row-major, with optional
+// transposition of either operand. Parallelised over row blocks of C via the
+// process thread pool; inner kernel is a cache-blocked triple loop in
+// (i, k, j) order so the innermost loop is a contiguous AXPY that the
+// compiler auto-vectorises.
+#pragma once
+
+#include "common/check.h"
+
+namespace paintplace::nn {
+
+/// C = alpha * A(MxK) * B(KxN) + beta * C(MxN); all row-major, no aliasing.
+void sgemm(Index M, Index N, Index K, float alpha, const float* A, const float* B, float beta,
+           float* C);
+
+/// C = alpha * A^T * B + beta * C, where A is (KxM) row-major.
+void sgemm_at(Index M, Index N, Index K, float alpha, const float* A, const float* B, float beta,
+              float* C);
+
+/// C = alpha * A * B^T + beta * C, where B is (NxK) row-major.
+void sgemm_bt(Index M, Index N, Index K, float alpha, const float* A, const float* B, float beta,
+              float* C);
+
+}  // namespace paintplace::nn

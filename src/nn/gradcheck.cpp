@@ -1,0 +1,97 @@
+#include "nn/gradcheck.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace paintplace::nn {
+namespace {
+
+double weighted_sum(const Tensor& t, const Tensor& w) {
+  double s = 0.0;
+  for (Index i = 0; i < t.numel(); ++i) {
+    s += static_cast<double>(t[i]) * static_cast<double>(w[i]);
+  }
+  return s;
+}
+
+/// Per-tensor normalized error: the largest |analytic - numeric| over the
+/// tensor, scaled by the largest gradient magnitude seen in it. Comparing
+/// per element with a tiny absolute floor makes near-zero gradients fail on
+/// pure float roundoff; per-tensor scaling measures what matters — whether
+/// the backward pass computes the right derivative field.
+float tensor_error(const std::vector<double>& analytic, const std::vector<double>& numeric) {
+  double max_diff = 0.0, scale = 0.0;
+  for (std::size_t i = 0; i < analytic.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(analytic[i] - numeric[i]));
+    scale = std::max({scale, std::fabs(analytic[i]), std::fabs(numeric[i])});
+  }
+  return static_cast<float>(max_diff / std::max(scale, 1e-3));
+}
+
+float tensor_l2_error(const std::vector<double>& analytic, const std::vector<double>& numeric) {
+  double diff_sq = 0.0, ref_sq = 0.0;
+  for (std::size_t i = 0; i < analytic.size(); ++i) {
+    diff_sq += (analytic[i] - numeric[i]) * (analytic[i] - numeric[i]);
+    ref_sq += numeric[i] * numeric[i];
+  }
+  return static_cast<float>(std::sqrt(diff_sq) / std::max(std::sqrt(ref_sq), 1e-3));
+}
+
+}  // namespace
+
+GradCheckResult grad_check(Module& module, const Tensor& input, std::uint64_t seed,
+                           float epsilon) {
+  Rng rng(seed);
+  Tensor probe_input = input;
+  Tensor out = module.forward(probe_input);
+  Tensor weights(out.shape());
+  for (Index i = 0; i < weights.numel(); ++i) {
+    weights[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+
+  module.zero_grad();
+  // d(sum(out * w))/d(out) = w
+  Tensor grad_in = module.backward(weights);
+
+  GradCheckResult result;
+
+  // Input gradients.
+  {
+    std::vector<double> analytic, numeric;
+    for (Index i = 0; i < probe_input.numel(); ++i) {
+      const float saved = probe_input[i];
+      probe_input[i] = saved + epsilon;
+      const double f_plus = weighted_sum(module.forward(probe_input), weights);
+      probe_input[i] = saved - epsilon;
+      const double f_minus = weighted_sum(module.forward(probe_input), weights);
+      probe_input[i] = saved;
+      numeric.push_back((f_plus - f_minus) / (2.0 * static_cast<double>(epsilon)));
+      analytic.push_back(static_cast<double>(grad_in[i]));
+    }
+    result.max_input_grad_error = tensor_error(analytic, numeric);
+    result.input_l2_error = tensor_l2_error(analytic, numeric);
+  }
+
+  // Parameter gradients, one normalized comparison per parameter tensor.
+  for (Parameter* p : module.parameters()) {
+    std::vector<double> analytic, numeric;
+    for (Index i = 0; i < p->value.numel(); ++i) {
+      const float saved = p->value[i];
+      p->value[i] = saved + epsilon;
+      const double f_plus = weighted_sum(module.forward(probe_input), weights);
+      p->value[i] = saved - epsilon;
+      const double f_minus = weighted_sum(module.forward(probe_input), weights);
+      p->value[i] = saved;
+      numeric.push_back((f_plus - f_minus) / (2.0 * static_cast<double>(epsilon)));
+      analytic.push_back(static_cast<double>(p->grad[i]));
+    }
+    result.max_param_grad_error =
+        std::max(result.max_param_grad_error, tensor_error(analytic, numeric));
+    result.max_param_l2_error =
+        std::max(result.max_param_l2_error, tensor_l2_error(analytic, numeric));
+  }
+  return result;
+}
+
+}  // namespace paintplace::nn

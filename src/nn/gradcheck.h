@@ -1,0 +1,34 @@
+// Finite-difference gradient checking, used by the nn test suite to verify
+// every layer's backward pass against a numeric derivative.
+#pragma once
+
+#include <functional>
+
+#include "nn/module.h"
+
+namespace paintplace::nn {
+
+struct GradCheckResult {
+  /// Per-tensor normalized max-element error. Tight bound for smooth
+  /// layers; inflated by activation-kink crossings in deep composites.
+  float max_input_grad_error = 0.0f;
+  float max_param_grad_error = 0.0f;
+  /// Per-tensor relative L2 error (||analytic - numeric|| / ||numeric||).
+  /// Robust for composites: a wiring bug corrupts the whole gradient field
+  /// (error ~ 1), while isolated LeakyReLU kink crossings stay small.
+  float input_l2_error = 0.0f;
+  float max_param_l2_error = 0.0f;
+
+  bool ok(float tolerance) const {
+    return max_input_grad_error <= tolerance && max_param_grad_error <= tolerance;
+  }
+};
+
+/// Checks d(sum of weighted outputs)/d(input and params) of `module` against
+/// central finite differences. `module` must be deterministic (re-seed any
+/// dropout). The loss used is sum(output * weights) with fixed random
+/// weights, which exercises every output element.
+GradCheckResult grad_check(Module& module, const Tensor& input, std::uint64_t seed = 7,
+                           float epsilon = 1e-2f);
+
+}  // namespace paintplace::nn

@@ -1,0 +1,60 @@
+#include "nn/im2col.h"
+
+#include "common/parallel.h"
+
+namespace paintplace::nn {
+
+void im2col(const ConvGeom& g, const float* image, float* col) {
+  g.validate();
+  const Index Ho = g.out_height(), Wo = g.out_width();
+  const Index cols = Ho * Wo;
+  const Index kk = g.kernel * g.kernel;
+  // Every (channel, kh, kw) row of the col matrix is independent.
+  parallel_for_each(g.channels * kk, [&](Index row) {
+    const Index c = row / kk;
+    const Index kh = (row % kk) / g.kernel;
+    const Index kw = row % g.kernel;
+    const float* img_c = image + c * g.height * g.width;
+    float* dst = col + row * cols;
+    for (Index oh = 0; oh < Ho; ++oh) {
+      const Index ih = oh * g.stride + kh - g.pad;
+      if (ih < 0 || ih >= g.height) {
+        for (Index ow = 0; ow < Wo; ++ow) dst[oh * Wo + ow] = 0.0f;
+        continue;
+      }
+      const float* src_row = img_c + ih * g.width;
+      for (Index ow = 0; ow < Wo; ++ow) {
+        const Index iw = ow * g.stride + kw - g.pad;
+        dst[oh * Wo + ow] = (iw >= 0 && iw < g.width) ? src_row[iw] : 0.0f;
+      }
+    }
+  });
+}
+
+void col2im(const ConvGeom& g, const float* col, float* image) {
+  g.validate();
+  const Index Ho = g.out_height(), Wo = g.out_width();
+  const Index cols = Ho * Wo;
+  // Rows of one channel scatter into the same image plane, so the parallel
+  // unit is the channel, not the row.
+  parallel_for_each(g.channels, [&](Index c) {
+    float* img_c = image + c * g.height * g.width;
+    Index row = c * g.kernel * g.kernel;
+    for (Index kh = 0; kh < g.kernel; ++kh) {
+      for (Index kw = 0; kw < g.kernel; ++kw, ++row) {
+        const float* src = col + row * cols;
+        for (Index oh = 0; oh < Ho; ++oh) {
+          const Index ih = oh * g.stride + kh - g.pad;
+          if (ih < 0 || ih >= g.height) continue;
+          float* dst_row = img_c + ih * g.width;
+          for (Index ow = 0; ow < Wo; ++ow) {
+            const Index iw = ow * g.stride + kw - g.pad;
+            if (iw >= 0 && iw < g.width) dst_row[iw] += src[oh * Wo + ow];
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace paintplace::nn

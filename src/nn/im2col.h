@@ -1,0 +1,40 @@
+// im2col / col2im for NCHW convolution lowering.
+//
+// im2col unfolds every kernel window of a (C,H,W) image into a column of a
+// (C*kh*kw) x (Hout*Wout) matrix so convolution becomes one GEMM; col2im is
+// its adjoint (scatter-add), used for input gradients and for transposed
+// convolution.
+#pragma once
+
+#include "common/check.h"
+
+namespace paintplace::nn {
+
+struct ConvGeom {
+  Index channels = 0;  ///< input channels C
+  Index height = 0;    ///< input H
+  Index width = 0;     ///< input W
+  Index kernel = 0;    ///< square kernel extent
+  Index stride = 1;
+  Index pad = 0;
+
+  Index out_height() const { return (height + 2 * pad - kernel) / stride + 1; }
+  Index out_width() const { return (width + 2 * pad - kernel) / stride + 1; }
+  Index col_rows() const { return channels * kernel * kernel; }
+  Index col_cols() const { return out_height() * out_width(); }
+
+  void validate() const {
+    PP_CHECK(channels > 0 && height > 0 && width > 0);
+    PP_CHECK(kernel > 0 && stride > 0 && pad >= 0);
+    PP_CHECK_MSG(out_height() > 0 && out_width() > 0, "conv output would be empty");
+  }
+};
+
+/// image (C,H,W) -> col (C*k*k, Hout*Wout). `col` must hold col_rows*col_cols floats.
+void im2col(const ConvGeom& g, const float* image, float* col);
+
+/// Adjoint: scatter-add col back into image (C,H,W). `image` must be zeroed
+/// by the caller if accumulation from a clean slate is wanted.
+void col2im(const ConvGeom& g, const float* col, float* image);
+
+}  // namespace paintplace::nn

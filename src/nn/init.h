@@ -1,0 +1,16 @@
+// Weight initialisation. pix2pix initialises all conv weights from
+// N(0, 0.02) and batch-norm scale from N(1, 0.02); we follow that.
+#pragma once
+
+#include "common/rng.h"
+#include "nn/tensor.h"
+
+namespace paintplace::nn {
+
+inline void init_normal(Tensor& t, Rng& rng, float mean = 0.0f, float stddev = 0.02f) {
+  for (Index i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal(static_cast<double>(mean), static_cast<double>(stddev)));
+  }
+}
+
+}  // namespace paintplace::nn

@@ -1,0 +1,85 @@
+#include "nn/instancenorm2d.h"
+
+#include <cmath>
+
+namespace paintplace::nn {
+
+InstanceNorm2d::InstanceNorm2d(std::string name, Index channels, float eps)
+    : channels_(channels),
+      eps_(eps),
+      gamma_(name + ".gamma", Shape{channels}),
+      beta_(name + ".beta", Shape{channels}) {
+  PP_CHECK(channels > 0 && eps > 0.0f);
+  gamma_.value.fill(1.0f);
+}
+
+Tensor InstanceNorm2d::forward(const Tensor& input) {
+  PP_CHECK_MSG(input.rank() == 4 && input.dim(1) == channels_,
+               "InstanceNorm2d " << gamma_.name << ": bad input " << input.shape().str());
+  const Index N = input.dim(0), H = input.dim(2), W = input.dim(3);
+  const Index plane = H * W;
+  Tensor output(input.shape());
+  cached_normalized_ = Tensor(input.shape());
+  cached_inv_std_.assign(static_cast<std::size_t>(N * channels_), 0.0f);
+  for (Index n = 0; n < N; ++n) {
+    for (Index c = 0; c < channels_; ++c) {
+      const float* x = input.data() + (n * channels_ + c) * plane;
+      double sum = 0.0, sq = 0.0;
+      for (Index i = 0; i < plane; ++i) {
+        sum += static_cast<double>(x[i]);
+        sq += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+      }
+      const double mean = sum / static_cast<double>(plane);
+      const double var = std::max(0.0, sq / static_cast<double>(plane) - mean * mean);
+      const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+      cached_inv_std_[static_cast<std::size_t>(n * channels_ + c)] = inv_std;
+      const float g = gamma_.value[c], b = beta_.value[c], m = static_cast<float>(mean);
+      float* xh = cached_normalized_.data() + (n * channels_ + c) * plane;
+      float* y = output.data() + (n * channels_ + c) * plane;
+      for (Index i = 0; i < plane; ++i) {
+        xh[i] = (x[i] - m) * inv_std;
+        y[i] = g * xh[i] + b;
+      }
+    }
+  }
+  return output;
+}
+
+Tensor InstanceNorm2d::backward(const Tensor& grad_output) {
+  PP_CHECK_MSG(!cached_normalized_.empty(), "InstanceNorm2d backward before forward");
+  PP_CHECK(grad_output.shape() == cached_normalized_.shape());
+  const Index N = grad_output.dim(0), H = grad_output.dim(2), W = grad_output.dim(3);
+  const Index plane = H * W;
+  const double count = static_cast<double>(plane);
+  Tensor grad_input(grad_output.shape());
+  for (Index n = 0; n < N; ++n) {
+    for (Index c = 0; c < channels_; ++c) {
+      const float* dy = grad_output.data() + (n * channels_ + c) * plane;
+      const float* xh = cached_normalized_.data() + (n * channels_ + c) * plane;
+      double sum_dy = 0.0, sum_dy_xhat = 0.0;
+      for (Index i = 0; i < plane; ++i) {
+        sum_dy += static_cast<double>(dy[i]);
+        sum_dy_xhat += static_cast<double>(dy[i]) * static_cast<double>(xh[i]);
+      }
+      gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+      beta_.grad[c] += static_cast<float>(sum_dy);
+      const double g_inv_std_m =
+          static_cast<double>(gamma_.value[c]) *
+          static_cast<double>(cached_inv_std_[static_cast<std::size_t>(n * channels_ + c)]) /
+          count;
+      float* dx = grad_input.data() + (n * channels_ + c) * plane;
+      for (Index i = 0; i < plane; ++i) {
+        dx[i] = static_cast<float>(g_inv_std_m * (count * static_cast<double>(dy[i]) - sum_dy -
+                                                  static_cast<double>(xh[i]) * sum_dy_xhat));
+      }
+    }
+  }
+  return grad_input;
+}
+
+void InstanceNorm2d::collect_parameters(std::vector<Parameter*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+}  // namespace paintplace::nn

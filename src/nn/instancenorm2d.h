@@ -1,0 +1,31 @@
+// Instance normalisation: per-sample, per-channel statistics over (H,W).
+//
+// pix2pix-family models are trained with batch size 1 (as is this paper's
+// model, Sec. 5), where batch norm degenerates to instance norm during
+// training but then diverges at eval time via running statistics. Instance
+// norm removes that train/eval mismatch; the repo exposes both so the choice
+// is an ablation rather than an accident.
+#pragma once
+
+#include "nn/module.h"
+
+namespace paintplace::nn {
+
+class InstanceNorm2d : public Module {
+ public:
+  InstanceNorm2d(std::string name, Index channels, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void collect_parameters(std::vector<Parameter*>& out) override;
+
+ private:
+  Index channels_;
+  float eps_;
+  Parameter gamma_, beta_;
+
+  Tensor cached_normalized_;
+  std::vector<float> cached_inv_std_;  // one per (n, c) plane
+};
+
+}  // namespace paintplace::nn

@@ -1,0 +1,63 @@
+#include "nn/losses.h"
+
+#include <cmath>
+
+namespace paintplace::nn {
+
+float BceWithLogitsLoss::forward(const Tensor& logits, const Tensor& target) {
+  PP_CHECK_MSG(logits.shape() == target.shape(), "BCE shape mismatch");
+  PP_CHECK(logits.numel() > 0);
+  logits_ = logits;
+  target_ = target;
+  double loss = 0.0;
+  const Index n = logits.numel();
+  for (Index i = 0; i < n; ++i) {
+    const double l = static_cast<double>(logits[i]);
+    const double t = static_cast<double>(target[i]);
+    loss += std::max(l, 0.0) - l * t + std::log1p(std::exp(-std::fabs(l)));
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+float BceWithLogitsLoss::forward(const Tensor& logits, float target_value) {
+  return forward(logits, Tensor::full(logits.shape(), target_value));
+}
+
+Tensor BceWithLogitsLoss::backward() const {
+  PP_CHECK_MSG(!logits_.empty(), "BCE backward before forward");
+  Tensor grad(logits_.shape());
+  const Index n = logits_.numel();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (Index i = 0; i < n; ++i) {
+    const float sig = 1.0f / (1.0f + std::exp(-logits_[i]));
+    grad[i] = (sig - target_[i]) * inv_n;
+  }
+  return grad;
+}
+
+float L1Loss::forward(const Tensor& prediction, const Tensor& target) {
+  PP_CHECK_MSG(prediction.shape() == target.shape(), "L1 shape mismatch");
+  PP_CHECK(prediction.numel() > 0);
+  prediction_ = prediction;
+  target_ = target;
+  double loss = 0.0;
+  const Index n = prediction.numel();
+  for (Index i = 0; i < n; ++i) {
+    loss += std::fabs(static_cast<double>(prediction[i]) - static_cast<double>(target[i]));
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+Tensor L1Loss::backward() const {
+  PP_CHECK_MSG(!prediction_.empty(), "L1 backward before forward");
+  Tensor grad(prediction_.shape());
+  const Index n = prediction_.numel();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (Index i = 0; i < n; ++i) {
+    const float d = prediction_[i] - target_[i];
+    grad[i] = d > 0.0f ? inv_n : (d < 0.0f ? -inv_n : 0.0f);
+  }
+  return grad;
+}
+
+}  // namespace paintplace::nn

@@ -1,0 +1,36 @@
+// Loss functions of the cGAN objective (Eq. 2 of the paper + L1 term).
+//
+// Each loss exposes forward(prediction, target) -> scalar and
+// backward() -> gradient w.r.t. the prediction of the last forward.
+#pragma once
+
+#include "nn/tensor.h"
+
+namespace paintplace::nn {
+
+/// Numerically-stable binary cross entropy on raw logits:
+/// mean over elements of  max(l,0) - l*t + log(1 + exp(-|l|)).
+/// The discriminator's sigmoid (Fig. 5) is folded in here.
+class BceWithLogitsLoss {
+ public:
+  /// `target` is either a full tensor or broadcast from a scalar via the
+  /// convenience overload below.
+  float forward(const Tensor& logits, const Tensor& target);
+  float forward(const Tensor& logits, float target_value);
+  Tensor backward() const;
+
+ private:
+  Tensor logits_, target_;
+};
+
+/// Mean absolute error; the paper weights it by 50 in the generator loss.
+class L1Loss {
+ public:
+  float forward(const Tensor& prediction, const Tensor& target);
+  Tensor backward() const;
+
+ private:
+  Tensor prediction_, target_;
+};
+
+}  // namespace paintplace::nn

@@ -1,0 +1,126 @@
+// Module: base class of every layer and network in the framework.
+//
+// Layer-graph autograd in the Caffe style: each module caches what it needs
+// during forward() and returns the input gradient from backward(). Composite
+// networks (UNetGenerator, PatchDiscriminator) orchestrate their children
+// explicitly, which keeps skip connections and channel concatenation plain
+// and debuggable instead of hiding them in a tape.
+//
+// Contract:
+//   * forward() must be called before backward(); backward() consumes the
+//     cached activations of exactly the most recent forward().
+//   * backward() accumulates into Parameter::grad (callers zero grads via
+//     zero_grad() / the optimizer between steps).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace paintplace::nn {
+
+/// Learnable tensor plus its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  explicit Parameter(std::string param_name, Shape shape)
+      : name(std::move(param_name)), value(shape), grad(shape) {}
+};
+
+/// Non-learnable persistent state (e.g. batch-norm running statistics) that
+/// must survive checkpointing but is never touched by the optimizer.
+struct NamedBuffer {
+  std::string name;
+  Tensor* tensor;
+};
+
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  virtual Tensor forward(const Tensor& input) = 0;
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Appends pointers to all learnable parameters (depth-first, stable
+  /// order — the serializer and optimizer rely on this order).
+  virtual void collect_parameters(std::vector<Parameter*>& out) { (void)out; }
+
+  /// Appends non-learnable persistent buffers (checkpointed, not optimized).
+  virtual void collect_buffers(std::vector<NamedBuffer>& out) { (void)out; }
+
+  /// Switches train/eval behaviour (batch-norm statistics; dropout is
+  /// intentionally exempt — see Dropout).
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  void zero_grad() {
+    std::vector<Parameter*> params;
+    collect_parameters(params);
+    for (Parameter* p : params) p->grad.fill(0.0f);
+  }
+
+  std::vector<Parameter*> parameters() {
+    std::vector<Parameter*> params;
+    collect_parameters(params);
+    return params;
+  }
+
+  Index parameter_count() {
+    Index n = 0;
+    for (Parameter* p : parameters()) n += p->value.numel();
+    return n;
+  }
+
+ protected:
+  bool training_ = true;
+};
+
+/// Linear chain of modules. forward/backward thread through in order.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  void add(std::unique_ptr<Module> module) { modules_.push_back(std::move(module)); }
+  Index size() const { return static_cast<Index>(modules_.size()); }
+  Module& at(Index i) {
+    PP_CHECK(i >= 0 && i < size());
+    return *modules_[static_cast<std::size_t>(i)];
+  }
+
+  Tensor forward(const Tensor& input) override {
+    Tensor x = input;
+    for (auto& m : modules_) x = m->forward(x);
+    return x;
+  }
+
+  Tensor backward(const Tensor& grad_output) override {
+    Tensor g = grad_output;
+    for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) g = (*it)->backward(g);
+    return g;
+  }
+
+  void collect_parameters(std::vector<Parameter*>& out) override {
+    for (auto& m : modules_) m->collect_parameters(out);
+  }
+
+  void collect_buffers(std::vector<NamedBuffer>& out) override {
+    for (auto& m : modules_) m->collect_buffers(out);
+  }
+
+  void set_training(bool training) override {
+    Module::set_training(training);
+    for (auto& m : modules_) m->set_training(training);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Module>> modules_;
+};
+
+}  // namespace paintplace::nn

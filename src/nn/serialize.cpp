@@ -1,0 +1,120 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+namespace paintplace::nn {
+namespace {
+
+constexpr char kMagic[4] = {'P', 'P', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  PP_CHECK_MSG(in.good(), "checkpoint truncated");
+  return v;
+}
+
+}  // namespace
+
+void save_tensors(const TensorMap& tensors, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  write_u64(out, tensors.size());
+  for (const auto& [name, tensor] : tensors) {
+    write_u64(out, name.size());
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_u64(out, static_cast<std::uint64_t>(tensor.rank()));
+    for (Index d = 0; d < tensor.rank(); ++d) {
+      write_u64(out, static_cast<std::uint64_t>(tensor.dim(d)));
+    }
+    out.write(reinterpret_cast<const char*>(tensor.data()),
+              static_cast<std::streamsize>(sizeof(float)) *
+                  static_cast<std::streamsize>(tensor.numel()));
+  }
+  PP_CHECK_MSG(out.good(), "checkpoint write failed");
+}
+
+TensorMap load_tensors(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  PP_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+               "not a paintplace checkpoint (bad magic)");
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  PP_CHECK_MSG(in.good() && version == kVersion, "unsupported checkpoint version " << version);
+  const std::uint64_t count = read_u64(in);
+  TensorMap tensors;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t name_len = read_u64(in);
+    PP_CHECK_MSG(name_len < (1u << 20), "implausible name length in checkpoint");
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    const std::uint64_t rank = read_u64(in);
+    PP_CHECK_MSG(rank <= 8, "implausible tensor rank in checkpoint");
+    std::vector<Index> dims;
+    dims.reserve(rank);
+    for (std::uint64_t d = 0; d < rank; ++d) {
+      dims.push_back(static_cast<Index>(read_u64(in)));
+    }
+    Tensor t((Shape(dims)));
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(sizeof(float)) *
+                static_cast<std::streamsize>(t.numel()));
+    PP_CHECK_MSG(in.good(), "checkpoint truncated reading tensor " << name);
+    tensors.emplace(std::move(name), std::move(t));
+  }
+  return tensors;
+}
+
+void save_tensors_file(const TensorMap& tensors, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  PP_CHECK_MSG(out.is_open(), "cannot open " << path << " for writing");
+  save_tensors(tensors, out);
+}
+
+TensorMap load_tensors_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PP_CHECK_MSG(in.is_open(), "cannot open " << path << " for reading");
+  return load_tensors(in);
+}
+
+TensorMap snapshot_parameters(Module& module) {
+  TensorMap map;
+  for (Parameter* p : module.parameters()) {
+    const auto [it, inserted] = map.emplace(p->name, p->value);
+    PP_CHECK_MSG(inserted, "duplicate parameter name " << p->name);
+    (void)it;
+  }
+  std::vector<NamedBuffer> buffers;
+  module.collect_buffers(buffers);
+  for (const NamedBuffer& b : buffers) {
+    const auto [it, inserted] = map.emplace(b.name, *b.tensor);
+    PP_CHECK_MSG(inserted, "duplicate buffer name " << b.name);
+    (void)it;
+  }
+  return map;
+}
+
+void restore_parameters(Module& module, const TensorMap& tensors) {
+  auto restore_one = [&tensors](const std::string& name, Tensor& dst) {
+    const auto it = tensors.find(name);
+    PP_CHECK_MSG(it != tensors.end(), "checkpoint missing entry " << name);
+    PP_CHECK_MSG(it->second.shape() == dst.shape(),
+                 "checkpoint shape mismatch for " << name << ": " << it->second.shape().str()
+                                                  << " vs " << dst.shape().str());
+    dst = it->second;
+  };
+  for (Parameter* p : module.parameters()) restore_one(p->name, p->value);
+  std::vector<NamedBuffer> buffers;
+  module.collect_buffers(buffers);
+  for (const NamedBuffer& b : buffers) restore_one(b.name, *b.tensor);
+}
+
+}  // namespace paintplace::nn

@@ -1,0 +1,33 @@
+// Binary checkpoint format for named tensors.
+//
+// Layout: magic "PPCK" | u32 version | u64 count | per tensor:
+//   u64 name_len | name bytes | u64 rank | u64 dims[rank] | f32 data[numel].
+// Little-endian host assumed (x86/ARM little-endian targets).
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "nn/module.h"
+
+namespace paintplace::nn {
+
+/// Named tensor bundle used for model checkpoints.
+using TensorMap = std::map<std::string, Tensor>;
+
+void save_tensors(const TensorMap& tensors, std::ostream& out);
+TensorMap load_tensors(std::istream& in);
+
+void save_tensors_file(const TensorMap& tensors, const std::string& path);
+TensorMap load_tensors_file(const std::string& path);
+
+/// Snapshot all parameters of a module into a map (by parameter name).
+TensorMap snapshot_parameters(Module& module);
+
+/// Restore parameters by name. Every parameter of `module` must be present
+/// in `tensors` with a matching shape; extra entries are ignored (they may
+/// belong to sibling modules stored in the same checkpoint).
+void restore_parameters(Module& module, const TensorMap& tensors);
+
+}  // namespace paintplace::nn

@@ -1,0 +1,40 @@
+#include "nn/tensor_ops.h"
+
+#include <cstring>
+
+namespace paintplace::nn {
+
+Tensor concat_channels(const Tensor& a, const Tensor& b) {
+  PP_CHECK_MSG(a.rank() == 4 && b.rank() == 4, "concat_channels needs NCHW tensors");
+  PP_CHECK_MSG(a.dim(0) == b.dim(0) && a.dim(2) == b.dim(2) && a.dim(3) == b.dim(3),
+               "concat_channels mismatch " << a.shape().str() << " vs " << b.shape().str());
+  const Index N = a.dim(0), Ca = a.dim(1), Cb = b.dim(1), H = a.dim(2), W = a.dim(3);
+  const Index plane = H * W;
+  Tensor out(Shape{N, Ca + Cb, H, W});
+  for (Index n = 0; n < N; ++n) {
+    std::memcpy(out.data() + (n * (Ca + Cb)) * plane, a.data() + n * Ca * plane,
+                sizeof(float) * static_cast<std::size_t>(Ca * plane));
+    std::memcpy(out.data() + (n * (Ca + Cb) + Ca) * plane, b.data() + n * Cb * plane,
+                sizeof(float) * static_cast<std::size_t>(Cb * plane));
+  }
+  return out;
+}
+
+std::pair<Tensor, Tensor> split_channels(const Tensor& grad, Index channels_a) {
+  PP_CHECK_MSG(grad.rank() == 4, "split_channels needs NCHW tensor");
+  const Index N = grad.dim(0), C = grad.dim(1), H = grad.dim(2), W = grad.dim(3);
+  PP_CHECK_MSG(channels_a > 0 && channels_a < C, "split point out of range");
+  const Index Cb = C - channels_a;
+  const Index plane = H * W;
+  Tensor a(Shape{N, channels_a, H, W});
+  Tensor b(Shape{N, Cb, H, W});
+  for (Index n = 0; n < N; ++n) {
+    std::memcpy(a.data() + n * channels_a * plane, grad.data() + (n * C) * plane,
+                sizeof(float) * static_cast<std::size_t>(channels_a * plane));
+    std::memcpy(b.data() + n * Cb * plane, grad.data() + (n * C + channels_a) * plane,
+                sizeof(float) * static_cast<std::size_t>(Cb * plane));
+  }
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace paintplace::nn

@@ -1,0 +1,16 @@
+// Structural tensor ops used by composite networks: channel concatenation
+// (U-Net skip connections) and its adjoint split.
+#pragma once
+
+#include "nn/tensor.h"
+
+namespace paintplace::nn {
+
+/// Concatenates two NCHW tensors along the channel axis.
+Tensor concat_channels(const Tensor& a, const Tensor& b);
+
+/// Adjoint of concat_channels: splits grad of the concatenated tensor back
+/// into the two channel groups (first `channels_a` channels vs the rest).
+std::pair<Tensor, Tensor> split_channels(const Tensor& grad, Index channels_a);
+
+}  // namespace paintplace::nn

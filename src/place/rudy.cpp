@@ -1,0 +1,41 @@
+#include "place/rudy.h"
+
+#include <algorithm>
+
+namespace paintplace::place {
+
+RudyMap::RudyMap(const Placement& placement)
+    : width_(placement.arch().width()), height_(placement.arch().height()) {
+  cells_.assign(static_cast<std::size_t>(width_ * height_), 0.0);
+  const Netlist& nl = placement.netlist();
+  for (const fpga::Net& net : nl.nets()) {
+    const BBox bb = placement.net_bbox(net.id);
+    // Expected wirelength (crossing-corrected half-perimeter) spread
+    // uniformly over the bounding box area; degenerate boxes (single row or
+    // column) still occupy one tile-wide strips.
+    const double w = static_cast<double>(bb.xmax - bb.xmin + 1);
+    const double h = static_cast<double>(bb.ymax - bb.ymin + 1);
+    const double wirelength =
+        crossing_factor(net.pin_count()) * static_cast<double>(bb.half_perimeter());
+    if (wirelength <= 0.0) continue;  // single-tile net: no channel demand
+    const double density = wirelength / (w * h);
+    for (Index y = bb.ymin; y <= bb.ymax; ++y) {
+      for (Index x = bb.xmin; x <= bb.xmax; ++x) {
+        cells_[static_cast<std::size_t>(y * width_ + x)] += density;
+      }
+    }
+  }
+}
+
+double RudyMap::total() const {
+  double t = 0.0;
+  for (double v : cells_) t += v;
+  return t;
+}
+
+double RudyMap::peak() const {
+  PP_CHECK(!cells_.empty());
+  return *std::max_element(cells_.begin(), cells_.end());
+}
+
+}  // namespace paintplace::place

@@ -1,0 +1,36 @@
+// RUDY (Rectangular Uniform wire DensitY, Spindler & Johannes 2007): the
+// classical closed-form congestion estimate computable straight from a
+// placement. Each net spreads its expected wirelength uniformly over its
+// bounding box; summing over nets gives a per-tile demand map.
+//
+// Serves two roles here: a non-learned BASELINE the cGAN forecast is
+// compared against (Table 2 harness), and an optional extra input feature.
+#pragma once
+
+#include <vector>
+
+#include "place/placement.h"
+
+namespace paintplace::place {
+
+class RudyMap {
+ public:
+  explicit RudyMap(const Placement& placement);
+
+  Index width() const { return width_; }
+  Index height() const { return height_; }
+  double at(Index x, Index y) const {
+    PP_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return cells_[static_cast<std::size_t>(y * width_ + x)];
+  }
+
+  /// Sum over all tiles — a scalar congestion proxy for ranking placements.
+  double total() const;
+  double peak() const;
+
+ private:
+  Index width_, height_;
+  std::vector<double> cells_;
+};
+
+}  // namespace paintplace::place

@@ -1,0 +1,65 @@
+#include "route/channel_graph.h"
+
+namespace paintplace::route {
+
+ChannelGraph::ChannelGraph(const Arch& arch)
+    : arch_(&arch), lw_(2 * arch.width() + 1), lh_(2 * arch.height() + 1) {}
+
+Index ChannelGraph::capacity(NodeId n) const {
+  if (!is_routable(n)) return 0;
+  switch (kind(n)) {
+    case NodeKind::kHChan:
+    case NodeKind::kVChan: return arch_->params().channel_width;
+    case NodeKind::kSwitch: return 4 * arch_->params().channel_width;
+    case NodeKind::kTile: break;
+  }
+  return 0;
+}
+
+int ChannelGraph::neighbors(NodeId n, NodeId out[4]) const {
+  const Index lx = lx_of(n), ly = ly_of(n);
+  int count = 0;
+  const NodeKind k = kind(n);
+  PP_CHECK_MSG(k != NodeKind::kTile, "tiles are not routing nodes");
+  // Channels connect to the switchboxes at their two ends; switchboxes
+  // connect to the up-to-4 incident channels.
+  auto push = [&](Index x, Index y) {
+    if (x < 0 || x >= lw_ || y < 0 || y >= lh_) return;
+    const NodeId cand = node_at(x, y);
+    if (!is_routable(cand)) return;
+    out[count++] = cand;
+  };
+  if (k == NodeKind::kHChan) {
+    push(lx - 1, ly);
+    push(lx + 1, ly);
+  } else if (k == NodeKind::kVChan) {
+    push(lx, ly - 1);
+    push(lx, ly + 1);
+  } else {  // switchbox
+    push(lx - 1, ly);
+    push(lx + 1, ly);
+    push(lx, ly - 1);
+    push(lx, ly + 1);
+  }
+  return count;
+}
+
+std::vector<NodeId> ChannelGraph::tile_pins(const GridLoc& tile) const {
+  PP_CHECK(arch_->in_grid(tile.x, tile.y));
+  const Index lx = 2 * tile.x + 1, ly = 2 * tile.y + 1;
+  std::vector<NodeId> pins;
+  auto push = [&](Index x, Index y) {
+    if (x < 0 || x >= lw_ || y < 0 || y >= lh_) return;
+    const NodeId cand = node_at(x, y);
+    if (!is_routable(cand)) return;
+    pins.push_back(cand);
+  };
+  push(lx, ly - 1);  // north H channel
+  push(lx, ly + 1);  // south H channel
+  push(lx - 1, ly);  // west V channel
+  push(lx + 1, ly);  // east V channel
+  PP_CHECK_MSG(!pins.empty(), "tile has no adjacent channels");
+  return pins;
+}
+
+}  // namespace paintplace::route

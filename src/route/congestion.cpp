@@ -1,0 +1,45 @@
+#include "route/congestion.h"
+
+#include <algorithm>
+
+namespace paintplace::route {
+
+CongestionMap::CongestionMap(const ChannelGraph& graph)
+    : graph_(&graph),
+      occ_(static_cast<std::size_t>(graph.num_nodes()), 0),
+      util_(static_cast<std::size_t>(graph.num_nodes()), 0.0) {}
+
+void CongestionMap::set_occupancy(NodeId n, Index occupancy) {
+  PP_CHECK(n >= 0 && n < graph_->num_nodes() && occupancy >= 0);
+  occ_[static_cast<std::size_t>(n)] = occupancy;
+  const Index cap = graph_->capacity(n);
+  util_[static_cast<std::size_t>(n)] =
+      graph_->is_channel(n) && cap > 0
+          ? static_cast<double>(occupancy) / static_cast<double>(cap)
+          : 0.0;
+}
+
+double CongestionMap::total_utilization() const {
+  double total = 0.0;
+  for (NodeId n = 0; n < graph_->num_nodes(); ++n) {
+    if (graph_->is_channel(n)) total += util_[static_cast<std::size_t>(n)];
+  }
+  return total;
+}
+
+CongestionStats CongestionMap::stats() const {
+  CongestionStats s;
+  for (NodeId n = 0; n < graph_->num_nodes(); ++n) {
+    if (!graph_->is_channel(n)) continue;
+    s.segments += 1;
+    const double u = util_[static_cast<std::size_t>(n)];
+    s.mean_utilization += u;
+    s.max_utilization = std::max(s.max_utilization, u);
+    s.total_occupancy += static_cast<double>(occ_[static_cast<std::size_t>(n)]);
+    if (occ_[static_cast<std::size_t>(n)] > graph_->capacity(n)) s.overused_segments += 1;
+  }
+  if (s.segments > 0) s.mean_utilization /= static_cast<double>(s.segments);
+  return s;
+}
+
+}  // namespace paintplace::route

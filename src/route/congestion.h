@@ -1,0 +1,50 @@
+// Congestion map: per-channel-segment routing utilization — the quantity
+// the paper's heat map (img_route) visualises and the cGAN learns to
+// forecast.
+#pragma once
+
+#include <vector>
+
+#include "route/channel_graph.h"
+
+namespace paintplace::route {
+
+struct CongestionStats {
+  double mean_utilization = 0.0;  ///< over channel segments
+  double max_utilization = 0.0;
+  double total_occupancy = 0.0;   ///< sum of per-segment occupancy
+  Index overused_segments = 0;    ///< occupancy > capacity
+  Index segments = 0;
+};
+
+class CongestionMap {
+ public:
+  explicit CongestionMap(const ChannelGraph& graph);
+
+  const ChannelGraph& graph() const { return *graph_; }
+
+  /// occupancy / capacity of a channel node (0 for non-channels). Can
+  /// exceed 1 when the router failed to resolve all overuse.
+  double utilization(NodeId n) const {
+    PP_CHECK(n >= 0 && n < graph_->num_nodes());
+    return util_[static_cast<std::size_t>(n)];
+  }
+  void set_occupancy(NodeId n, Index occupancy);
+  Index occupancy(NodeId n) const {
+    PP_CHECK(n >= 0 && n < graph_->num_nodes());
+    return occ_[static_cast<std::size_t>(n)];
+  }
+
+  /// Sum of utilization over all channel segments — the scalar used to rank
+  /// placements by congestion (Top10 metric, explorer applications).
+  double total_utilization() const;
+
+  CongestionStats stats() const;
+
+ private:
+  const ChannelGraph* graph_;
+  std::vector<Index> occ_;
+  std::vector<double> util_;
+};
+
+}  // namespace paintplace::route

@@ -1,0 +1,42 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace paintplace {
+namespace {
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(PP_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(PP_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailingConditionThrowsCheckError) {
+  EXPECT_THROW(PP_CHECK(false), CheckError);
+  EXPECT_THROW(PP_CHECK_MSG(false, "context"), CheckError);
+}
+
+TEST(Check, MessageContainsConditionAndContext) {
+  try {
+    PP_CHECK_MSG(2 > 3, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(Narrow, PreservingConversionsSucceed) {
+  EXPECT_EQ(narrow<int>(Index{42}), 42);
+  EXPECT_EQ(narrow<std::uint8_t>(255), 255);
+  EXPECT_EQ(narrow<Index>(7), 7);
+}
+
+TEST(Narrow, LossyConversionThrows) {
+  EXPECT_THROW(narrow<std::uint8_t>(256), CheckError);
+  EXPECT_THROW(narrow<std::uint32_t>(-1), CheckError);
+  EXPECT_THROW(narrow<std::int8_t>(1000), CheckError);
+}
+
+}  // namespace
+}  // namespace paintplace

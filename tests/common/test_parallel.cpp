@@ -1,0 +1,78 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace paintplace {
+namespace {
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  const Index n = 10007;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  parallel_for(n, [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) hits[static_cast<std::size_t>(i)] += 1;
+  });
+  for (Index i = 0; i < n; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(Parallel, EmptyAndSingleRanges) {
+  int calls = 0;
+  parallel_for(0, [&](Index, Index) { calls += 1; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, [&](Index b, Index e) {
+    EXPECT_EQ(b, 0);
+    EXPECT_EQ(e, 1);
+    calls += 1;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, ComputesCorrectSum) {
+  const Index n = 100000;
+  std::atomic<long long> total{0};
+  parallel_for(n, [&](Index b, Index e) {
+    long long local = 0;
+    for (Index i = b; i < e; ++i) local += i;
+    total += local;
+  });
+  EXPECT_EQ(total.load(), static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(1000,
+                   [](Index b, Index) {
+                     if (b == 0) throw std::runtime_error("worker failure");
+                   }),
+      std::runtime_error);
+  // Pool must still be usable afterwards.
+  std::atomic<int> count{0};
+  parallel_for(100, [&](Index b, Index e) { count += static_cast<int>(e - b); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Parallel, NestedCallsRunSerially) {
+  std::atomic<int> inner_total{0};
+  parallel_for(4, [&](Index b, Index e) {
+    for (Index i = b; i < e; ++i) {
+      // Nested call must not deadlock; it runs inline.
+      parallel_for(10, [&](Index ib, Index ie) { inner_total += static_cast<int>(ie - ib); });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 40);
+}
+
+TEST(Parallel, ForEachVisitsAll) {
+  const Index n = 5000;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  parallel_for_each(n, [&](Index i) { hits[static_cast<std::size_t>(i)] += 1; });
+  for (Index i = 0; i < n; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(Parallel, WorkerCountIsPositive) { EXPECT_GE(parallel_workers(), 1); }
+
+}  // namespace
+}  // namespace paintplace

@@ -1,0 +1,107 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace paintplace {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform_int(0, 1 << 30) != b.uniform_int(0, 1 << 30)) differing += 1;
+  }
+  EXPECT_GT(differing, 45);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Index v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_int(2, 1), CheckError);
+}
+
+TEST(Rng, UniformRealInHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasRoughlyRightMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, GeometricIntBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const Index v = rng.geometric_int(1, 6, 0.5);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+  }
+}
+
+TEST(Rng, GeometricIntDecays) {
+  Rng rng(19);
+  Index low = 0, high = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const Index v = rng.geometric_int(1, 10, 0.4);
+    if (v <= 2) low += 1;
+    if (v >= 6) high += 1;
+  }
+  EXPECT_GT(low, high * 4);  // strong skew towards small fanouts
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.fork();
+  // The child stream should not replay the parent's output.
+  Rng b(23);
+  b.fork();
+  EXPECT_EQ(child.uniform_int(0, 1 << 30), Rng(23).fork().uniform_int(0, 1 << 30))
+      << "fork must be deterministic";
+  (void)b;
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace paintplace

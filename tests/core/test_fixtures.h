@@ -1,0 +1,63 @@
+// Shared fixtures for the core-level tests: a tiny design, its dataset, and
+// a matching tiny model configuration, kept deliberately small so GAN
+// training smoke tests run in seconds.
+#pragma once
+
+#include "data/dataset.h"
+#include "core/pix2pix.h"
+#include "fpga/netgen.h"
+
+namespace paintplace::core::testfix {
+
+inline fpga::DesignSpec tiny_spec(const std::string& name = "tiny", Index luts = 30,
+                                  std::uint64_t /*seed*/ = 0) {
+  fpga::DesignSpec s;
+  s.name = name;
+  s.num_luts = luts;
+  s.num_ffs = luts / 3;
+  s.num_nets = luts * 2;
+  s.num_inputs = 4;
+  s.num_outputs = 4;
+  return s;
+}
+
+struct TinyWorld {
+  fpga::Netlist nl;
+  fpga::Arch arch;
+  data::Dataset dataset;
+
+  explicit TinyWorld(const std::string& name = "tiny", Index num_placements = 8,
+                     Index image_width = 16, std::uint64_t seed = 2)
+      : nl(fpga::generate_packed(tiny_spec(name), fpga::NetgenParams{}, seed)),
+        arch(fpga::Arch::auto_sized({nl.stats().num_clbs,
+                                     nl.stats().num_inputs + nl.stats().num_outputs,
+                                     nl.stats().num_mems, nl.stats().num_mults})) {
+    data::DatasetConfig cfg;
+    cfg.image_width = image_width;
+    cfg.sweep.num_placements = num_placements;
+    cfg.sweep.base_seed = seed * 100 + 1;
+    dataset = data::build_dataset(nl, arch, cfg);
+  }
+
+  std::vector<const data::Sample*> sample_ptrs() const {
+    std::vector<const data::Sample*> out;
+    for (const data::Sample& s : dataset.samples) out.push_back(&s);
+    return out;
+  }
+};
+
+inline Pix2PixConfig tiny_model_config(Index image_size = 16) {
+  Pix2PixConfig cfg;
+  cfg.generator.in_channels = 4;
+  cfg.generator.out_channels = 3;
+  cfg.generator.image_size = image_size;
+  cfg.generator.base_channels = 4;
+  cfg.generator.max_channels = 8;
+  cfg.generator.dropout = true;
+  cfg.disc_base_channels = 4;
+  cfg.adam.lr = 1e-3f;
+  cfg.seed = 9;
+  return cfg;
+}
+
+}  // namespace paintplace::core::testfix

@@ -1,0 +1,149 @@
+#include "core/forecaster.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "tests/core/test_fixtures.h"
+
+namespace paintplace::core {
+namespace {
+
+using testfix::TinyWorld;
+using testfix::tiny_model_config;
+
+TEST(Forecaster, TrainReturnsPerEpochHistory) {
+  TinyWorld world;
+  CongestionForecaster fc(tiny_model_config());
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  const TrainHistory history = fc.train(world.sample_ptrs(), cfg);
+  ASSERT_EQ(history.size(), 2u);
+  for (const GanLosses& l : history) {
+    EXPECT_GT(l.d_loss, 0.0);
+    EXPECT_GT(l.g_l1, 0.0);
+  }
+}
+
+TEST(Forecaster, TrainingReducesL1) {
+  TinyWorld world("tiny", 6);
+  CongestionForecaster fc(tiny_model_config());
+  TrainConfig cfg;
+  cfg.epochs = 10;
+  const TrainHistory history = fc.train(world.sample_ptrs(), cfg);
+  EXPECT_LT(history.back().g_l1, history.front().g_l1);
+}
+
+TEST(Forecaster, EpochCallbackInvoked) {
+  TinyWorld world("tiny", 4);
+  CongestionForecaster fc(tiny_model_config());
+  TrainConfig cfg;
+  cfg.epochs = 3;
+  Index calls = 0;
+  cfg.on_epoch = [&](Index epoch, const GanLosses&) {
+    EXPECT_EQ(epoch, calls);
+    calls += 1;
+  };
+  fc.train(world.sample_ptrs(), cfg);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Forecaster, PredictShapeMatchesTargets) {
+  TinyWorld world("tiny", 4);
+  CongestionForecaster fc(tiny_model_config());
+  const nn::Tensor y = fc.predict(world.dataset.samples[0].input);
+  EXPECT_EQ(y.shape(), world.dataset.samples[0].target.shape());
+}
+
+TEST(Forecaster, EvaluateProducesConsistentVectors) {
+  TinyWorld world("tiny", 6);
+  CongestionForecaster fc(tiny_model_config());
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  fc.train(world.sample_ptrs(), cfg);
+  const EvalResult r = fc.evaluate(world.sample_ptrs(), 3);
+  EXPECT_EQ(r.per_sample_accuracy.size(), 6u);
+  EXPECT_EQ(r.predicted_scores.size(), 6u);
+  EXPECT_EQ(r.true_scores.size(), 6u);
+  EXPECT_GE(r.mean_pixel_accuracy, 0.0);
+  EXPECT_LE(r.mean_pixel_accuracy, 1.0);
+  EXPECT_GE(r.top10, 0.0);
+  EXPECT_LE(r.top10, 1.0);
+}
+
+TEST(Forecaster, TrainedModelBeatsUntrainedOnAccuracy) {
+  TinyWorld world("tiny", 8);
+  CongestionForecaster trained(tiny_model_config());
+  CongestionForecaster untrained(tiny_model_config());
+  TrainConfig cfg;
+  cfg.epochs = 12;
+  trained.train(world.sample_ptrs(), cfg);
+  const double acc_trained = trained.evaluate(world.sample_ptrs()).mean_pixel_accuracy;
+  const double acc_untrained = untrained.evaluate(world.sample_ptrs()).mean_pixel_accuracy;
+  EXPECT_GT(acc_trained, acc_untrained + 0.05);
+}
+
+TEST(Forecaster, FineTuneImprovesOnNewDesign) {
+  // Strategy 2 (Acc.2): fine-tuning on pairs from the unseen design should
+  // not hurt and typically helps accuracy on that design.
+  TinyWorld train_world("train_design", 8, 16, 3);
+  TinyWorld test_world("test_design", 8, 16, 4);
+  CongestionForecaster fc(tiny_model_config());
+  TrainConfig cfg;
+  cfg.epochs = 8;
+  fc.train(train_world.sample_ptrs(), cfg);
+  const double acc1 = fc.evaluate(test_world.sample_ptrs()).mean_pixel_accuracy;
+
+  const std::vector<const data::Sample*> test_ptrs = test_world.sample_ptrs();
+  const std::vector<const data::Sample*> ft(test_ptrs.begin(), test_ptrs.begin() + 3);
+  TrainConfig ft_cfg;
+  ft_cfg.epochs = 6;
+  fc.fine_tune(ft, ft_cfg);
+  const double acc2 = fc.evaluate(test_world.sample_ptrs()).mean_pixel_accuracy;
+  EXPECT_GT(acc2, acc1 - 0.05) << "fine-tuning must not collapse accuracy";
+}
+
+TEST(Forecaster, CongestionScoreOrdersSyntheticMaps) {
+  CongestionForecaster fc(tiny_model_config());
+  // Build two fake heat maps: uniformly low vs uniformly high utilization.
+  auto make_map = [](double u) {
+    const img::Color c = img::UtilizationColormap::map(u);
+    nn::Tensor t(nn::Shape{1, 3, 8, 8});
+    for (Index y = 0; y < 8; ++y) {
+      for (Index x = 0; x < 8; ++x) {
+        t.at(0, 0, y, x) = c.r;
+        t.at(0, 1, y, x) = c.g;
+        t.at(0, 2, y, x) = c.b;
+      }
+    }
+    return t;
+  };
+  EXPECT_LT(fc.congestion_score(make_map(0.1)), fc.congestion_score(make_map(0.7)));
+}
+
+TEST(Forecaster, SaveLoadPreservesEvaluation) {
+  TinyWorld world("tiny", 4);
+  CongestionForecaster fc(tiny_model_config());
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  fc.train(world.sample_ptrs(), cfg);
+  const std::string path = ::testing::TempDir() + "/pp_forecaster.ckpt";
+  fc.save(path);
+  CongestionForecaster restored(tiny_model_config());
+  restored.load(path);
+  fc.model().generator().reseed_noise(5);
+  const nn::Tensor y1 = fc.predict(world.dataset.samples[0].input);
+  restored.model().generator().reseed_noise(5);
+  const nn::Tensor y2 = restored.predict(world.dataset.samples[0].input);
+  EXPECT_LT(y1.max_abs_diff(y2), 1e-6f);
+  std::remove(path.c_str());
+}
+
+TEST(Forecaster, EmptyTrainingSetThrows) {
+  CongestionForecaster fc(tiny_model_config());
+  TrainConfig cfg;
+  EXPECT_THROW(fc.train({}, cfg), CheckError);
+}
+
+}  // namespace
+}  // namespace paintplace::core

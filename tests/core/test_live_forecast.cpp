@@ -1,0 +1,80 @@
+#include "core/live_forecast.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "place/sa_placer.h"
+#include "tests/core/test_fixtures.h"
+
+namespace paintplace::core {
+namespace {
+
+using testfix::TinyWorld;
+using testfix::tiny_model_config;
+
+TEST(LiveForecast, CollectsFramesDuringAnnealing) {
+  TinyWorld world("live", 4);
+  CongestionForecaster fc(tiny_model_config());
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  fc.train(world.sample_ptrs(), cfg);
+
+  const img::PixelGeometry geom(world.arch, 256);
+  LiveForecast live(fc, geom, 16, 0.1);
+
+  place::PlacerOptions opt;
+  opt.seed = 42;
+  place::SaPlacer placer(world.arch, world.nl, opt);
+  placer.set_snapshot(
+      [&](const place::Placement& p, Index moves, double t) { live.on_snapshot(p, moves, t); },
+      200);
+  placer.place();
+
+  ASSERT_GT(live.frames().size(), 0u);
+  for (const LiveFrame& f : live.frames()) {
+    EXPECT_GT(f.accepted_moves, 0);
+    EXPECT_GE(f.predicted_congestion, 0.0);
+    EXPECT_LE(f.predicted_congestion, 1.0);
+    EXPECT_GT(f.placement_cost, 0.0);
+  }
+  // Moves counter is monotone across frames.
+  for (std::size_t i = 1; i < live.frames().size(); ++i) {
+    EXPECT_GT(live.frames()[i].accepted_moves, live.frames()[i - 1].accepted_moves);
+  }
+}
+
+TEST(LiveForecast, DumpsFramesToDirectory) {
+  TinyWorld world("live2", 4);
+  CongestionForecaster fc(tiny_model_config());
+  const img::PixelGeometry geom(world.arch, 256);
+  LiveForecast live(fc, geom, 16, 0.1);
+  const std::string dir = ::testing::TempDir() + "/pp_live_frames";
+  std::filesystem::create_directories(dir);
+  live.set_dump_dir(dir);
+
+  place::PlacerOptions opt;
+  opt.seed = 7;
+  place::SaPlacer placer(world.arch, world.nl, opt);
+  placer.set_snapshot(
+      [&](const place::Placement& p, Index moves, double t) { live.on_snapshot(p, moves, t); },
+      400);
+  placer.place();
+
+  Index files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".ppm") files += 1;
+  }
+  EXPECT_EQ(files, static_cast<Index>(live.frames().size()));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LiveForecast, RejectsTinyWidth) {
+  TinyWorld world("live3", 2);
+  CongestionForecaster fc(tiny_model_config());
+  const img::PixelGeometry geom(world.arch, 256);
+  EXPECT_THROW(LiveForecast(fc, geom, 4, 0.1), CheckError);
+}
+
+}  // namespace
+}  // namespace paintplace::core

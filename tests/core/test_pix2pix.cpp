@@ -1,0 +1,206 @@
+#include "core/pix2pix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "nn/serialize.h"
+
+namespace paintplace::core {
+namespace {
+
+using nn::Shape;
+using nn::Tensor;
+
+Pix2PixConfig tiny_config(bool use_l1 = true, SkipMode skips = SkipMode::kAll) {
+  Pix2PixConfig cfg;
+  cfg.generator.in_channels = 2;
+  cfg.generator.out_channels = 3;
+  cfg.generator.image_size = 16;
+  cfg.generator.base_channels = 4;
+  cfg.generator.max_channels = 8;
+  cfg.generator.skips = skips;
+  cfg.generator.dropout = true;
+  cfg.disc_base_channels = 4;
+  cfg.use_l1 = use_l1;
+  cfg.adam.lr = 2e-3f;  // faster convergence at test scale
+  cfg.seed = 5;
+  return cfg;
+}
+
+Tensor random01(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (Index i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.uniform());
+  return t;
+}
+
+TEST(Pix2Pix, SignedUnitConversionRoundTrip) {
+  const Tensor t01 = random01(Shape{1, 3, 4, 4}, 1);
+  const Tensor back = Pix2Pix::to_unit(Pix2Pix::to_signed(t01));
+  EXPECT_LT(back.max_abs_diff(t01), 1e-6f);
+}
+
+TEST(Pix2Pix, ToUnitClampsOvershoot) {
+  Tensor t(Shape{2}, {-1.5f, 1.5f});
+  const Tensor u = Pix2Pix::to_unit(t);
+  EXPECT_EQ(u[0], 0.0f);
+  EXPECT_EQ(u[1], 1.0f);
+}
+
+TEST(Pix2Pix, PredictProducesUnitRangeImage) {
+  Pix2Pix model(tiny_config());
+  const Tensor y = model.predict(random01(Shape{1, 2, 16, 16}, 2));
+  EXPECT_EQ(y.shape(), (Shape{1, 3, 16, 16}));
+  EXPECT_GE(y.min(), 0.0f);
+  EXPECT_LE(y.max(), 1.0f);
+}
+
+TEST(Pix2Pix, TrainStepReturnsFiniteLosses) {
+  Pix2Pix model(tiny_config());
+  const GanLosses losses =
+      model.train_step(random01(Shape{1, 2, 16, 16}, 3), random01(Shape{1, 3, 16, 16}, 4));
+  EXPECT_TRUE(std::isfinite(losses.d_loss));
+  EXPECT_TRUE(std::isfinite(losses.g_gan));
+  EXPECT_TRUE(std::isfinite(losses.g_l1));
+  EXPECT_GT(losses.d_loss, 0.0);
+  EXPECT_GT(losses.g_l1, 0.0);
+}
+
+TEST(Pix2Pix, L1DropsWhenOverfittingOnePair) {
+  Pix2Pix model(tiny_config());
+  const Tensor x = random01(Shape{1, 2, 16, 16}, 5);
+  const Tensor t = random01(Shape{1, 3, 16, 16}, 6);
+  double first_l1 = 0.0, last_l1 = 0.0;
+  for (int step = 0; step < 250; ++step) {
+    const GanLosses l = model.train_step(x, t);
+    if (step == 0) first_l1 = l.g_l1;
+    last_l1 = l.g_l1;
+  }
+  EXPECT_LT(last_l1, first_l1 * 0.6) << "L1 must shrink when memorizing one pair";
+}
+
+TEST(Pix2Pix, WithoutL1FlagSkipsL1Gradient) {
+  // Losses still REPORT l1 for logging, but G's update ignores it: after
+  // many steps the no-L1 model reconstructs worse than the L1 model.
+  const Tensor x = random01(Shape{1, 2, 16, 16}, 7);
+  const Tensor t = random01(Shape{1, 3, 16, 16}, 8);
+  Pix2Pix with_l1(tiny_config(true));
+  Pix2Pix without_l1(tiny_config(false));
+  double l1_with = 0.0, l1_without = 0.0;
+  for (int step = 0; step < 50; ++step) {
+    l1_with = with_l1.train_step(x, t).g_l1;
+    l1_without = without_l1.train_step(x, t).g_l1;
+  }
+  EXPECT_LT(l1_with, l1_without);
+}
+
+TEST(Pix2Pix, DeterministicTrainingGivenSeed) {
+  Pix2Pix a(tiny_config()), b(tiny_config());
+  const Tensor x = random01(Shape{1, 2, 16, 16}, 9);
+  const Tensor t = random01(Shape{1, 3, 16, 16}, 10);
+  for (int step = 0; step < 3; ++step) {
+    const GanLosses la = a.train_step(x, t);
+    const GanLosses lb = b.train_step(x, t);
+    EXPECT_DOUBLE_EQ(la.d_loss, lb.d_loss);
+    EXPECT_DOUBLE_EQ(la.g_gan, lb.g_gan);
+    EXPECT_DOUBLE_EQ(la.g_l1, lb.g_l1);
+  }
+}
+
+TEST(Pix2Pix, SaveLoadRoundTripsPrediction) {
+  Pix2Pix model(tiny_config());
+  const Tensor x = random01(Shape{1, 2, 16, 16}, 11);
+  const Tensor t = random01(Shape{1, 3, 16, 16}, 12);
+  for (int step = 0; step < 5; ++step) model.train_step(x, t);
+  const std::string path = ::testing::TempDir() + "/pp_p2p_test.ckpt";
+  model.save(path);
+
+  Pix2Pix restored(tiny_config());
+  restored.load(path);
+  // Same noise stream -> identical outputs.
+  model.generator().reseed_noise(42);
+  const Tensor y1 = model.predict(x);
+  restored.generator().reseed_noise(42);
+  const Tensor y2 = restored.predict(x);
+  EXPECT_LT(y1.max_abs_diff(y2), 1e-6f);
+  std::remove(path.c_str());
+}
+
+TEST(Pix2Pix, LoadIncompatibleConfigThrows) {
+  Pix2Pix model(tiny_config());
+  const std::string path = ::testing::TempDir() + "/pp_p2p_badcfg.ckpt";
+  model.save(path);
+  Pix2PixConfig other = tiny_config();
+  other.generator.base_channels = 8;  // different widths
+  Pix2Pix mismatched(other);
+  EXPECT_THROW(mismatched.load(path), CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(Pix2Pix, ConfigEncodeDecodeRoundTrip) {
+  Pix2PixConfig cfg = tiny_config(false, SkipMode::kSingle);
+  cfg.lambda_l1 = 25.0f;
+  cfg.generator.dropout_p = 0.3f;
+  const Pix2PixConfig back = Pix2Pix::decode_config(Pix2Pix::encode_config(cfg));
+  EXPECT_EQ(back.generator.in_channels, cfg.generator.in_channels);
+  EXPECT_EQ(back.generator.image_size, cfg.generator.image_size);
+  EXPECT_EQ(back.generator.skips, cfg.generator.skips);
+  EXPECT_EQ(back.use_l1, cfg.use_l1);
+  EXPECT_FLOAT_EQ(back.lambda_l1, 25.0f);
+  EXPECT_FLOAT_EQ(back.generator.dropout_p, 0.3f);
+}
+
+TEST(Pix2Pix, LoadFileReconstructsModelFromCheckpointAlone) {
+  Pix2Pix model(tiny_config());
+  const Tensor x = random01(Shape{1, 2, 16, 16}, 21);
+  const Tensor t = random01(Shape{1, 3, 16, 16}, 22);
+  for (int step = 0; step < 3; ++step) model.train_step(x, t);
+  const std::string path = ::testing::TempDir() + "/pp_p2p_selfdesc.ckpt";
+  model.save(path);
+
+  Pix2Pix restored = Pix2Pix::load_file(path);  // no config passed in
+  EXPECT_EQ(restored.config().generator.image_size, 16);
+  model.generator().reseed_noise(9);
+  const Tensor y1 = model.predict(x);
+  restored.generator().reseed_noise(9);
+  const Tensor y2 = restored.predict(x);
+  EXPECT_LT(y1.max_abs_diff(y2), 1e-6f);
+  std::remove(path.c_str());
+}
+
+TEST(Pix2Pix, LoadFileWithoutConfigRecordThrows) {
+  // A raw tensor bundle without the config record is not loadable blind.
+  nn::TensorMap map;
+  map.emplace("weights", Tensor(Shape{4}));
+  const std::string path = ::testing::TempDir() + "/pp_p2p_nocfg.ckpt";
+  nn::save_tensors_file(map, path);
+  EXPECT_THROW(Pix2Pix::load_file(path), CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(Pix2Pix, ResetOptimizersChangesNothingUntilStep) {
+  Pix2Pix model(tiny_config());
+  const Tensor x = random01(Shape{1, 2, 16, 16}, 13);
+  model.generator().reseed_noise(1);
+  const Tensor before = model.predict(x);
+  model.reset_optimizers(1e-5f);
+  model.generator().reseed_noise(1);
+  const Tensor after = model.predict(x);
+  EXPECT_LT(before.max_abs_diff(after), 1e-6f);
+}
+
+TEST(Pix2Pix, GanLossesArithmetic) {
+  GanLosses a{1.0, 2.0, 3.0};
+  const GanLosses b{1.0, 0.0, 1.0};
+  a += b;
+  a /= 2.0;
+  EXPECT_DOUBLE_EQ(a.d_loss, 1.0);
+  EXPECT_DOUBLE_EQ(a.g_gan, 1.0);
+  EXPECT_DOUBLE_EQ(a.g_l1, 2.0);
+}
+
+}  // namespace
+}  // namespace paintplace::core

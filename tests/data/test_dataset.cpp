@@ -1,0 +1,146 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "fpga/netgen.h"
+
+namespace paintplace::data {
+namespace {
+
+using fpga::Arch;
+using fpga::DesignSpec;
+using fpga::Netlist;
+
+DesignSpec toy_spec() {
+  DesignSpec s;
+  s.name = "ds_toy";
+  s.num_luts = 30;
+  s.num_ffs = 10;
+  s.num_nets = 70;
+  s.num_inputs = 4;
+  s.num_outputs = 4;
+  return s;
+}
+
+struct Fixture {
+  Netlist nl = fpga::generate_packed(toy_spec(), fpga::NetgenParams{}, 2);
+  Arch arch = Arch::auto_sized({nl.stats().num_clbs,
+                                nl.stats().num_inputs + nl.stats().num_outputs,
+                                nl.stats().num_mems, nl.stats().num_mults});
+
+  DatasetConfig config() const {
+    DatasetConfig c;
+    c.image_width = 32;
+    c.sweep.num_placements = 6;
+    return c;
+  }
+};
+
+TEST(SweepConfig, EnumeratesDistinctOptionCombos) {
+  SweepConfig sweep;
+  // Seeds strictly increase; alpha cycles fastest.
+  const auto o0 = sweep.options_at(0);
+  const auto o1 = sweep.options_at(1);
+  const auto o3 = sweep.options_at(3);
+  EXPECT_EQ(o0.seed + 1, o1.seed);
+  EXPECT_NE(o0.alpha_t, o1.alpha_t);
+  EXPECT_NE(o0.inner_num, o3.inner_num);
+  // Algorithm flips after alpha x inner combinations.
+  const auto o9 = sweep.options_at(9);
+  EXPECT_NE(static_cast<int>(o0.algorithm), static_cast<int>(o9.algorithm));
+}
+
+TEST(Dataset, BuildsRequestedNumberOfSamples) {
+  Fixture f;
+  const Dataset ds = build_dataset(f.nl, f.arch, f.config());
+  EXPECT_EQ(ds.samples.size(), 6u);
+  EXPECT_EQ(ds.design, "ds_toy");
+}
+
+TEST(Dataset, SampleTensorShapes) {
+  Fixture f;
+  const Dataset ds = build_dataset(f.nl, f.arch, f.config());
+  for (const Sample& s : ds.samples) {
+    EXPECT_EQ(s.input.shape(), (nn::Shape{1, 4, 32, 32}));
+    EXPECT_EQ(s.target.shape(), (nn::Shape{1, 3, 32, 32}));
+  }
+}
+
+TEST(Dataset, InputChannelsInExpectedRanges) {
+  Fixture f;
+  DatasetConfig cfg = f.config();
+  cfg.lambda_connect = 0.1;
+  const Dataset ds = build_dataset(f.nl, f.arch, cfg);
+  for (const Sample& s : ds.samples) {
+    float max_rgb = 0.0f, max_connect = 0.0f;
+    for (Index c = 0; c < 3; ++c) {
+      for (Index y = 0; y < 32; ++y) {
+        for (Index x = 0; x < 32; ++x) {
+          max_rgb = std::max(max_rgb, s.input.at(0, c, y, x));
+        }
+      }
+    }
+    for (Index y = 0; y < 32; ++y) {
+      for (Index x = 0; x < 32; ++x) max_connect = std::max(max_connect, s.input.at(0, 3, y, x));
+    }
+    EXPECT_LE(max_rgb, 1.0f);
+    EXPECT_GT(max_rgb, 0.5f);
+    EXPECT_LE(max_connect, 0.1f + 1e-5f);  // λ-scaled
+    EXPECT_GT(max_connect, 0.0f);
+  }
+}
+
+TEST(Dataset, MetaRecordsSweepOptionsAndRouting) {
+  Fixture f;
+  const Dataset ds = build_dataset(f.nl, f.arch, f.config());
+  for (std::size_t i = 0; i < ds.samples.size(); ++i) {
+    const SampleMeta& m = ds.samples[i].meta;
+    EXPECT_EQ(m.design, "ds_toy");
+    EXPECT_EQ(m.placer_options.seed, 1 + i);
+    EXPECT_GT(m.true_total_utilization, 0.0);
+    EXPECT_GT(m.route_seconds, 0.0);
+    EXPECT_TRUE(m.route_success);
+    EXPECT_GT(m.placement_cost, 0.0);
+  }
+}
+
+TEST(Dataset, DifferentPlacementsGiveDifferentTargets) {
+  Fixture f;
+  const Dataset ds = build_dataset(f.nl, f.arch, f.config());
+  const nn::Tensor& a = ds.samples[0].target;
+  const nn::Tensor& b = ds.samples[1].target;
+  EXPECT_GT(a.max_abs_diff(b), 0.01f);
+}
+
+TEST(Dataset, DeterministicRebuild) {
+  Fixture f;
+  const Dataset d1 = build_dataset(f.nl, f.arch, f.config());
+  const Dataset d2 = build_dataset(f.nl, f.arch, f.config());
+  for (std::size_t i = 0; i < d1.samples.size(); ++i) {
+    EXPECT_EQ(d1.samples[i].input.max_abs_diff(d2.samples[i].input), 0.0f);
+    EXPECT_EQ(d1.samples[i].target.max_abs_diff(d2.samples[i].target), 0.0f);
+    EXPECT_DOUBLE_EQ(d1.samples[i].meta.true_total_utilization,
+                     d2.samples[i].meta.true_total_utilization);
+  }
+}
+
+TEST(Dataset, GrayscaleInputHasTwoChannels) {
+  Fixture f;
+  place::PlacerOptions opt;
+  place::SaPlacer placer(f.arch, f.nl, opt);
+  const place::Placement p = placer.place();
+  const img::PixelGeometry geom(f.arch, 256);
+  const nn::Tensor x = make_input_grayscale(p, geom, 32, 0.1);
+  EXPECT_EQ(x.shape(), (nn::Shape{1, 2, 32, 32}));
+}
+
+TEST(Dataset, RejectsFlatNetlist) {
+  Fixture f;
+  Netlist flat("flat");
+  flat.add_block(fpga::BlockKind::kLut, "l");
+  DatasetConfig cfg = f.config();
+  EXPECT_THROW(build_dataset(flat, f.arch, cfg), paintplace::CheckError);
+}
+
+}  // namespace
+}  // namespace paintplace::data

@@ -1,0 +1,89 @@
+#include "data/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "fpga/netgen.h"
+
+namespace paintplace::data {
+namespace {
+
+Dataset small_dataset() {
+  fpga::DesignSpec spec;
+  spec.name = "cache_toy";
+  spec.num_luts = 25;
+  spec.num_ffs = 8;
+  spec.num_nets = 55;
+  spec.num_inputs = 4;
+  spec.num_outputs = 3;
+  const fpga::Netlist nl = fpga::generate_packed(spec, fpga::NetgenParams{}, 6);
+  const fpga::NetlistStats s = nl.stats();
+  const fpga::Arch arch = fpga::Arch::auto_sized(
+      {s.num_clbs, s.num_inputs + s.num_outputs, s.num_mems, s.num_mults});
+  DatasetConfig cfg;
+  cfg.image_width = 16;
+  cfg.sweep.num_placements = 3;
+  return build_dataset(nl, arch, cfg);
+}
+
+TEST(DatasetIo, RoundTripPreservesEverything) {
+  const Dataset original = small_dataset();
+  const std::string path = ::testing::TempDir() + "/pp_dataset.bin";
+  save_dataset(original, path);
+  const Dataset loaded = load_dataset(path);
+
+  EXPECT_EQ(loaded.design, original.design);
+  EXPECT_EQ(loaded.config.image_width, original.config.image_width);
+  EXPECT_DOUBLE_EQ(loaded.config.lambda_connect, original.config.lambda_connect);
+  ASSERT_EQ(loaded.samples.size(), original.samples.size());
+  for (std::size_t i = 0; i < original.samples.size(); ++i) {
+    const Sample& a = original.samples[i];
+    const Sample& b = loaded.samples[i];
+    EXPECT_EQ(a.input.max_abs_diff(b.input), 0.0f);
+    EXPECT_EQ(a.target.max_abs_diff(b.target), 0.0f);
+    EXPECT_EQ(a.meta.design, b.meta.design);
+    EXPECT_EQ(a.meta.placer_options.seed, b.meta.placer_options.seed);
+    EXPECT_DOUBLE_EQ(a.meta.placer_options.alpha_t, b.meta.placer_options.alpha_t);
+    EXPECT_EQ(a.meta.placer_options.algorithm, b.meta.placer_options.algorithm);
+    EXPECT_DOUBLE_EQ(a.meta.true_total_utilization, b.meta.true_total_utilization);
+    EXPECT_DOUBLE_EQ(a.meta.route_seconds, b.meta.route_seconds);
+    EXPECT_EQ(a.meta.route_success, b.meta.route_success);
+    EXPECT_EQ(a.meta.route_iterations, b.meta.route_iterations);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, RejectsGarbageFile) {
+  const std::string path = ::testing::TempDir() + "/pp_dataset_bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a dataset";
+  }
+  EXPECT_THROW(load_dataset(path), paintplace::CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, RejectsTruncatedFile) {
+  const Dataset original = small_dataset();
+  const std::string path = ::testing::TempDir() + "/pp_dataset_cut.bin";
+  save_dataset(original, path);
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(load_dataset(path), paintplace::CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, MissingFileThrows) {
+  EXPECT_THROW(load_dataset("/nonexistent/ds.bin"), paintplace::CheckError);
+}
+
+}  // namespace
+}  // namespace paintplace::data

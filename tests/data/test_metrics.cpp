@@ -1,0 +1,139 @@
+#include "data/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace paintplace::data {
+namespace {
+
+using nn::Shape;
+using nn::Tensor;
+
+TEST(PixelAccuracy, IdenticalIsOne) {
+  Rng rng(1);
+  Tensor t(Shape{1, 3, 8, 8});
+  for (Index i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.uniform());
+  EXPECT_DOUBLE_EQ(per_pixel_accuracy(t, t), 1.0);
+}
+
+TEST(PixelAccuracy, CompletelyWrongIsZero) {
+  const Tensor a = Tensor::full(Shape{1, 3, 4, 4}, 0.0f);
+  const Tensor b = Tensor::full(Shape{1, 3, 4, 4}, 1.0f);
+  EXPECT_DOUBLE_EQ(per_pixel_accuracy(a, b), 0.0);
+}
+
+TEST(PixelAccuracy, ToleranceBoundaryInclusive) {
+  const Tensor a = Tensor::full(Shape{1, 1, 1, 1}, 0.5f);
+  Tensor b = a;
+  b[0] += kPixelTolerance;  // exactly at the boundary
+  EXPECT_DOUBLE_EQ(per_pixel_accuracy(a, b), 1.0);
+  b[0] += 0.01f;
+  EXPECT_DOUBLE_EQ(per_pixel_accuracy(a, b), 0.0);
+}
+
+TEST(PixelAccuracy, MaxChannelRuleCountsWorstChannel) {
+  Tensor a(Shape{1, 3, 1, 1}, {0.5f, 0.5f, 0.5f});
+  Tensor b(Shape{1, 3, 1, 1}, {0.5f, 0.5f, 0.9f});
+  EXPECT_DOUBLE_EQ(per_pixel_accuracy(a, b), 0.0);
+}
+
+TEST(PixelAccuracy, HalfRightIsHalf) {
+  Tensor a(Shape{1, 1, 1, 2}, {0.0f, 0.0f});
+  Tensor b(Shape{1, 1, 1, 2}, {0.0f, 1.0f});
+  EXPECT_DOUBLE_EQ(per_pixel_accuracy(a, b), 0.5);
+}
+
+TEST(PixelAccuracy, ShapeMismatchThrows) {
+  EXPECT_THROW(per_pixel_accuracy(Tensor(Shape{1, 1, 2, 2}), Tensor(Shape{1, 1, 2, 3})),
+               paintplace::CheckError);
+}
+
+TEST(KSmallest, OrdersByScoreThenIndex) {
+  const std::vector<double> scores = {5.0, 1.0, 3.0, 1.0, 4.0};
+  const std::vector<Index> idx = k_smallest_indices(scores, 3);
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 1);  // ties broken by index
+  EXPECT_EQ(idx[1], 3);
+  EXPECT_EQ(idx[2], 2);
+}
+
+TEST(KSmallest, RejectsBadK) {
+  const std::vector<double> scores = {1.0, 2.0};
+  EXPECT_THROW(k_smallest_indices(scores, 0), paintplace::CheckError);
+  EXPECT_THROW(k_smallest_indices(scores, 3), paintplace::CheckError);
+}
+
+TEST(TopK, PerfectPredictionScoresOne) {
+  std::vector<double> truth;
+  for (int i = 0; i < 50; ++i) truth.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(topk_min_overlap(truth, truth, 10), 1.0);
+}
+
+TEST(TopK, InvertedPredictionScoresZero) {
+  std::vector<double> truth, pred;
+  for (int i = 0; i < 50; ++i) {
+    truth.push_back(static_cast<double>(i));
+    pred.push_back(static_cast<double>(-i));
+  }
+  EXPECT_DOUBLE_EQ(topk_min_overlap(pred, truth, 10), 0.0);
+}
+
+TEST(TopK, PartialOverlapCounted) {
+  // Predicted bottom-2 = {0,1}; true bottom-2 = {1,2} -> overlap 1/2.
+  const std::vector<double> pred = {0.0, 1.0, 5.0, 6.0};
+  const std::vector<double> truth = {9.0, 0.0, 1.0, 8.0};
+  EXPECT_DOUBLE_EQ(topk_min_overlap(pred, truth, 2), 0.5);
+}
+
+TEST(TopK, RandomScoresNearExpectedOverlap) {
+  // For random rankings of n=100, E[overlap of top-10] = 10/100 = 0.1.
+  Rng rng(3);
+  double total = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 100; ++i) {
+      a.push_back(rng.uniform());
+      b.push_back(rng.uniform());
+    }
+    total += topk_min_overlap(a, b, 10);
+  }
+  EXPECT_NEAR(total / trials, 0.1, 0.03);
+}
+
+TEST(Spearman, PerfectCorrelation) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_NEAR(spearman_rank_correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, PerfectAntiCorrelation) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {4.0, 3.0, 2.0, 1.0};
+  EXPECT_NEAR(spearman_rank_correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(Spearman, MonotoneTransformInvariant) {
+  Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    const double v = rng.uniform();
+    a.push_back(v);
+    b.push_back(v * v * 100.0 + 3.0);  // strictly increasing map
+  }
+  EXPECT_NEAR(spearman_rank_correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(Spearman, NearZeroForIndependent) {
+  Rng rng(7);
+  std::vector<double> a, b;
+  for (int i = 0; i < 2000; ++i) {
+    a.push_back(rng.uniform());
+    b.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(spearman_rank_correlation(a, b), 0.0, 0.06);
+}
+
+}  // namespace
+}  // namespace paintplace::data

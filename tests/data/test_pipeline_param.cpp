@@ -1,0 +1,90 @@
+// Parameterized end-of-pipeline properties across the whole Table 2 design
+// suite (at miniature scale): every design must produce a well-formed,
+// decodable dataset — the contract the bench harnesses rely on.
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "fpga/design_suite.h"
+#include "img/color.h"
+
+namespace paintplace::data {
+namespace {
+
+class PipelineDesignTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    const fpga::DesignSpec spec = fpga::scale_spec(fpga::design_by_name(GetParam()), 0.02);
+    nl_ = std::make_unique<fpga::Netlist>(
+        fpga::generate_packed(spec, fpga::NetgenParams{}, 31));
+    const fpga::NetlistStats s = nl_->stats();
+    arch_ = std::make_unique<fpga::Arch>(fpga::Arch::auto_sized(
+        {s.num_clbs, s.num_inputs + s.num_outputs, s.num_mems, s.num_mults}));
+    DatasetConfig cfg;
+    cfg.image_width = 32;
+    cfg.sweep.num_placements = 3;
+    dataset_ = std::make_unique<Dataset>(build_dataset(*nl_, *arch_, cfg));
+  }
+
+  std::unique_ptr<fpga::Netlist> nl_;
+  std::unique_ptr<fpga::Arch> arch_;
+  std::unique_ptr<Dataset> dataset_;
+};
+
+TEST_P(PipelineDesignTest, SamplesWellFormed) {
+  ASSERT_EQ(dataset_->samples.size(), 3u);
+  for (const Sample& s : dataset_->samples) {
+    ASSERT_EQ(s.input.shape(), (nn::Shape{1, 4, 32, 32}));
+    ASSERT_EQ(s.target.shape(), (nn::Shape{1, 3, 32, 32}));
+    for (Index i = 0; i < s.input.numel(); ++i) {
+      ASSERT_GE(s.input[i], 0.0f);
+      ASSERT_LE(s.input[i], 1.0f);
+    }
+    for (Index i = 0; i < s.target.numel(); ++i) {
+      ASSERT_GE(s.target[i], 0.0f);
+      ASSERT_LE(s.target[i], 1.0f);
+    }
+  }
+}
+
+TEST_P(PipelineDesignTest, ConnectivityChannelNonEmpty) {
+  for (const Sample& s : dataset_->samples) {
+    float max_connect = 0.0f;
+    for (Index y = 0; y < 32; ++y) {
+      for (Index x = 0; x < 32; ++x) {
+        max_connect = std::max(max_connect, s.input.at(0, 3, y, x));
+      }
+    }
+    EXPECT_GT(max_connect, 0.0f) << GetParam();
+  }
+}
+
+TEST_P(PipelineDesignTest, GroundTruthCongestionPositive) {
+  for (const Sample& s : dataset_->samples) {
+    EXPECT_GT(s.meta.true_total_utilization, 0.0) << GetParam();
+    EXPECT_GT(s.meta.route_seconds, 0.0);
+  }
+}
+
+TEST_P(PipelineDesignTest, TargetDecodesToPlausibleUtilization) {
+  // Decoding the rendered truth through the colormap inverse must yield a
+  // mean utilization in (0, 1] — the quantity congestion_score() ranks by.
+  for (const Sample& s : dataset_->samples) {
+    double mean = 0.0;
+    for (Index y = 0; y < 32; ++y) {
+      for (Index x = 0; x < 32; ++x) {
+        mean += img::UtilizationColormap::unmap(img::Color{
+            s.target.at(0, 0, y, x), s.target.at(0, 1, y, x), s.target.at(0, 2, y, x)});
+      }
+    }
+    mean /= (32.0 * 32.0);
+    EXPECT_GT(mean, 0.0);
+    EXPECT_LE(mean, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, PipelineDesignTest,
+                         ::testing::Values("diffeq1", "diffeq2", "raygentop", "SHA", "OR1200",
+                                           "ode", "dcsg", "bfly"));
+
+}  // namespace
+}  // namespace paintplace::data

@@ -1,0 +1,82 @@
+#include "data/splits.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace paintplace::data {
+namespace {
+
+std::vector<Dataset> fake_datasets() {
+  std::vector<Dataset> out;
+  for (const char* name : {"a", "b", "c"}) {
+    Dataset ds;
+    ds.design = name;
+    for (int i = 0; i < 20; ++i) {
+      Sample s;
+      s.meta.design = name;
+      s.meta.true_total_utilization = i;
+      ds.samples.push_back(std::move(s));
+    }
+    out.push_back(std::move(ds));
+  }
+  return out;
+}
+
+TEST(Splits, TrainExcludesTestDesign) {
+  const auto datasets = fake_datasets();
+  const Split split = leave_one_design_out(datasets, "b", 5);
+  EXPECT_EQ(split.train.size(), 40u);
+  for (const Sample* s : split.train) EXPECT_NE(s->meta.design, "b");
+}
+
+TEST(Splits, TestAndFineTunePartitionTestDesign) {
+  const auto datasets = fake_datasets();
+  const Split split = leave_one_design_out(datasets, "b", 5);
+  EXPECT_EQ(split.fine_tune.size(), 5u);
+  EXPECT_EQ(split.test.size(), 15u);
+  std::set<const Sample*> seen;
+  for (const Sample* s : split.fine_tune) {
+    EXPECT_EQ(s->meta.design, "b");
+    seen.insert(s);
+  }
+  for (const Sample* s : split.test) {
+    EXPECT_EQ(s->meta.design, "b");
+    EXPECT_EQ(seen.count(s), 0u) << "test overlaps fine-tune";
+  }
+}
+
+TEST(Splits, DeterministicPerSeed) {
+  const auto datasets = fake_datasets();
+  const Split s1 = leave_one_design_out(datasets, "c", 4, 11);
+  const Split s2 = leave_one_design_out(datasets, "c", 4, 11);
+  EXPECT_EQ(s1.fine_tune, s2.fine_tune);
+  EXPECT_EQ(s1.test, s2.test);
+}
+
+TEST(Splits, SeedChangesFineTuneSelection) {
+  const auto datasets = fake_datasets();
+  const Split s1 = leave_one_design_out(datasets, "c", 4, 1);
+  const Split s2 = leave_one_design_out(datasets, "c", 4, 2);
+  EXPECT_NE(s1.fine_tune, s2.fine_tune);
+}
+
+TEST(Splits, ZeroFineTunePairsAllowed) {
+  const auto datasets = fake_datasets();
+  const Split split = leave_one_design_out(datasets, "a", 0);
+  EXPECT_TRUE(split.fine_tune.empty());
+  EXPECT_EQ(split.test.size(), 20u);
+}
+
+TEST(Splits, UnknownDesignThrows) {
+  const auto datasets = fake_datasets();
+  EXPECT_THROW(leave_one_design_out(datasets, "zzz", 5), paintplace::CheckError);
+}
+
+TEST(Splits, FineTuneCannotSwallowTestSet) {
+  const auto datasets = fake_datasets();
+  EXPECT_THROW(leave_one_design_out(datasets, "a", 20), paintplace::CheckError);
+}
+
+}  // namespace
+}  // namespace paintplace::data

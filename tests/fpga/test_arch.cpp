@@ -1,0 +1,132 @@
+#include "fpga/arch.h"
+
+#include <gtest/gtest.h>
+
+namespace paintplace::fpga {
+namespace {
+
+TEST(Arch, GridDimensionsIncludeIoRing) {
+  const Arch arch(8, 6);
+  EXPECT_EQ(arch.width(), 10);
+  EXPECT_EQ(arch.height(), 8);
+}
+
+TEST(Arch, PerimeterIsIo) {
+  const Arch arch(8, 8);
+  for (Index x = 0; x < arch.width(); ++x) {
+    EXPECT_EQ(arch.tile_type(x, 0), TileType::kIo);
+    EXPECT_EQ(arch.tile_type(x, arch.height() - 1), TileType::kIo);
+  }
+  for (Index y = 0; y < arch.height(); ++y) {
+    EXPECT_EQ(arch.tile_type(0, y), TileType::kIo);
+    EXPECT_EQ(arch.tile_type(arch.width() - 1, y), TileType::kIo);
+  }
+}
+
+TEST(Arch, MemAndMultColumnsAtPaperPositions) {
+  // Fig. 2a: memory in interior column 3, multipliers in interior column 7.
+  const Arch arch(8, 8);
+  for (Index y = 1; y < arch.height() - 1; ++y) {
+    EXPECT_EQ(arch.tile_type(3, y), TileType::kMem);
+    EXPECT_EQ(arch.tile_type(7, y), TileType::kMult);
+    EXPECT_EQ(arch.tile_type(1, y), TileType::kClb);
+    EXPECT_EQ(arch.tile_type(4, y), TileType::kClb);
+  }
+}
+
+TEST(Arch, SmallFabricHasNoHardColumns) {
+  const Arch arch(2, 2);
+  for (Index y = 1; y < arch.height() - 1; ++y) {
+    for (Index x = 1; x < arch.width() - 1; ++x) {
+      EXPECT_EQ(arch.tile_type(x, y), TileType::kClb);
+    }
+  }
+}
+
+TEST(Arch, CornersExcludedFromSlots) {
+  const Arch arch(4, 4);
+  for (const GridLoc& s : arch.slots(TileType::kIo)) {
+    EXPECT_FALSE(arch.is_corner(s.x, s.y)) << "(" << s.x << "," << s.y << ")";
+  }
+}
+
+TEST(Arch, IoCapacityCountsPorts) {
+  const Arch arch(4, 4);
+  // 4 sides x 4 pads (corners excluded) x 8 ports.
+  EXPECT_EQ(arch.capacity(TileType::kIo), 4 * 4 * 8);
+}
+
+TEST(Arch, ClbCapacityMatchesColumnLayout) {
+  const Arch arch(8, 8);
+  // Interior 8x8 = 64 tiles, minus mem column (8) minus mult column (8).
+  EXPECT_EQ(arch.capacity(TileType::kClb), 64 - 16);
+  EXPECT_EQ(arch.capacity(TileType::kMem), 8);
+  EXPECT_EQ(arch.capacity(TileType::kMult), 8);
+}
+
+TEST(Arch, SlotsMatchTileTypes) {
+  const Arch arch(9, 7);
+  for (const TileType t : {TileType::kIo, TileType::kClb, TileType::kMem, TileType::kMult}) {
+    for (const GridLoc& s : arch.slots(t)) {
+      EXPECT_EQ(arch.tile_type(s.x, s.y), t);
+    }
+  }
+}
+
+TEST(Arch, OutOfGridAccessThrows) {
+  const Arch arch(3, 3);
+  EXPECT_THROW(arch.tile_type(-1, 0), CheckError);
+  EXPECT_THROW(arch.tile_type(0, 5), CheckError);
+}
+
+TEST(Arch, RejectsEmptyInterior) {
+  EXPECT_THROW(Arch(0, 3), CheckError);
+  EXPECT_THROW(Arch(3, 0), CheckError);
+}
+
+TEST(Arch, AutoSizedFitsDemand) {
+  const BlockDemand demand{100, 40, 4, 4};
+  const Arch arch = Arch::auto_sized(demand);
+  EXPECT_GE(arch.capacity(TileType::kClb) * 6 / 10, demand.clbs);
+  EXPECT_GE(arch.capacity(TileType::kIo), demand.ios);
+  EXPECT_GE(arch.capacity(TileType::kMem), demand.mems);
+  EXPECT_GE(arch.capacity(TileType::kMult), demand.mults);
+}
+
+TEST(Arch, AutoSizedIsMinimal) {
+  const BlockDemand demand{10, 8, 0, 0};
+  const Arch arch = Arch::auto_sized(demand);
+  // One size smaller must NOT fit.
+  const Index interior = arch.width() - 2;
+  if (interior > 2) {
+    const Arch smaller(interior - 1, interior - 1);
+    const bool clb_fits =
+        demand.clbs <= smaller.capacity(TileType::kClb) * 6 / 10;
+    const bool io_fits = demand.ios <= smaller.capacity(TileType::kIo);
+    EXPECT_FALSE(clb_fits && io_fits);
+  }
+}
+
+TEST(Arch, CustomChannelWidthPropagates) {
+  ArchParams params;
+  params.channel_width = 20;
+  const Arch arch(4, 4, params);
+  EXPECT_EQ(arch.params().channel_width, 20);
+}
+
+TEST(Arch, SummaryMentionsDimensions) {
+  const Arch arch(4, 4);
+  const std::string s = arch.summary();
+  EXPECT_NE(s.find("6x6"), std::string::npos);
+  EXPECT_NE(s.find("channel width 34"), std::string::npos);
+}
+
+TEST(Arch, TileTypeNames) {
+  EXPECT_STREQ(tile_type_name(TileType::kIo), "IO");
+  EXPECT_STREQ(tile_type_name(TileType::kClb), "CLB");
+  EXPECT_STREQ(tile_type_name(TileType::kMem), "MEM");
+  EXPECT_STREQ(tile_type_name(TileType::kMult), "MULT");
+}
+
+}  // namespace
+}  // namespace paintplace::fpga

@@ -1,0 +1,66 @@
+#include "fpga/design_suite.h"
+
+#include <gtest/gtest.h>
+
+namespace paintplace::fpga {
+namespace {
+
+TEST(DesignSuite, HasEightDesignsInTableOrder) {
+  const auto& designs = table2_designs();
+  ASSERT_EQ(designs.size(), 8u);
+  EXPECT_EQ(designs[0].name, "diffeq1");
+  EXPECT_EQ(designs[7].name, "bfly");
+}
+
+TEST(DesignSuite, Table2CountsExact) {
+  // Spot-check the rows against the paper's Table 2.
+  const DesignSpec& diffeq1 = design_by_name("diffeq1");
+  EXPECT_EQ(diffeq1.num_luts, 563);
+  EXPECT_EQ(diffeq1.num_ffs, 193);
+  EXPECT_EQ(diffeq1.num_nets, 2059);
+
+  const DesignSpec& or1200 = design_by_name("OR1200");
+  EXPECT_EQ(or1200.num_luts, 2823);
+  EXPECT_EQ(or1200.num_ffs, 670);
+  EXPECT_EQ(or1200.num_nets, 12336);
+
+  const DesignSpec& bfly = design_by_name("bfly");
+  EXPECT_EQ(bfly.num_luts, 9503);
+  EXPECT_EQ(bfly.num_ffs, 1748);
+  EXPECT_EQ(bfly.num_nets, 38582);
+}
+
+TEST(DesignSuite, SizesMonotoneByLuts) {
+  const auto& designs = table2_designs();
+  // Table 2 is not strictly sorted, but the extremes must hold.
+  Index min_luts = designs[0].num_luts, max_luts = designs[0].num_luts;
+  for (const DesignSpec& d : designs) {
+    min_luts = std::min(min_luts, d.num_luts);
+    max_luts = std::max(max_luts, d.num_luts);
+  }
+  EXPECT_EQ(min_luts, design_by_name("diffeq2").num_luts);
+  EXPECT_EQ(max_luts, design_by_name("bfly").num_luts);
+}
+
+TEST(DesignSuite, EveryDesignGeneratesAtSmallScale) {
+  for (const DesignSpec& d : table2_designs()) {
+    const DesignSpec scaled = scale_spec(d, 0.02);
+    const Netlist nl = generate_packed(scaled, NetgenParams{}, 42);
+    EXPECT_NO_THROW(nl.validate()) << d.name;
+    EXPECT_GT(nl.num_nets(), 0) << d.name;
+  }
+}
+
+TEST(DesignSuite, UnknownNameThrows) {
+  EXPECT_THROW(design_by_name("not_a_design"), paintplace::CheckError);
+}
+
+TEST(DesignSuite, AllHaveIo) {
+  for (const DesignSpec& d : table2_designs()) {
+    EXPECT_GE(d.num_inputs, 1) << d.name;
+    EXPECT_GE(d.num_outputs, 1) << d.name;
+  }
+}
+
+}  // namespace
+}  // namespace paintplace::fpga

@@ -1,0 +1,163 @@
+#include "fpga/netgen.h"
+
+#include <gtest/gtest.h>
+
+#include "fpga/design_suite.h"
+
+namespace paintplace::fpga {
+namespace {
+
+DesignSpec small_spec() {
+  DesignSpec s;
+  s.name = "toy";
+  s.num_luts = 60;
+  s.num_ffs = 25;
+  s.num_nets = 150;
+  s.num_inputs = 8;
+  s.num_outputs = 6;
+  s.num_mems = 2;
+  s.num_mults = 1;
+  return s;
+}
+
+TEST(NetgenPacked, HitsNetTargetWithinMopUpSlack) {
+  const Netlist nl = generate_packed(small_spec(), NetgenParams{}, 1);
+  // The mop-up pass may add a handful of connectivity nets beyond target.
+  EXPECT_GE(nl.num_nets(), 150);
+  EXPECT_LE(nl.num_nets(), 150 + nl.num_blocks() / 4 + 4);
+}
+
+TEST(NetgenPacked, BlockInventoryMatchesSpec) {
+  const DesignSpec spec = small_spec();
+  const Netlist nl = generate_packed(spec, NetgenParams{}, 2);
+  const NetlistStats s = nl.stats();
+  EXPECT_EQ(s.num_luts, spec.num_luts);
+  EXPECT_EQ(s.num_ffs, spec.num_ffs);
+  EXPECT_EQ(s.num_inputs, spec.num_inputs);
+  EXPECT_EQ(s.num_outputs, spec.num_outputs);
+  EXPECT_EQ(s.num_mems, spec.num_mems);
+  EXPECT_EQ(s.num_mults, spec.num_mults);
+  EXPECT_EQ(s.num_clbs, (60 + 9) / 10);  // ceil(max(60,25)/10)
+}
+
+TEST(NetgenPacked, IsValidatedAndPacked) {
+  const Netlist nl = generate_packed(small_spec(), NetgenParams{}, 3);
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_TRUE(nl.is_packed());
+}
+
+TEST(NetgenPacked, InputPadsNeverSink) {
+  const Netlist nl = generate_packed(small_spec(), NetgenParams{}, 4);
+  for (const Net& n : nl.nets()) {
+    for (BlockId s : n.sinks) {
+      EXPECT_NE(nl.block(s).kind, BlockKind::kInputPad) << "net " << n.name;
+    }
+  }
+}
+
+TEST(NetgenPacked, OutputPadsNeverDrive) {
+  const Netlist nl = generate_packed(small_spec(), NetgenParams{}, 5);
+  for (const Net& n : nl.nets()) {
+    EXPECT_NE(nl.block(n.driver).kind, BlockKind::kOutputPad) << "net " << n.name;
+  }
+}
+
+TEST(NetgenPacked, DeterministicPerSeed) {
+  const Netlist a = generate_packed(small_spec(), NetgenParams{}, 7);
+  const Netlist b = generate_packed(small_spec(), NetgenParams{}, 7);
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  for (NetId i = 0; i < a.num_nets(); ++i) {
+    EXPECT_EQ(a.net(i).driver, b.net(i).driver);
+    EXPECT_EQ(a.net(i).sinks, b.net(i).sinks);
+  }
+}
+
+TEST(NetgenPacked, DifferentSeedsDiffer) {
+  const Netlist a = generate_packed(small_spec(), NetgenParams{}, 1);
+  const Netlist b = generate_packed(small_spec(), NetgenParams{}, 2);
+  bool any_diff = a.num_nets() != b.num_nets();
+  for (NetId i = 0; !any_diff && i < std::min(a.num_nets(), b.num_nets()); ++i) {
+    any_diff = a.net(i).driver != b.net(i).driver || a.net(i).sinks != b.net(i).sinks;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(NetgenPacked, LocalityBiasesSinkDistance) {
+  // High locality nets should connect blocks with nearby ids far more often
+  // than uniform selection would.
+  NetgenParams local;
+  local.locality = 0.95;
+  local.locality_window = 5;
+  NetgenParams global;
+  global.locality = 0.0;
+  // A larger logic pool than small_spec(), so a 5-wide window is genuinely
+  // narrow compared to uniform selection.
+  DesignSpec spec = small_spec();
+  spec.num_luts = 600;
+  spec.num_ffs = 200;
+  spec.num_nets = 1500;
+  auto mean_distance = [](const Netlist& nl) {
+    double total = 0.0;
+    Index count = 0;
+    for (const Net& n : nl.nets()) {
+      for (BlockId s : n.sinks) {
+        total += std::abs(static_cast<double>(s) - static_cast<double>(n.driver));
+        count += 1;
+      }
+    }
+    return total / static_cast<double>(count);
+  };
+  const double d_local = mean_distance(generate_packed(spec, local, 11));
+  const double d_global = mean_distance(generate_packed(spec, global, 11));
+  EXPECT_LT(d_local, d_global * 0.7);
+}
+
+TEST(NetgenFlat, EveryLogicBlockDrivesOneNet) {
+  const Netlist nl = generate_flat(small_spec(), NetgenParams{}, 8);
+  const NetlistStats s = nl.stats();
+  // nets = inputs + logic drivers + output nets
+  EXPECT_EQ(nl.num_nets(),
+            s.num_inputs + s.num_luts + s.num_ffs + s.num_mems + s.num_mults + s.num_outputs);
+}
+
+TEST(NetgenFlat, IsFlatAndValid) {
+  const Netlist nl = generate_flat(small_spec(), NetgenParams{}, 9);
+  EXPECT_FALSE(nl.is_packed());
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(NetgenFlat, PrimitiveCountsMatchSpec) {
+  const Netlist nl = generate_flat(small_spec(), NetgenParams{}, 10);
+  const NetlistStats s = nl.stats();
+  EXPECT_EQ(s.num_luts, 60);
+  EXPECT_EQ(s.num_ffs, 25);
+  EXPECT_EQ(s.num_inputs, 8);
+  EXPECT_EQ(s.num_outputs, 6);
+}
+
+TEST(ScaleSpec, ScalesAllCountsAndKeepsMinimums) {
+  const DesignSpec full = design_by_name("ode");
+  const DesignSpec tenth = scale_spec(full, 0.1);
+  EXPECT_EQ(tenth.num_luts, 549);
+  EXPECT_EQ(tenth.num_ffs, 132);
+  EXPECT_EQ(tenth.num_nets, 2098);
+  EXPECT_GE(tenth.num_mems, 1);
+  const DesignSpec tiny = scale_spec(full, 1e-9);
+  EXPECT_GE(tiny.num_luts, 1);
+  EXPECT_GE(tiny.num_nets, 2);
+}
+
+TEST(ScaleSpec, FactorOneIsIdentityOnCounts) {
+  const DesignSpec full = design_by_name("SHA");
+  const DesignSpec same = scale_spec(full, 1.0);
+  EXPECT_EQ(same.num_luts, full.num_luts);
+  EXPECT_EQ(same.num_ffs, full.num_ffs);
+  EXPECT_EQ(same.num_nets, full.num_nets);
+}
+
+TEST(ScaleSpec, RejectsNonPositiveFactor) {
+  EXPECT_THROW(scale_spec(design_by_name("ode"), 0.0), paintplace::CheckError);
+}
+
+}  // namespace
+}  // namespace paintplace::fpga

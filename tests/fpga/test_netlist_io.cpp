@@ -1,0 +1,115 @@
+#include "fpga/netlist_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "fpga/netgen.h"
+
+namespace paintplace::fpga {
+namespace {
+
+Netlist sample_netlist() {
+  DesignSpec spec;
+  spec.name = "io_test";
+  spec.num_luts = 25;
+  spec.num_ffs = 10;
+  spec.num_nets = 60;
+  spec.num_inputs = 4;
+  spec.num_outputs = 3;
+  spec.num_mults = 1;
+  return generate_packed(spec, NetgenParams{}, 9);
+}
+
+TEST(NetlistIo, StreamRoundTripPreservesStructure) {
+  const Netlist original = sample_netlist();
+  std::stringstream buffer;
+  write_netlist(original, buffer);
+  const Netlist loaded = read_netlist(buffer);
+
+  EXPECT_EQ(loaded.name(), original.name());
+  ASSERT_EQ(loaded.num_blocks(), original.num_blocks());
+  ASSERT_EQ(loaded.num_nets(), original.num_nets());
+  for (BlockId b = 0; b < original.num_blocks(); ++b) {
+    EXPECT_EQ(loaded.block(b).name, original.block(b).name);
+    EXPECT_EQ(loaded.block(b).kind, original.block(b).kind);
+    EXPECT_EQ(loaded.block(b).num_luts, original.block(b).num_luts);
+    EXPECT_EQ(loaded.block(b).num_ffs, original.block(b).num_ffs);
+  }
+  for (NetId n = 0; n < original.num_nets(); ++n) {
+    EXPECT_EQ(loaded.net(n).driver, original.net(n).driver);
+    EXPECT_EQ(loaded.net(n).sinks, original.net(n).sinks);
+  }
+}
+
+TEST(NetlistIo, FlatNetlistRoundTrips) {
+  DesignSpec spec;
+  spec.name = "flat_io";
+  spec.num_luts = 12;
+  spec.num_ffs = 4;
+  spec.num_inputs = 3;
+  spec.num_outputs = 2;
+  const Netlist original = generate_flat(spec, NetgenParams{}, 3);
+  std::stringstream buffer;
+  write_netlist(original, buffer);
+  const Netlist loaded = read_netlist(buffer);
+  EXPECT_EQ(loaded.num_blocks(), original.num_blocks());
+  EXPECT_FALSE(loaded.is_packed());
+}
+
+TEST(NetlistIo, FileRoundTrip) {
+  const Netlist original = sample_netlist();
+  const std::string path = ::testing::TempDir() + "/pp_netlist.txt";
+  write_netlist_file(original, path);
+  const Netlist loaded = read_netlist_file(path);
+  EXPECT_EQ(loaded.num_nets(), original.num_nets());
+  std::remove(path.c_str());
+}
+
+TEST(NetlistIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream in(
+      "# a comment\n"
+      "design tiny\n"
+      "\n"
+      "block a CLB 3 1\n"
+      "block b CLB 2 2\n"
+      "# another comment\n"
+      "net n1 a b\n");
+  const Netlist nl = read_netlist(in);
+  EXPECT_EQ(nl.num_blocks(), 2);
+  EXPECT_EQ(nl.num_nets(), 1);
+  EXPECT_EQ(nl.block(0).num_luts, 3);
+}
+
+TEST(NetlistIo, RejectsUnknownKeyword) {
+  std::stringstream in("design d\nwire x y\n");
+  EXPECT_THROW(read_netlist(in), CheckError);
+}
+
+TEST(NetlistIo, RejectsUnknownBlockKind) {
+  std::stringstream in("design d\nblock a GIZMO\n");
+  EXPECT_THROW(read_netlist(in), CheckError);
+}
+
+TEST(NetlistIo, RejectsNetWithUnknownEndpoint) {
+  std::stringstream in("design d\nblock a CLB 1 1\nnet n a ghost\n");
+  EXPECT_THROW(read_netlist(in), CheckError);
+}
+
+TEST(NetlistIo, RejectsDuplicateBlockName) {
+  std::stringstream in("design d\nblock a CLB 1 1\nblock a CLB 1 1\n");
+  EXPECT_THROW(read_netlist(in), CheckError);
+}
+
+TEST(NetlistIo, RejectsMissingDesignLine) {
+  std::stringstream in("block a CLB 1 1\n");
+  EXPECT_THROW(read_netlist(in), CheckError);
+}
+
+TEST(NetlistIo, MissingFileThrows) {
+  EXPECT_THROW(read_netlist_file("/nonexistent/netlist.txt"), CheckError);
+}
+
+}  // namespace
+}  // namespace paintplace::fpga

@@ -1,0 +1,94 @@
+#include "fpga/pack.h"
+
+#include <gtest/gtest.h>
+
+#include "fpga/netgen.h"
+
+namespace paintplace::fpga {
+namespace {
+
+DesignSpec flat_spec() {
+  DesignSpec s;
+  s.name = "packme";
+  s.num_luts = 40;
+  s.num_ffs = 20;
+  s.num_inputs = 6;
+  s.num_outputs = 4;
+  return s;
+}
+
+TEST(Pack, ProducesPackedNetlist) {
+  const Netlist flat = generate_flat(flat_spec(), NetgenParams{}, 1);
+  const PackResult r = pack(flat, PackParams{10});
+  EXPECT_TRUE(r.packed.is_packed());
+  EXPECT_NO_THROW(r.packed.validate());
+}
+
+TEST(Pack, PreservesLutAndFfTotals) {
+  const Netlist flat = generate_flat(flat_spec(), NetgenParams{}, 2);
+  const PackResult r = pack(flat, PackParams{10});
+  const NetlistStats fs = flat.stats(), ps = r.packed.stats();
+  EXPECT_EQ(fs.num_luts, ps.num_luts);
+  EXPECT_EQ(fs.num_ffs, ps.num_ffs);
+  EXPECT_EQ(fs.num_inputs, ps.num_inputs);
+  EXPECT_EQ(fs.num_outputs, ps.num_outputs);
+}
+
+TEST(Pack, RespectsClbCapacity) {
+  const Netlist flat = generate_flat(flat_spec(), NetgenParams{}, 3);
+  const PackParams params{8};
+  const PackResult r = pack(flat, params);
+  for (const Block& b : r.packed.blocks()) {
+    if (b.kind != BlockKind::kClb) continue;
+    EXPECT_LE(std::max(b.num_luts, b.num_ffs), params.clb_capacity) << b.name;
+  }
+}
+
+TEST(Pack, ClusterCountAtLeastBlesOverCapacity) {
+  const Netlist flat = generate_flat(flat_spec(), NetgenParams{}, 4);
+  const PackResult r = pack(flat, PackParams{10});
+  const Index clbs = r.packed.stats().num_clbs;
+  EXPECT_GE(clbs, (r.num_bles + 9) / 10);
+}
+
+TEST(Pack, MapsEveryFlatBlock) {
+  const Netlist flat = generate_flat(flat_spec(), NetgenParams{}, 5);
+  const PackResult r = pack(flat, PackParams{10});
+  ASSERT_EQ(static_cast<Index>(r.flat_to_packed.size()), flat.num_blocks());
+  for (const Block& b : flat.blocks()) {
+    const BlockId p = r.flat_to_packed[static_cast<std::size_t>(b.id)];
+    ASSERT_GE(p, 0) << b.name;
+    ASSERT_LT(p, r.packed.num_blocks());
+    if (b.kind == BlockKind::kLut || b.kind == BlockKind::kFf) {
+      EXPECT_EQ(r.packed.block(p).kind, BlockKind::kClb);
+    } else {
+      EXPECT_EQ(r.packed.block(p).kind, b.kind);
+    }
+  }
+}
+
+TEST(Pack, AbsorbsIntraClusterNets) {
+  // Packing must strictly reduce (or keep) the external net count.
+  const Netlist flat = generate_flat(flat_spec(), NetgenParams{}, 6);
+  const PackResult r = pack(flat, PackParams{10});
+  EXPECT_LE(r.packed.num_nets(), flat.num_nets() + r.packed.num_blocks() / 4);
+  EXPECT_LT(r.packed.num_blocks(), flat.num_blocks());
+}
+
+TEST(Pack, CapacityOneKeepsBlesSeparate) {
+  const Netlist flat = generate_flat(flat_spec(), NetgenParams{}, 7);
+  const PackResult r = pack(flat, PackParams{1});
+  EXPECT_EQ(r.packed.stats().num_clbs, r.num_bles);
+}
+
+TEST(Pack, BleFusionReducesClusterInputCount) {
+  // With LUT->FF pairs fused, BLE count must be <= LUTs + FFs and >= max.
+  const Netlist flat = generate_flat(flat_spec(), NetgenParams{}, 8);
+  const PackResult r = pack(flat, PackParams{10});
+  const NetlistStats s = flat.stats();
+  EXPECT_LE(r.num_bles, s.num_luts + s.num_ffs);
+  EXPECT_GE(r.num_bles, std::max(s.num_luts, s.num_ffs));
+}
+
+}  // namespace
+}  // namespace paintplace::fpga

@@ -1,0 +1,82 @@
+#include "img/color.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace paintplace::img {
+namespace {
+
+TEST(ColorScheme, AllPairsSeparatedInRgb) {
+  // Sec. 4.2: elements must be differentiable by RGB euclidean distance.
+  const Color colors[] = {scheme::kWhite, scheme::kLightBlue, scheme::kPink,
+                          scheme::kLightYellow, scheme::kBlack, scheme::kIoPad};
+  for (std::size_t i = 0; i < std::size(colors); ++i) {
+    for (std::size_t j = i + 1; j < std::size(colors); ++j) {
+      EXPECT_GT(colors[i].distance_sq(colors[j]), 0.01f) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Colormap, EndpointsAreYellowAndPurple) {
+  const Color lo = UtilizationColormap::map(0.0);
+  const Color hi = UtilizationColormap::map(1.0);
+  EXPECT_GT(lo.r, 0.9f);
+  EXPECT_GT(lo.g, 0.85f);
+  EXPECT_LT(lo.b, 0.3f);  // yellow
+  EXPECT_LT(hi.g, 0.2f);
+  EXPECT_GT(hi.b, 0.4f);  // purple
+}
+
+TEST(Colormap, ClampsOutOfRange) {
+  EXPECT_EQ(UtilizationColormap::map(-0.5).distance_sq(UtilizationColormap::map(0.0)), 0.0f);
+  EXPECT_EQ(UtilizationColormap::map(2.0).distance_sq(UtilizationColormap::map(1.0)), 0.0f);
+}
+
+TEST(Colormap, UnmapInvertsMapExactly) {
+  for (int i = 0; i <= 100; ++i) {
+    const double u = static_cast<double>(i) / 100.0;
+    EXPECT_NEAR(UtilizationColormap::unmap(UtilizationColormap::map(u)), u, 1e-4) << u;
+  }
+}
+
+TEST(Colormap, UnmapIsMonotoneAlongGradient) {
+  double prev = -1.0;
+  for (int i = 0; i <= 50; ++i) {
+    const double u = UtilizationColormap::unmap(
+        UtilizationColormap::map(static_cast<double>(i) / 50.0));
+    EXPECT_GE(u, prev);
+    prev = u;
+  }
+}
+
+TEST(Colormap, UnmapRobustToPerturbation) {
+  // Network outputs drift off the polyline; nearest-point projection must
+  // still land close to the original utilization.
+  for (int i = 0; i <= 10; ++i) {
+    const double u = static_cast<double>(i) / 10.0;
+    Color c = UtilizationColormap::map(u);
+    c.r = std::min(1.0f, c.r + 0.05f);
+    c.g = std::max(0.0f, c.g - 0.05f);
+    EXPECT_NEAR(UtilizationColormap::unmap(c), u, 0.12) << u;
+  }
+}
+
+TEST(Colormap, MidpointBetweenStops) {
+  const Color quarter = UtilizationColormap::map(0.25);
+  const Color lo = UtilizationColormap::map(0.0);
+  const Color mid = UtilizationColormap::map(0.5);
+  EXPECT_NEAR(quarter.r, (lo.r + mid.r) / 2.0f, 1e-6f);
+  EXPECT_NEAR(quarter.g, (lo.g + mid.g) / 2.0f, 1e-6f);
+  EXPECT_NEAR(quarter.b, (lo.b + mid.b) / 2.0f, 1e-6f);
+}
+
+TEST(Color, DistanceSq) {
+  const Color a{0.0f, 0.0f, 0.0f};
+  const Color b{1.0f, 1.0f, 1.0f};
+  EXPECT_FLOAT_EQ(a.distance_sq(b), 3.0f);
+  EXPECT_FLOAT_EQ(a.distance_sq(a), 0.0f);
+}
+
+}  // namespace
+}  // namespace paintplace::img

@@ -1,0 +1,121 @@
+#include "img/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace paintplace::img {
+namespace {
+
+using fpga::Arch;
+using fpga::GridLoc;
+
+TEST(Geometry, CanvasFitsTargetWidth) {
+  const Arch arch(8, 8);
+  const PixelGeometry geom(arch, 256);
+  EXPECT_LE(geom.canvas_width(), 256);
+  EXPECT_LE(geom.canvas_height(), 256);
+}
+
+TEST(Geometry, ElementsAtLeastTwoPixels) {
+  // Sec. 4.2 "Resolution": every placement element >= 2x2 pixels.
+  for (Index interior : {2, 4, 8, 16, 30}) {
+    const Arch arch(interior, interior);
+    const PixelGeometry geom(arch, 256);
+    EXPECT_GE(geom.tile_px(), 2) << "interior " << interior;
+    for (Index y = 0; y < arch.height(); ++y) {
+      for (Index x = 0; x < arch.width(); ++x) {
+        const PixelRect r = geom.tile_rect(x, y);
+        EXPECT_GE(r.width(), 2);
+        EXPECT_GE(r.height(), 2);
+      }
+    }
+  }
+}
+
+TEST(Geometry, TooSmallTargetThrows) {
+  const Arch arch(30, 30);
+  EXPECT_THROW(PixelGeometry(arch, 48), CheckError);
+}
+
+TEST(Geometry, LatticeRectsTileTheCanvas) {
+  const Arch arch(4, 3);
+  const PixelGeometry geom(arch, 128);
+  // Sum of column widths must equal the canvas width.
+  Index total_w = 0;
+  const Index lw = 2 * arch.width() + 1;
+  for (Index lx = 0; lx < lw; ++lx) {
+    total_w += geom.lattice_rect(lx, 1).width();
+  }
+  EXPECT_EQ(total_w, geom.canvas_width());
+  Index total_h = 0;
+  const Index lh = 2 * arch.height() + 1;
+  for (Index ly = 0; ly < lh; ++ly) {
+    total_h += geom.lattice_rect(1, ly).height();
+  }
+  EXPECT_EQ(total_h, geom.canvas_height());
+}
+
+TEST(Geometry, RectsDoNotOverlap) {
+  const Arch arch(3, 3);
+  const PixelGeometry geom(arch, 128);
+  const PixelRect a = geom.lattice_rect(1, 1);
+  const PixelRect b = geom.lattice_rect(2, 1);
+  EXPECT_EQ(a.x1, b.x0);
+  const PixelRect c = geom.lattice_rect(1, 2);
+  EXPECT_EQ(a.y1, c.y0);
+}
+
+TEST(Geometry, ChannelsThinnerThanTiles) {
+  const Arch arch(6, 6);
+  const PixelGeometry geom(arch, 256);
+  EXPECT_LT(geom.chan_px(), geom.tile_px() + 1);
+  EXPECT_GE(geom.chan_px(), 1);
+}
+
+TEST(Geometry, TileRectMatchesLatticeRect) {
+  const Arch arch(4, 4);
+  const PixelGeometry geom(arch, 200);
+  const PixelRect via_tile = geom.tile_rect(2, 3);
+  const PixelRect via_lattice = geom.lattice_rect(5, 7);
+  EXPECT_EQ(via_tile.x0, via_lattice.x0);
+  EXPECT_EQ(via_tile.y1, via_lattice.y1);
+}
+
+TEST(Geometry, IoPortRectsPartitionPad) {
+  const Arch arch(4, 4);
+  const PixelGeometry geom(arch, 256);
+  const Index ports = arch.params().io_ports_per_pad;
+  // Left-side pad: ports stack vertically.
+  const GridLoc pad{0, 2, 0};
+  Index covered = 0;
+  for (Index sub = 0; sub < ports; ++sub) {
+    const PixelRect r = geom.io_port_rect(GridLoc{0, 2, sub}, ports);
+    covered += r.height();
+    EXPECT_EQ(r.width(), geom.tile_rect(0, 2).width());
+  }
+  EXPECT_EQ(covered, geom.tile_rect(pad.x, pad.y).height());
+  // Top-side pad: ports stack horizontally.
+  const PixelRect top = geom.io_port_rect(GridLoc{2, 0, 3}, ports);
+  EXPECT_EQ(top.height(), geom.tile_rect(2, 0).height());
+}
+
+TEST(Geometry, TileCenterInsideRect) {
+  const Arch arch(5, 5);
+  const PixelGeometry geom(arch, 256);
+  for (Index y = 0; y < arch.height(); ++y) {
+    for (Index x = 0; x < arch.width(); ++x) {
+      Index px = 0, py = 0;
+      geom.tile_center(x, y, px, py);
+      EXPECT_TRUE(geom.tile_rect(x, y).contains(px, py));
+    }
+  }
+}
+
+TEST(Geometry, OutOfRangeLatticeThrows) {
+  const Arch arch(3, 3);
+  const PixelGeometry geom(arch, 128);
+  EXPECT_THROW(geom.lattice_rect(-1, 0), CheckError);
+  EXPECT_THROW(geom.lattice_rect(11, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace paintplace::img

@@ -1,0 +1,171 @@
+#include "img/image.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace paintplace::img {
+namespace {
+
+TEST(Image, ConstructionAndAccess) {
+  Image img(4, 3, 3);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.channels(), 3);
+  img.at(2, 1, 0) = 0.5f;
+  EXPECT_FLOAT_EQ(img.at(2, 1, 0), 0.5f);
+  EXPECT_FLOAT_EQ(img.at(0, 0, 0), 0.0f);
+}
+
+TEST(Image, BoundsChecked) {
+  Image img(2, 2, 1);
+  EXPECT_THROW(img.at(2, 0, 0), CheckError);
+  EXPECT_THROW(img.at(0, -1, 0), CheckError);
+  EXPECT_THROW(img.at(0, 0, 1), CheckError);
+}
+
+TEST(Image, OnlyOneOrThreeChannels) {
+  EXPECT_THROW(Image(2, 2, 2), CheckError);
+  EXPECT_THROW(Image(2, 2, 4), CheckError);
+}
+
+TEST(Image, TensorRoundTrip) {
+  Image img(3, 2, 3);
+  float v = 0.0f;
+  for (Index y = 0; y < 2; ++y) {
+    for (Index x = 0; x < 3; ++x) {
+      for (Index c = 0; c < 3; ++c) img.at(x, y, c) = v += 0.01f;
+    }
+  }
+  const nn::Tensor t = img.to_tensor();
+  EXPECT_EQ(t.shape(), (nn::Shape{1, 3, 2, 3}));
+  EXPECT_FLOAT_EQ(t.at(0, 1, 1, 2), img.at(2, 1, 1));
+  const Image back = Image::from_tensor(t);
+  for (Index y = 0; y < 2; ++y) {
+    for (Index x = 0; x < 3; ++x) {
+      for (Index c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(back.at(x, y, c), img.at(x, y, c));
+    }
+  }
+}
+
+TEST(Image, PpmRoundTrip8Bit) {
+  Image img(5, 4, 3);
+  for (Index y = 0; y < 4; ++y) {
+    for (Index x = 0; x < 5; ++x) {
+      img.at(x, y, 0) = static_cast<float>(x) / 4.0f;
+      img.at(x, y, 1) = static_cast<float>(y) / 3.0f;
+      img.at(x, y, 2) = 1.0f;
+    }
+  }
+  const std::string path = ::testing::TempDir() + "/pp_img_test.ppm";
+  write_image(img, path);
+  const Image loaded = read_image(path);
+  ASSERT_EQ(loaded.width(), 5);
+  ASSERT_EQ(loaded.height(), 4);
+  ASSERT_EQ(loaded.channels(), 3);
+  for (Index y = 0; y < 4; ++y) {
+    for (Index x = 0; x < 5; ++x) {
+      for (Index c = 0; c < 3; ++c) {
+        EXPECT_NEAR(loaded.at(x, y, c), img.at(x, y, c), 1.0f / 255.0f);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Image, PgmRoundTripGray) {
+  Image img(3, 3, 1);
+  img.at(1, 1, 0) = 0.5f;
+  const std::string path = ::testing::TempDir() + "/pp_img_test.pgm";
+  write_image(img, path);
+  const Image loaded = read_image(path);
+  EXPECT_EQ(loaded.channels(), 1);
+  EXPECT_NEAR(loaded.at(1, 1, 0), 0.5f, 1.0f / 255.0f);
+  EXPECT_NEAR(loaded.at(0, 0, 0), 0.0f, 1.0f / 255.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Image, WriteClampsOutOfRange) {
+  Image img(1, 1, 1);
+  img.at(0, 0, 0) = 7.5f;
+  const std::string path = ::testing::TempDir() + "/pp_img_clamp.pgm";
+  write_image(img, path);
+  EXPECT_FLOAT_EQ(read_image(path).at(0, 0, 0), 1.0f);
+  std::remove(path.c_str());
+}
+
+TEST(Image, ReadMissingFileThrows) {
+  EXPECT_THROW(read_image("/nonexistent/img.ppm"), CheckError);
+}
+
+TEST(Resize, IdentityWhenSameSize) {
+  Image img(4, 4, 3);
+  img.at(2, 2, 1) = 0.7f;
+  const Image out = resize_bilinear(img, 4, 4);
+  EXPECT_FLOAT_EQ(out.at(2, 2, 1), 0.7f);
+}
+
+TEST(Resize, ConstantImageStaysConstant) {
+  Image img(7, 5, 3);
+  img.fill(0.42f);
+  const Image out = resize_bilinear(img, 13, 9);
+  for (Index y = 0; y < 9; ++y) {
+    for (Index x = 0; x < 13; ++x) {
+      for (Index c = 0; c < 3; ++c) EXPECT_NEAR(out.at(x, y, c), 0.42f, 1e-6f);
+    }
+  }
+}
+
+TEST(Resize, DownThenUpPreservesMean) {
+  Image img(16, 16, 1);
+  for (Index y = 0; y < 16; ++y) {
+    for (Index x = 0; x < 16; ++x) {
+      img.at(x, y, 0) = static_cast<float>((x + y) % 5) / 4.0f;
+    }
+  }
+  const Image small = resize_bilinear(img, 8, 8);
+  double mean_orig = 0.0, mean_small = 0.0;
+  for (Index i = 0; i < img.num_pixels(); ++i) mean_orig += static_cast<double>(img.data()[i]);
+  for (Index i = 0; i < small.num_pixels(); ++i) {
+    mean_small += static_cast<double>(small.data()[i]);
+  }
+  mean_orig /= static_cast<double>(img.num_pixels());
+  mean_small /= static_cast<double>(small.num_pixels());
+  EXPECT_NEAR(mean_orig, mean_small, 0.05);
+}
+
+TEST(Grayscale, UsesLuminanceWeights) {
+  Image img(1, 1, 3);
+  img.at(0, 0, 0) = 1.0f;  // pure red
+  EXPECT_NEAR(to_grayscale(img).at(0, 0, 0), 0.2989f, 1e-5f);
+  img.at(0, 0, 0) = 0.0f;
+  img.at(0, 0, 1) = 1.0f;  // pure green
+  EXPECT_NEAR(to_grayscale(img).at(0, 0, 0), 0.5870f, 1e-5f);
+}
+
+TEST(Grayscale, RejectsNonRgb) {
+  EXPECT_THROW(to_grayscale(Image(2, 2, 1)), CheckError);
+}
+
+TEST(AbsDiff, ComputesPerPixelDifference) {
+  Image a(2, 1, 1), b(2, 1, 1);
+  a.at(0, 0, 0) = 0.8f;
+  b.at(0, 0, 0) = 0.3f;
+  a.at(1, 0, 0) = 0.1f;
+  b.at(1, 0, 0) = 0.4f;
+  const Image d = abs_diff(a, b);
+  EXPECT_NEAR(d.at(0, 0, 0), 0.5f, 1e-6f);
+  EXPECT_NEAR(d.at(1, 0, 0), 0.3f, 1e-6f);
+}
+
+TEST(Image, Clamp01) {
+  Image img(2, 1, 1);
+  img.at(0, 0, 0) = -0.5f;
+  img.at(1, 0, 0) = 1.5f;
+  img.clamp01();
+  EXPECT_EQ(img.at(0, 0, 0), 0.0f);
+  EXPECT_EQ(img.at(1, 0, 0), 1.0f);
+}
+
+}  // namespace
+}  // namespace paintplace::img

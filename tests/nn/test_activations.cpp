@@ -1,0 +1,106 @@
+#include "nn/activations.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/gradcheck.h"
+
+namespace paintplace::nn {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (Index i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return t;
+}
+
+TEST(LeakyReLU, ForwardValues) {
+  LeakyReLU act(0.2f);
+  const Tensor x(Shape{4}, {-2.0f, -0.5f, 0.0f, 3.0f});
+  const Tensor y = act.forward(x);
+  EXPECT_FLOAT_EQ(y[0], -0.4f);
+  EXPECT_FLOAT_EQ(y[1], -0.1f);
+  EXPECT_FLOAT_EQ(y[2], 0.0f);
+  EXPECT_FLOAT_EQ(y[3], 3.0f);
+}
+
+TEST(LeakyReLU, BackwardSlopes) {
+  LeakyReLU act(0.2f);
+  act.forward(Tensor(Shape{2}, {-1.0f, 1.0f}));
+  const Tensor g = act.backward(Tensor(Shape{2}, {1.0f, 1.0f}));
+  EXPECT_FLOAT_EQ(g[0], 0.2f);
+  EXPECT_FLOAT_EQ(g[1], 1.0f);
+}
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU act;
+  const Tensor y = act.forward(Tensor(Shape{3}, {-1.0f, 0.0f, 2.0f}));
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+}
+
+TEST(Tanh, MatchesStdTanh) {
+  Tanh act;
+  const Tensor x = random_tensor(Shape{16}, 3);
+  const Tensor y = act.forward(x);
+  for (Index i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], std::tanh(x[i]));
+}
+
+TEST(Tanh, OutputInOpenUnitInterval) {
+  Tanh act;
+  const Tensor y = act.forward(Tensor(Shape{2}, {-50.0f, 50.0f}));
+  EXPECT_GE(y[0], -1.0f);
+  EXPECT_LE(y[1], 1.0f);
+}
+
+TEST(Sigmoid, MatchesClosedForm) {
+  Sigmoid act;
+  const Tensor x = random_tensor(Shape{16}, 4);
+  const Tensor y = act.forward(x);
+  for (Index i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(y[i], 1.0f / (1.0f + std::exp(-x[i])), 1e-6f);
+  }
+}
+
+TEST(Sigmoid, SymmetryAroundHalf) {
+  Sigmoid act;
+  const Tensor y = act.forward(Tensor(Shape{2}, {-1.3f, 1.3f}));
+  EXPECT_NEAR(y[0] + y[1], 1.0f, 1e-6f);
+}
+
+template <typename Act>
+class ActivationGradTest : public ::testing::Test {};
+
+using ActTypes = ::testing::Types<LeakyReLU, ReLU, Tanh, Sigmoid>;
+TYPED_TEST_SUITE(ActivationGradTest, ActTypes);
+
+TYPED_TEST(ActivationGradTest, GradCheck) {
+  TypeParam act;
+  // Offset inputs away from 0 so the ReLU kink does not poison the
+  // finite-difference estimate.
+  Tensor x = random_tensor(Shape{1, 2, 4, 4}, 7);
+  for (Index i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x[i]) < 0.15f) x[i] = x[i] < 0.0f ? -0.2f : 0.2f;
+  }
+  const auto result = grad_check(act, x, 8, 1e-3f);
+  EXPECT_LT(result.max_input_grad_error, 2e-2f);
+  EXPECT_EQ(result.max_param_grad_error, 0.0f);  // activations are parameter-free
+}
+
+TYPED_TEST(ActivationGradTest, BackwardBeforeForwardThrows) {
+  TypeParam act;
+  EXPECT_THROW(act.backward(Tensor(Shape{2})), CheckError);
+}
+
+TYPED_TEST(ActivationGradTest, ShapePreserved) {
+  TypeParam act;
+  const Tensor y = act.forward(random_tensor(Shape{2, 3, 5, 7}, 9));
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 5, 7}));
+}
+
+}  // namespace
+}  // namespace paintplace::nn

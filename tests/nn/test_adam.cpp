@@ -1,0 +1,102 @@
+#include "nn/adam.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace paintplace::nn {
+namespace {
+
+/// Minimal quadratic "module": loss = 0.5 * ||w - target||^2.
+struct Quadratic {
+  Parameter w{"w", Shape{2}};
+  Tensor target{Shape{2}, {3.0f, -2.0f}};
+
+  double loss() const {
+    double total = 0.0;
+    for (Index i = 0; i < 2; ++i) {
+      const double d = static_cast<double>(w.value[i]) - static_cast<double>(target[i]);
+      total += 0.5 * d * d;
+    }
+    return total;
+  }
+  void compute_grad() {
+    for (Index i = 0; i < 2; ++i) w.grad[i] = w.value[i] - target[i];
+  }
+};
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Quadratic q;
+  Adam opt({&q.w}, AdamConfig{0.1f, 0.9f, 0.999f, 1e-8f});
+  for (int i = 0; i < 500; ++i) {
+    opt.zero_grad();
+    q.compute_grad();
+    opt.step();
+  }
+  EXPECT_NEAR(q.w.value[0], 3.0f, 1e-2f);
+  EXPECT_NEAR(q.w.value[1], -2.0f, 1e-2f);
+}
+
+TEST(Adam, FirstStepMagnitudeIsLr) {
+  // With bias correction the very first Adam step has magnitude ~lr.
+  Parameter p("p", Shape{1});
+  Adam opt({&p}, AdamConfig{0.01f, 0.9f, 0.999f, 1e-8f});
+  p.grad[0] = 123.0f;  // any nonzero gradient
+  opt.step();
+  EXPECT_NEAR(std::fabs(p.value[0]), 0.01f, 1e-4f);
+}
+
+TEST(Adam, PaperDefaults) {
+  const AdamConfig cfg;
+  EXPECT_FLOAT_EQ(cfg.lr, 2e-4f);
+  EXPECT_FLOAT_EQ(cfg.beta1, 0.5f);
+  EXPECT_FLOAT_EQ(cfg.beta2, 0.999f);
+  EXPECT_FLOAT_EQ(cfg.eps, 1e-8f);
+}
+
+TEST(Adam, ZeroGradClearsGradients) {
+  Parameter p("p", Shape{3});
+  p.grad.fill(5.0f);
+  Adam opt({&p});
+  opt.zero_grad();
+  for (Index i = 0; i < 3; ++i) EXPECT_EQ(p.grad[i], 0.0f);
+}
+
+TEST(Adam, StepCountIncrements) {
+  Parameter p("p", Shape{1});
+  Adam opt({&p});
+  EXPECT_EQ(opt.step_count(), 0);
+  opt.step();
+  opt.step();
+  EXPECT_EQ(opt.step_count(), 2);
+}
+
+TEST(Adam, ZeroGradientLeavesParamsUnchanged) {
+  Parameter p("p", Shape{2});
+  p.value[0] = 1.5f;
+  p.value[1] = -0.5f;
+  Adam opt({&p});
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.5f);
+  EXPECT_FLOAT_EQ(p.value[1], -0.5f);
+}
+
+TEST(Adam, RejectsBadConfig) {
+  Parameter p("p", Shape{1});
+  EXPECT_THROW(Adam({&p}, AdamConfig{-1.0f, 0.5f, 0.999f, 1e-8f}), CheckError);
+  EXPECT_THROW(Adam({&p}, AdamConfig{1e-3f, 1.0f, 0.999f, 1e-8f}), CheckError);
+  EXPECT_THROW(Adam({&p}, AdamConfig{1e-3f, 0.5f, 0.999f, 0.0f}), CheckError);
+}
+
+TEST(Adam, MultipleParametersIndependent) {
+  Parameter a("a", Shape{1}), b("b", Shape{1});
+  Adam opt({&a, &b}, AdamConfig{0.1f, 0.9f, 0.999f, 1e-8f});
+  a.grad[0] = 1.0f;
+  b.grad[0] = 0.0f;
+  opt.step();
+  EXPECT_LT(a.value[0], 0.0f);
+  EXPECT_EQ(b.value[0], 0.0f);
+}
+
+}  // namespace
+}  // namespace paintplace::nn

@@ -1,0 +1,117 @@
+#include "nn/batchnorm2d.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/gradcheck.h"
+
+namespace paintplace::nn {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed, double lo = -1.0, double hi = 1.0) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (Index i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+TEST(BatchNorm2d, NormalizesPerChannelInTraining) {
+  BatchNorm2d bn("bn", 3);
+  const Tensor x = random_tensor(Shape{2, 3, 5, 5}, 1, -4.0, 6.0);
+  const Tensor y = bn.forward(x);
+  for (Index c = 0; c < 3; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (Index n = 0; n < 2; ++n) {
+      for (Index h = 0; h < 5; ++h) {
+        for (Index w = 0; w < 5; ++w) {
+          sum += static_cast<double>(y.at(n, c, h, w));
+          sq += static_cast<double>(y.at(n, c, h, w)) * static_cast<double>(y.at(n, c, h, w));
+        }
+      }
+    }
+    const double mean = sum / 50.0;
+    const double var = sq / 50.0 - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, GammaBetaApplied) {
+  BatchNorm2d bn("bn", 1);
+  std::vector<Parameter*> params;
+  bn.collect_parameters(params);
+  params[0]->value.fill(2.0f);   // gamma
+  params[1]->value.fill(-1.0f);  // beta
+  const Tensor x = random_tensor(Shape{1, 1, 8, 8}, 2);
+  const Tensor y = bn.forward(x);
+  double sum = 0.0, sq = 0.0;
+  for (Index i = 0; i < y.numel(); ++i) {
+    sum += static_cast<double>(y[i]);
+    sq += static_cast<double>(y[i]) * static_cast<double>(y[i]);
+  }
+  const double mean = sum / static_cast<double>(y.numel());
+  EXPECT_NEAR(mean, -1.0, 1e-4);
+  EXPECT_NEAR(sq / static_cast<double>(y.numel()) - mean * mean, 4.0, 5e-2);
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  BatchNorm2d bn("bn", 2);
+  // Train on data with known statistics to populate running stats.
+  for (int i = 0; i < 200; ++i) {
+    bn.forward(random_tensor(Shape{1, 2, 6, 6}, 100 + static_cast<std::uint64_t>(i), 1.0, 3.0));
+  }
+  bn.set_training(false);
+  // A constant input at the running mean should map to ~beta (0).
+  Tensor x(Shape{1, 2, 4, 4});
+  for (Index c = 0; c < 2; ++c) {
+    const float m = bn.running_mean()[c];
+    for (Index h = 0; h < 4; ++h) {
+      for (Index w = 0; w < 4; ++w) x.at(0, c, h, w) = m;
+    }
+  }
+  const Tensor y = bn.forward(x);
+  for (Index i = 0; i < y.numel(); ++i) EXPECT_NEAR(y[i], 0.0f, 1e-3f);
+}
+
+TEST(BatchNorm2d, EvalIsDeterministicAndStateless) {
+  BatchNorm2d bn("bn", 2);
+  bn.forward(random_tensor(Shape{1, 2, 6, 6}, 3));
+  bn.set_training(false);
+  const Tensor x = random_tensor(Shape{1, 2, 6, 6}, 4);
+  const Tensor y1 = bn.forward(x);
+  const Tensor y2 = bn.forward(x);
+  EXPECT_EQ(y1.max_abs_diff(y2), 0.0f);
+}
+
+TEST(BatchNorm2d, GradCheck) {
+  BatchNorm2d bn("bn", 3);
+  const auto result = grad_check(bn, random_tensor(Shape{2, 3, 4, 4}, 5), 7, 1e-2f);
+  EXPECT_LT(result.max_input_grad_error, 3e-2f);
+  EXPECT_LT(result.max_param_grad_error, 3e-2f);
+}
+
+TEST(BatchNorm2d, SingleSpatialElementSurvives) {
+  // Bottleneck-like input (1x1 spatial, batch 1): variance is zero; the
+  // normalized output must stay finite (epsilon guards the division).
+  BatchNorm2d bn("bn", 4);
+  const Tensor y = bn.forward(random_tensor(Shape{1, 4, 1, 1}, 6));
+  for (Index i = 0; i < y.numel(); ++i) EXPECT_TRUE(std::isfinite(y[i]));
+}
+
+TEST(BatchNorm2d, RejectsWrongChannels) {
+  BatchNorm2d bn("bn", 3);
+  EXPECT_THROW(bn.forward(Tensor(Shape{1, 2, 4, 4})), CheckError);
+}
+
+TEST(BatchNorm2d, BackwardInEvalModeThrows) {
+  BatchNorm2d bn("bn", 1);
+  bn.forward(Tensor(Shape{1, 1, 2, 2}));
+  bn.set_training(false);
+  bn.forward(Tensor(Shape{1, 1, 2, 2}));
+  EXPECT_THROW(bn.backward(Tensor(Shape{1, 1, 2, 2})), CheckError);
+}
+
+}  // namespace
+}  // namespace paintplace::nn

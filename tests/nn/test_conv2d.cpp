@@ -1,0 +1,132 @@
+#include "nn/conv2d.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/gradcheck.h"
+
+namespace paintplace::nn {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (Index i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+TEST(Conv2d, OutputShapeStride2) {
+  Rng rng(1);
+  Conv2d conv("c", 3, 8, 4, 2, 1, rng);
+  const Tensor out = conv.forward(random_tensor(Shape{2, 3, 16, 16}, 2));
+  EXPECT_EQ(out.shape(), (Shape{2, 8, 8, 8}));
+}
+
+TEST(Conv2d, OutputShapeStride1) {
+  Rng rng(1);
+  Conv2d conv("c", 2, 4, 3, 1, 1, rng);
+  const Tensor out = conv.forward(random_tensor(Shape{1, 2, 7, 9}, 3));
+  EXPECT_EQ(out.shape(), (Shape{1, 4, 7, 9}));
+}
+
+TEST(Conv2d, PatchShrinkKernel4Stride1) {
+  // The discriminator's 32->31->30 progression (Fig. 5).
+  Rng rng(1);
+  Conv2d conv("c", 1, 1, 4, 1, 1, rng);
+  const Tensor out = conv.forward(random_tensor(Shape{1, 1, 32, 32}, 4));
+  EXPECT_EQ(out.dim(2), 31);
+  EXPECT_EQ(out.dim(3), 31);
+}
+
+TEST(Conv2d, KnownValueIdentityKernel) {
+  Rng rng(1);
+  Conv2d conv("c", 1, 1, 1, 1, 0, rng);
+  conv.weight().value.fill(1.0f);
+  std::vector<Parameter*> params;
+  conv.collect_parameters(params);
+  ASSERT_EQ(params.size(), 2u);
+  params[1]->value.fill(0.5f);  // bias
+  Tensor x(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor out = conv.forward(x);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), 4.5f);
+}
+
+TEST(Conv2d, SumKernelComputesWindowSums) {
+  Rng rng(1);
+  Conv2d conv("c", 1, 1, 2, 2, 0, rng, /*bias=*/false);
+  conv.weight().value.fill(1.0f);
+  Tensor x(Shape{1, 1, 4, 4});
+  for (Index i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  const Tensor out = conv.forward(x);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 0 + 1 + 4 + 5);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), 10 + 11 + 14 + 15);
+}
+
+TEST(Conv2d, RejectsWrongChannelCount) {
+  Rng rng(1);
+  Conv2d conv("c", 3, 4, 3, 1, 1, rng);
+  EXPECT_THROW(conv.forward(random_tensor(Shape{1, 2, 8, 8}, 5)), CheckError);
+}
+
+TEST(Conv2d, BackwardBeforeForwardThrows) {
+  Rng rng(1);
+  Conv2d conv("c", 1, 1, 3, 1, 1, rng);
+  EXPECT_THROW(conv.backward(Tensor(Shape{1, 1, 4, 4})), CheckError);
+}
+
+TEST(Conv2d, GradCheckStride2) {
+  Rng rng(11);
+  Conv2d conv("c", 2, 3, 4, 2, 1, rng);
+  const auto result = grad_check(conv, random_tensor(Shape{1, 2, 8, 8}, 12));
+  EXPECT_LT(result.max_input_grad_error, 2e-2f);
+  EXPECT_LT(result.max_param_grad_error, 2e-2f);
+}
+
+TEST(Conv2d, GradCheckStride1NoBias) {
+  Rng rng(13);
+  Conv2d conv("c", 3, 2, 3, 1, 1, rng, /*bias=*/false);
+  const auto result = grad_check(conv, random_tensor(Shape{1, 3, 5, 5}, 14));
+  EXPECT_LT(result.max_input_grad_error, 2e-2f);
+  EXPECT_LT(result.max_param_grad_error, 2e-2f);
+}
+
+TEST(Conv2d, GradCheckBatch2) {
+  Rng rng(15);
+  Conv2d conv("c", 1, 2, 2, 2, 0, rng);
+  const auto result = grad_check(conv, random_tensor(Shape{2, 1, 4, 4}, 16));
+  EXPECT_LT(result.max_input_grad_error, 2e-2f);
+  EXPECT_LT(result.max_param_grad_error, 2e-2f);
+}
+
+TEST(Conv2d, GradsAccumulateAcrossBackwardCalls) {
+  Rng rng(17);
+  Conv2d conv("c", 1, 1, 3, 1, 1, rng);
+  const Tensor x = random_tensor(Shape{1, 1, 4, 4}, 18);
+  const Tensor g = random_tensor(Shape{1, 1, 4, 4}, 19);
+  conv.zero_grad();
+  conv.forward(x);
+  conv.backward(g);
+  const Tensor grad_once = conv.weight().grad;
+  conv.forward(x);
+  conv.backward(g);
+  for (Index i = 0; i < grad_once.numel(); ++i) {
+    EXPECT_NEAR(conv.weight().grad[i], 2.0f * grad_once[i], 1e-4f);
+  }
+}
+
+TEST(Conv2d, ParameterNamesAndShapes) {
+  Rng rng(1);
+  Conv2d conv("enc0", 4, 8, 4, 2, 1, rng);
+  std::vector<Parameter*> params;
+  conv.collect_parameters(params);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0]->name, "enc0.weight");
+  EXPECT_EQ(params[0]->value.shape(), (Shape{8, 4, 4, 4}));
+  EXPECT_EQ(params[1]->name, "enc0.bias");
+  EXPECT_EQ(params[1]->value.shape(), (Shape{8}));
+}
+
+}  // namespace
+}  // namespace paintplace::nn

@@ -1,0 +1,104 @@
+#include "nn/conv_transpose2d.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/conv2d.h"
+#include "nn/gradcheck.h"
+
+namespace paintplace::nn {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (Index i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+TEST(ConvTranspose2d, DoublesSpatialExtent) {
+  Rng rng(1);
+  ConvTranspose2d deconv("d", 8, 4, 4, 2, 1, rng);
+  const Tensor out = deconv.forward(random_tensor(Shape{1, 8, 4, 4}, 2));
+  EXPECT_EQ(out.shape(), (Shape{1, 4, 8, 8}));
+}
+
+TEST(ConvTranspose2d, OneToTwoFromBottleneck) {
+  // The decoder's 1x1 -> 2x2 step (Fig. 5).
+  Rng rng(1);
+  ConvTranspose2d deconv("d", 16, 16, 4, 2, 1, rng);
+  const Tensor out = deconv.forward(random_tensor(Shape{1, 16, 1, 1}, 3));
+  EXPECT_EQ(out.dim(2), 2);
+  EXPECT_EQ(out.dim(3), 2);
+}
+
+TEST(ConvTranspose2d, AdjointOfConvolution) {
+  // <conv(x), y> == <x, deconv(y)> when deconv shares conv's weights and
+  // both are bias-free — transposed convolution IS the adjoint map.
+  Rng rng(5);
+  const Index cin = 3, cout = 2;
+  Conv2d conv("c", cin, cout, 4, 2, 1, rng, /*bias=*/false);
+  ConvTranspose2d deconv("d", cout, cin, 4, 2, 1, rng, /*bias=*/false);
+  // conv weight (cout, cin, k, k); deconv weight (cout=in_ch, cin=out_ch, k, k)
+  // share storage layout directly: deconv's in_channels == conv's out_channels.
+  std::vector<Parameter*> cp, dp;
+  conv.collect_parameters(cp);
+  deconv.collect_parameters(dp);
+  ASSERT_EQ(cp[0]->value.numel(), dp[0]->value.numel());
+  dp[0]->value = cp[0]->value;
+
+  const Tensor x = random_tensor(Shape{1, cin, 8, 8}, 6);
+  const Tensor y = random_tensor(Shape{1, cout, 4, 4}, 7);
+  const Tensor cx = conv.forward(x);
+  const Tensor dy = deconv.forward(y);
+  double lhs = 0.0, rhs = 0.0;
+  for (Index i = 0; i < cx.numel(); ++i) {
+    lhs += static_cast<double>(cx[i]) * static_cast<double>(y[i]);
+  }
+  for (Index i = 0; i < x.numel(); ++i) {
+    rhs += static_cast<double>(x[i]) * static_cast<double>(dy[i]);
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(ConvTranspose2d, GradCheck) {
+  Rng rng(11);
+  ConvTranspose2d deconv("d", 3, 2, 4, 2, 1, rng);
+  const auto result = grad_check(deconv, random_tensor(Shape{1, 3, 4, 4}, 12));
+  EXPECT_LT(result.max_input_grad_error, 2e-2f);
+  EXPECT_LT(result.max_param_grad_error, 2e-2f);
+}
+
+TEST(ConvTranspose2d, GradCheckNoBiasBatch2) {
+  Rng rng(13);
+  ConvTranspose2d deconv("d", 2, 3, 4, 2, 1, rng, /*bias=*/false);
+  const auto result = grad_check(deconv, random_tensor(Shape{2, 2, 3, 3}, 14));
+  EXPECT_LT(result.max_input_grad_error, 2e-2f);
+  EXPECT_LT(result.max_param_grad_error, 2e-2f);
+}
+
+TEST(ConvTranspose2d, RejectsWrongChannels) {
+  Rng rng(1);
+  ConvTranspose2d deconv("d", 4, 2, 4, 2, 1, rng);
+  EXPECT_THROW(deconv.forward(random_tensor(Shape{1, 3, 4, 4}, 2)), CheckError);
+}
+
+TEST(ConvTranspose2d, BackwardBeforeForwardThrows) {
+  Rng rng(1);
+  ConvTranspose2d deconv("d", 1, 1, 4, 2, 1, rng);
+  EXPECT_THROW(deconv.backward(Tensor(Shape{1, 1, 8, 8})), CheckError);
+}
+
+TEST(ConvTranspose2d, BiasAddsUniformOffset) {
+  Rng rng(1);
+  ConvTranspose2d deconv("d", 1, 1, 4, 2, 1, rng);
+  std::vector<Parameter*> params;
+  deconv.collect_parameters(params);
+  params[0]->value.fill(0.0f);
+  params[1]->value.fill(0.25f);
+  const Tensor out = deconv.forward(Tensor(Shape{1, 1, 2, 2}));
+  for (Index i = 0; i < out.numel(); ++i) EXPECT_FLOAT_EQ(out[i], 0.25f);
+}
+
+}  // namespace
+}  // namespace paintplace::nn

@@ -1,0 +1,86 @@
+#include "nn/dropout.h"
+
+#include <gtest/gtest.h>
+
+namespace paintplace::nn {
+namespace {
+
+TEST(Dropout, ZeroProbabilityIsIdentity) {
+  Dropout drop(0.0f, 1);
+  Tensor x(Shape{8}, {1, 2, 3, 4, 5, 6, 7, 8});
+  const Tensor y = drop.forward(x);
+  EXPECT_EQ(y.max_abs_diff(x), 0.0f);
+}
+
+TEST(Dropout, DropsRoughlyPFraction) {
+  Dropout drop(0.5f, 2);
+  Tensor x = Tensor::full(Shape{1, 1, 100, 100}, 1.0f);
+  const Tensor y = drop.forward(x);
+  Index zeros = 0;
+  for (Index i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) zeros += 1;
+  }
+  const double frac = static_cast<double>(zeros) / static_cast<double>(y.numel());
+  EXPECT_NEAR(frac, 0.5, 0.03);
+}
+
+TEST(Dropout, InvertedScalingPreservesExpectation) {
+  Dropout drop(0.5f, 3);
+  Tensor x = Tensor::full(Shape{1, 1, 128, 128}, 1.0f);
+  const Tensor y = drop.forward(x);
+  EXPECT_NEAR(y.mean(), 1.0, 0.05);  // surviving units scaled by 2
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  Dropout drop(0.5f, 4);
+  Tensor x = Tensor::full(Shape{64}, 1.0f);
+  const Tensor y = drop.forward(x);
+  const Tensor g = drop.backward(Tensor::full(Shape{64}, 1.0f));
+  for (Index i = 0; i < 64; ++i) {
+    EXPECT_EQ(g[i], y[i]);  // both equal the scaled mask
+  }
+}
+
+TEST(Dropout, ActiveInEvalByDefault) {
+  // The paper's noise z: dropout stays live at inference (pix2pix).
+  Dropout drop(0.5f, 5);
+  drop.set_training(false);
+  Tensor x = Tensor::full(Shape{256}, 1.0f);
+  const Tensor y = drop.forward(x);
+  Index zeros = 0;
+  for (Index i = 0; i < y.numel(); ++i) {
+    if (y[i] == 0.0f) zeros += 1;
+  }
+  EXPECT_GT(zeros, 0);
+}
+
+TEST(Dropout, ConventionalModeDisablesInEval) {
+  Dropout drop(0.5f, 6, /*active_in_eval=*/false);
+  drop.set_training(false);
+  Tensor x = Tensor::full(Shape{256}, 1.0f);
+  const Tensor y = drop.forward(x);
+  EXPECT_EQ(y.max_abs_diff(x), 0.0f);
+}
+
+TEST(Dropout, ReseedReproducesMask) {
+  Dropout drop(0.5f, 7);
+  Tensor x = Tensor::full(Shape{128}, 1.0f);
+  drop.reseed(42);
+  const Tensor y1 = drop.forward(x);
+  drop.reseed(42);
+  const Tensor y2 = drop.forward(x);
+  EXPECT_EQ(y1.max_abs_diff(y2), 0.0f);
+}
+
+TEST(Dropout, RejectsInvalidProbability) {
+  EXPECT_THROW(Dropout(1.0f, 1), CheckError);
+  EXPECT_THROW(Dropout(-0.1f, 1), CheckError);
+}
+
+TEST(Dropout, BackwardBeforeForwardThrows) {
+  Dropout drop(0.3f, 8);
+  EXPECT_THROW(drop.backward(Tensor(Shape{4})), CheckError);
+}
+
+}  // namespace
+}  // namespace paintplace::nn

@@ -1,0 +1,121 @@
+#include "nn/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace paintplace::nn {
+namespace {
+
+/// Reference triple-loop GEMM (no transposition).
+std::vector<float> ref_gemm(Index M, Index N, Index K, float alpha, const std::vector<float>& A,
+                            const std::vector<float>& B, float beta, std::vector<float> C) {
+  for (Index i = 0; i < M; ++i) {
+    for (Index j = 0; j < N; ++j) {
+      double acc = 0.0;
+      for (Index k = 0; k < K; ++k) {
+        acc += static_cast<double>(A[static_cast<std::size_t>(i * K + k)]) *
+               static_cast<double>(B[static_cast<std::size_t>(k * N + j)]);
+      }
+      auto& c = C[static_cast<std::size_t>(i * N + j)];
+      c = alpha * static_cast<float>(acc) + beta * c;
+    }
+  }
+  return C;
+}
+
+std::vector<float> random_vec(Index n, Rng& rng) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+std::vector<float> transpose(const std::vector<float>& m, Index rows, Index cols) {
+  std::vector<float> t(m.size());
+  for (Index r = 0; r < rows; ++r) {
+    for (Index c = 0; c < cols; ++c) {
+      t[static_cast<std::size_t>(c * rows + r)] = m[static_cast<std::size_t>(r * cols + c)];
+    }
+  }
+  return t;
+}
+
+struct GemmDims {
+  Index M, N, K;
+};
+
+class GemmParamTest : public ::testing::TestWithParam<GemmDims> {};
+
+TEST_P(GemmParamTest, MatchesReference) {
+  const auto [M, N, K] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(M * 1000 + N * 10 + K));
+  const auto A = random_vec(M * K, rng);
+  const auto B = random_vec(K * N, rng);
+  auto C = random_vec(M * N, rng);
+  const auto expected = ref_gemm(M, N, K, 1.0f, A, B, 0.0f, C);
+  sgemm(M, N, K, 1.0f, A.data(), B.data(), 0.0f, C.data());
+  for (std::size_t i = 0; i < C.size(); ++i) EXPECT_NEAR(C[i], expected[i], 1e-4f) << i;
+}
+
+TEST_P(GemmParamTest, TransposedAMatchesReference) {
+  const auto [M, N, K] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(M * 999 + N * 7 + K));
+  const auto A = random_vec(M * K, rng);  // logical MxK
+  const auto At = transpose(A, M, K);     // stored KxM
+  const auto B = random_vec(K * N, rng);
+  std::vector<float> C(static_cast<std::size_t>(M * N), 0.0f);
+  const auto expected = ref_gemm(M, N, K, 1.0f, A, B, 0.0f, C);
+  sgemm_at(M, N, K, 1.0f, At.data(), B.data(), 0.0f, C.data());
+  for (std::size_t i = 0; i < C.size(); ++i) EXPECT_NEAR(C[i], expected[i], 1e-4f) << i;
+}
+
+TEST_P(GemmParamTest, TransposedBMatchesReference) {
+  const auto [M, N, K] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(M * 31 + N * 17 + K));
+  const auto A = random_vec(M * K, rng);
+  const auto B = random_vec(K * N, rng);  // logical KxN
+  const auto Bt = transpose(B, K, N);     // stored NxK
+  std::vector<float> C(static_cast<std::size_t>(M * N), 0.0f);
+  const auto expected = ref_gemm(M, N, K, 1.0f, A, B, 0.0f, C);
+  sgemm_bt(M, N, K, 1.0f, A.data(), Bt.data(), 0.0f, C.data());
+  for (std::size_t i = 0; i < C.size(); ++i) EXPECT_NEAR(C[i], expected[i], 1e-4f) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmParamTest,
+                         ::testing::Values(GemmDims{1, 1, 1}, GemmDims{3, 5, 7},
+                                           GemmDims{16, 16, 16}, GemmDims{65, 33, 129},
+                                           GemmDims{128, 1, 64}, GemmDims{1, 128, 300},
+                                           GemmDims{70, 70, 4}));
+
+TEST(Gemm, AlphaBetaCombine) {
+  // C = 2*A*B + 3*C with A = I.
+  const Index n = 4;
+  std::vector<float> A(static_cast<std::size_t>(n * n), 0.0f);
+  for (Index i = 0; i < n; ++i) A[static_cast<std::size_t>(i * n + i)] = 1.0f;
+  std::vector<float> B(static_cast<std::size_t>(n * n), 1.0f);
+  std::vector<float> C(static_cast<std::size_t>(n * n), 2.0f);
+  sgemm(n, n, n, 2.0f, A.data(), B.data(), 3.0f, C.data());
+  for (const float v : C) EXPECT_FLOAT_EQ(v, 2.0f * 1.0f + 3.0f * 2.0f);
+}
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  const Index M = 2, N = 2, K = 2;
+  std::vector<float> A = {1, 2, 3, 4};
+  std::vector<float> B = {5, 6, 7, 8};
+  std::vector<float> C = {1e30f, -1e30f, 1e30f, -1e30f};
+  sgemm(M, N, K, 1.0f, A.data(), B.data(), 0.0f, C.data());
+  EXPECT_FLOAT_EQ(C[0], 19.0f);
+  EXPECT_FLOAT_EQ(C[1], 22.0f);
+  EXPECT_FLOAT_EQ(C[2], 43.0f);
+  EXPECT_FLOAT_EQ(C[3], 50.0f);
+}
+
+TEST(Gemm, EmptyDimsNoCrash) {
+  std::vector<float> A, B, C;
+  EXPECT_NO_THROW(sgemm(0, 0, 0, 1.0f, A.data(), B.data(), 0.0f, C.data()));
+}
+
+}  // namespace
+}  // namespace paintplace::nn

@@ -1,0 +1,105 @@
+#include "nn/im2col.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace paintplace::nn {
+namespace {
+
+TEST(ConvGeom, OutputDims) {
+  const ConvGeom g{3, 8, 8, 4, 2, 1};
+  EXPECT_EQ(g.out_height(), 4);
+  EXPECT_EQ(g.out_width(), 4);
+  EXPECT_EQ(g.col_rows(), 3 * 16);
+  EXPECT_EQ(g.col_cols(), 16);
+}
+
+TEST(ConvGeom, Stride1SamePad) {
+  const ConvGeom g{1, 5, 7, 3, 1, 1};
+  EXPECT_EQ(g.out_height(), 5);
+  EXPECT_EQ(g.out_width(), 7);
+}
+
+TEST(ConvGeom, ValidateRejectsEmptyOutput) {
+  const ConvGeom g{1, 2, 2, 5, 1, 0};
+  EXPECT_THROW(g.validate(), CheckError);
+}
+
+TEST(Im2col, IdentityKernelExtractsPixels) {
+  // 1x1 kernel, stride 1, no pad: col == image.
+  const ConvGeom g{2, 3, 3, 1, 1, 0};
+  std::vector<float> image(18);
+  for (std::size_t i = 0; i < image.size(); ++i) image[i] = static_cast<float>(i);
+  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  im2col(g, image.data(), col.data());
+  for (std::size_t i = 0; i < image.size(); ++i) EXPECT_EQ(col[i], image[i]);
+}
+
+TEST(Im2col, PaddingProducesZeros) {
+  const ConvGeom g{1, 2, 2, 3, 1, 1};
+  std::vector<float> image = {1, 2, 3, 4};
+  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  im2col(g, image.data(), col.data());
+  // First column = window centered at (0,0): top row of kernel hits padding.
+  // col layout: row = (kh*3+kw), cols = 4 windows.
+  EXPECT_EQ(col[0 * 4 + 0], 0.0f);  // kh=0,kw=0 at window 0 -> pad
+  EXPECT_EQ(col[4 * 4 + 0], 1.0f);  // kh=1,kw=1 at window 0 -> pixel (0,0)
+  EXPECT_EQ(col[4 * 4 + 3], 4.0f);  // center of window 3 -> pixel (1,1)
+}
+
+TEST(Im2col, StridedWindows) {
+  const ConvGeom g{1, 4, 4, 2, 2, 0};
+  std::vector<float> image(16);
+  for (std::size_t i = 0; i < image.size(); ++i) image[i] = static_cast<float>(i);
+  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  im2col(g, image.data(), col.data());
+  // Window (0,0) top-left = pixel 0; window (0,1) top-left = pixel 2.
+  EXPECT_EQ(col[0 * 4 + 0], 0.0f);
+  EXPECT_EQ(col[0 * 4 + 1], 2.0f);
+  EXPECT_EQ(col[0 * 4 + 2], 8.0f);
+  EXPECT_EQ(col[0 * 4 + 3], 10.0f);
+}
+
+TEST(Col2im, IsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining property
+  // used by the conv backward pass.
+  const ConvGeom g{3, 6, 5, 4, 2, 1};
+  Rng rng(42);
+  std::vector<float> x(static_cast<std::size_t>(g.channels * g.height * g.width));
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> y(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  for (auto& v : y) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  std::vector<float> col(y.size());
+  im2col(g, x.data(), col.data());
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    lhs += static_cast<double>(col[i]) * static_cast<double>(y[i]);
+  }
+
+  std::vector<float> back(x.size(), 0.0f);
+  col2im(g, y.data(), back.data());
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    rhs += static_cast<double>(x[i]) * static_cast<double>(back[i]);
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Col2im, AccumulatesOverlaps) {
+  // 2x2 kernel, stride 1: interior pixels belong to several windows.
+  const ConvGeom g{1, 3, 3, 2, 1, 0};
+  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()), 1.0f);
+  std::vector<float> image(9, 0.0f);
+  col2im(g, col.data(), image.data());
+  // Center pixel (1,1) is covered by all four 2x2 windows.
+  EXPECT_EQ(image[4], 4.0f);
+  // Corner (0,0) by exactly one.
+  EXPECT_EQ(image[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace paintplace::nn

@@ -1,0 +1,108 @@
+#include "nn/instancenorm2d.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/gradcheck.h"
+
+namespace paintplace::nn {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed, double lo = -2.0, double hi = 3.0) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (Index i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+TEST(InstanceNorm2d, NormalizesEachSampleChannelPlane) {
+  InstanceNorm2d in_norm("in", 3);
+  const Tensor x = random_tensor(Shape{2, 3, 6, 6}, 1);
+  const Tensor y = in_norm.forward(x);
+  for (Index n = 0; n < 2; ++n) {
+    for (Index c = 0; c < 3; ++c) {
+      double sum = 0.0, sq = 0.0;
+      for (Index h = 0; h < 6; ++h) {
+        for (Index w = 0; w < 6; ++w) {
+          sum += static_cast<double>(y.at(n, c, h, w));
+          sq += static_cast<double>(y.at(n, c, h, w)) * static_cast<double>(y.at(n, c, h, w));
+        }
+      }
+      const double mean = sum / 36.0;
+      EXPECT_NEAR(mean, 0.0, 1e-4);
+      EXPECT_NEAR(sq / 36.0 - mean * mean, 1.0, 2e-2);
+    }
+  }
+}
+
+TEST(InstanceNorm2d, IndependentAcrossBatch) {
+  // Unlike batch norm, sample 0's statistics must not leak into sample 1:
+  // scaling sample 0 leaves sample 1's output untouched.
+  InstanceNorm2d in_norm("in", 1);
+  Tensor x = random_tensor(Shape{2, 1, 4, 4}, 2);
+  const Tensor y1 = in_norm.forward(x);
+  for (Index h = 0; h < 4; ++h) {
+    for (Index w = 0; w < 4; ++w) x.at(0, 0, h, w) *= 100.0f;
+  }
+  const Tensor y2 = in_norm.forward(x);
+  for (Index h = 0; h < 4; ++h) {
+    for (Index w = 0; w < 4; ++w) {
+      EXPECT_NEAR(y1.at(1, 0, h, w), y2.at(1, 0, h, w), 1e-5f);
+    }
+  }
+}
+
+TEST(InstanceNorm2d, TrainEvalBehaveIdentically) {
+  // No running statistics: eval mode computes the same normalization.
+  InstanceNorm2d in_norm("in", 2);
+  const Tensor x = random_tensor(Shape{1, 2, 5, 5}, 3);
+  const Tensor y_train = in_norm.forward(x);
+  in_norm.set_training(false);
+  const Tensor y_eval = in_norm.forward(x);
+  EXPECT_EQ(y_train.max_abs_diff(y_eval), 0.0f);
+}
+
+TEST(InstanceNorm2d, GammaBetaApplied) {
+  InstanceNorm2d in_norm("in", 1);
+  std::vector<Parameter*> params;
+  in_norm.collect_parameters(params);
+  ASSERT_EQ(params.size(), 2u);
+  params[0]->value.fill(3.0f);
+  params[1]->value.fill(0.5f);
+  const Tensor y = in_norm.forward(random_tensor(Shape{1, 1, 8, 8}, 4));
+  double sum = 0.0, sq = 0.0;
+  for (Index i = 0; i < y.numel(); ++i) {
+    sum += static_cast<double>(y[i]);
+    sq += static_cast<double>(y[i]) * static_cast<double>(y[i]);
+  }
+  const double mean = sum / 64.0;
+  EXPECT_NEAR(mean, 0.5, 1e-4);
+  EXPECT_NEAR(sq / 64.0 - mean * mean, 9.0, 0.2);
+}
+
+TEST(InstanceNorm2d, GradCheck) {
+  InstanceNorm2d in_norm("in", 2);
+  const auto result = grad_check(in_norm, random_tensor(Shape{2, 2, 4, 4}, 5), 6, 1e-2f);
+  EXPECT_LT(result.max_input_grad_error, 3e-2f);
+  EXPECT_LT(result.max_param_grad_error, 3e-2f);
+}
+
+TEST(InstanceNorm2d, NoBuffersToCheckpoint) {
+  InstanceNorm2d in_norm("in", 4);
+  std::vector<NamedBuffer> buffers;
+  in_norm.collect_buffers(buffers);
+  EXPECT_TRUE(buffers.empty());
+}
+
+TEST(InstanceNorm2d, RejectsWrongChannels) {
+  InstanceNorm2d in_norm("in", 3);
+  EXPECT_THROW(in_norm.forward(Tensor(Shape{1, 2, 4, 4})), CheckError);
+}
+
+TEST(InstanceNorm2d, BackwardBeforeForwardThrows) {
+  InstanceNorm2d in_norm("in", 1);
+  EXPECT_THROW(in_norm.backward(Tensor(Shape{1, 1, 2, 2})), CheckError);
+}
+
+}  // namespace
+}  // namespace paintplace::nn

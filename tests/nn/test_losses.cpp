@@ -1,0 +1,137 @@
+#include "nn/losses.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace paintplace::nn {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed, double lo = -3.0, double hi = 3.0) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (Index i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+double ref_bce(const Tensor& logits, const Tensor& target) {
+  double total = 0.0;
+  for (Index i = 0; i < logits.numel(); ++i) {
+    const double p = 1.0 / (1.0 + std::exp(-static_cast<double>(logits[i])));
+    const double t = static_cast<double>(target[i]);
+    total += -(t * std::log(p) + (1.0 - t) * std::log(1.0 - p));
+  }
+  return total / static_cast<double>(logits.numel());
+}
+
+TEST(BceWithLogits, MatchesNaiveFormula) {
+  BceWithLogitsLoss loss;
+  const Tensor logits = random_tensor(Shape{1, 1, 4, 4}, 1);
+  const Tensor target = random_tensor(Shape{1, 1, 4, 4}, 2, 0.0, 1.0);
+  EXPECT_NEAR(loss.forward(logits, target), ref_bce(logits, target), 1e-5);
+}
+
+TEST(BceWithLogits, StableForExtremeLogits) {
+  BceWithLogitsLoss loss;
+  const Tensor logits(Shape{4}, {80.0f, -80.0f, 80.0f, -80.0f});
+  const Tensor target(Shape{4}, {1.0f, 0.0f, 0.0f, 1.0f});
+  const float v = loss.forward(logits, target);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_NEAR(v, 40.0f, 1e-3f);  // two confident-wrong terms of |l| each
+}
+
+TEST(BceWithLogits, PerfectPredictionNearZero) {
+  BceWithLogitsLoss loss;
+  const Tensor logits(Shape{2}, {20.0f, -20.0f});
+  const Tensor target(Shape{2}, {1.0f, 0.0f});
+  EXPECT_LT(loss.forward(logits, target), 1e-6f);
+}
+
+TEST(BceWithLogits, ScalarTargetBroadcast) {
+  BceWithLogitsLoss loss;
+  const Tensor logits = random_tensor(Shape{8}, 3);
+  const float via_scalar = loss.forward(logits, 1.0f);
+  const float via_tensor = loss.forward(logits, Tensor::full(Shape{8}, 1.0f));
+  EXPECT_FLOAT_EQ(via_scalar, via_tensor);
+}
+
+TEST(BceWithLogits, GradientMatchesFiniteDifference) {
+  BceWithLogitsLoss loss;
+  Tensor logits = random_tensor(Shape{6}, 4);
+  const Tensor target = random_tensor(Shape{6}, 5, 0.0, 1.0);
+  loss.forward(logits, target);
+  const Tensor grad = loss.backward();
+  const float eps = 1e-3f;
+  for (Index i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits, lm = logits;
+    lp[i] += eps;
+    lm[i] -= eps;
+    BceWithLogitsLoss probe;
+    const double numeric = (static_cast<double>(probe.forward(lp, target)) -
+                            static_cast<double>(probe.forward(lm, target))) /
+                           (2.0 * static_cast<double>(eps));
+    EXPECT_NEAR(grad[i], numeric, 1e-3);
+  }
+}
+
+TEST(BceWithLogits, ShapeMismatchThrows) {
+  BceWithLogitsLoss loss;
+  EXPECT_THROW(loss.forward(Tensor(Shape{2}), Tensor(Shape{3})), CheckError);
+}
+
+TEST(L1Loss, KnownValue) {
+  L1Loss loss;
+  const Tensor a(Shape{4}, {1.0f, 2.0f, 3.0f, 4.0f});
+  const Tensor b(Shape{4}, {2.0f, 2.0f, 1.0f, 8.0f});
+  EXPECT_FLOAT_EQ(loss.forward(a, b), (1.0f + 0.0f + 2.0f + 4.0f) / 4.0f);
+}
+
+TEST(L1Loss, ZeroOnIdentical) {
+  L1Loss loss;
+  const Tensor a = random_tensor(Shape{16}, 6);
+  EXPECT_FLOAT_EQ(loss.forward(a, a), 0.0f);
+}
+
+TEST(L1Loss, GradientIsSignOverN) {
+  L1Loss loss;
+  const Tensor a(Shape{3}, {2.0f, -1.0f, 0.0f});
+  const Tensor b(Shape{3}, {1.0f, 1.0f, 0.0f});
+  loss.forward(a, b);
+  const Tensor g = loss.backward();
+  EXPECT_FLOAT_EQ(g[0], 1.0f / 3.0f);
+  EXPECT_FLOAT_EQ(g[1], -1.0f / 3.0f);
+  EXPECT_FLOAT_EQ(g[2], 0.0f);
+}
+
+TEST(L1Loss, GradientMatchesFiniteDifference) {
+  L1Loss loss;
+  // Keep |a-b| away from 0 so the kink is not straddled.
+  Tensor a = random_tensor(Shape{8}, 7);
+  Tensor b = random_tensor(Shape{8}, 8);
+  for (Index i = 0; i < a.numel(); ++i) {
+    if (std::fabs(a[i] - b[i]) < 0.05f) a[i] = b[i] + 0.1f;
+  }
+  loss.forward(a, b);
+  const Tensor grad = loss.backward();
+  const float eps = 1e-3f;
+  for (Index i = 0; i < a.numel(); ++i) {
+    Tensor ap = a, am = a;
+    ap[i] += eps;
+    am[i] -= eps;
+    L1Loss probe;
+    const double numeric = (static_cast<double>(probe.forward(ap, b)) -
+                            static_cast<double>(probe.forward(am, b))) /
+                           (2.0 * static_cast<double>(eps));
+    EXPECT_NEAR(grad[i], numeric, 1e-4);
+  }
+}
+
+TEST(L1Loss, BackwardBeforeForwardThrows) {
+  L1Loss loss;
+  EXPECT_THROW(loss.backward(), CheckError);
+}
+
+}  // namespace
+}  // namespace paintplace::nn

@@ -1,0 +1,127 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace paintplace::nn {
+namespace {
+
+TEST(Shape, NumelAndRank) {
+  const Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.rank(), 4);
+  EXPECT_EQ(s.numel(), 120);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[3], 5);
+}
+
+TEST(Shape, ScalarShape) {
+  const Shape s{};
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, EqualityAndString) {
+  EXPECT_EQ((Shape{1, 2}), (Shape{1, 2}));
+  EXPECT_NE((Shape{1, 2}), (Shape{2, 1}));
+  EXPECT_EQ((Shape{1, 2, 3}).str(), "[1,2,3]");
+}
+
+TEST(Shape, RejectsNegativeExtent) { EXPECT_THROW(Shape({2, -1}), CheckError); }
+
+TEST(Shape, OutOfRangeDimThrows) {
+  const Shape s{2, 3};
+  EXPECT_THROW(s[2], CheckError);
+  EXPECT_THROW(s[-1], CheckError);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  const Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (Index i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FullAndFill) {
+  Tensor t = Tensor::full(Shape{4}, 2.5f);
+  for (Index i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+  t.fill(-1.0f);
+  for (Index i = 0; i < 4; ++i) EXPECT_EQ(t[i], -1.0f);
+}
+
+TEST(Tensor, ScalarItem) {
+  EXPECT_FLOAT_EQ(Tensor::scalar(3.25f).item(), 3.25f);
+  EXPECT_THROW(Tensor(Shape{2}).item(), CheckError);
+}
+
+TEST(Tensor, At4dRoundTrip) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0f;
+  t.at(0, 0, 0, 0) = -2.0f;
+  EXPECT_EQ(t.at(1, 2, 3, 4), 7.0f);
+  EXPECT_EQ(t.at(0, 0, 0, 0), -2.0f);
+  // NCHW layout: last axis contiguous.
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0f);
+}
+
+TEST(Tensor, At4dBoundsChecked) {
+  Tensor t(Shape{1, 1, 2, 2});
+  EXPECT_THROW(t.at(0, 0, 2, 0), CheckError);
+  EXPECT_THROW(t.at(0, 1, 0, 0), CheckError);
+  EXPECT_THROW(t.at(-1, 0, 0, 0), CheckError);
+}
+
+TEST(Tensor, At4dOnWrongRankThrows) {
+  Tensor t(Shape{4});
+  EXPECT_THROW(t.at(0, 0, 0, 0), CheckError);
+}
+
+TEST(Tensor, FlatIndexBoundsChecked) {
+  Tensor t(Shape{3});
+  EXPECT_THROW(t[3], CheckError);
+  EXPECT_THROW(t[-1], CheckError);
+}
+
+TEST(Tensor, DataSizeMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape{3}, {1.0f, 2.0f}), CheckError);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped(Shape{3, 2});
+  EXPECT_EQ(r.shape(), (Shape{3, 2}));
+  for (Index i = 0; i < 6; ++i) EXPECT_EQ(r[i], t[i]);
+  EXPECT_THROW(t.reshaped(Shape{4}), CheckError);
+}
+
+TEST(Tensor, AddSubScale) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  const Tensor b(Shape{3}, {10, 20, 30});
+  a.add_(b, 0.5f);
+  EXPECT_FLOAT_EQ(a[0], 6.0f);
+  EXPECT_FLOAT_EQ(a[2], 18.0f);
+  a.sub_(b);
+  EXPECT_FLOAT_EQ(a[1], -8.0f);
+  a.mul_(2.0f);
+  EXPECT_FLOAT_EQ(a[0], -8.0f);
+}
+
+TEST(Tensor, AddShapeMismatchThrows) {
+  Tensor a(Shape{3});
+  EXPECT_THROW(a.add_(Tensor(Shape{4})), CheckError);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t(Shape{4}, {-1.0f, 2.0f, 0.5f, -3.5f});
+  EXPECT_DOUBLE_EQ(t.sum(), -2.0);
+  EXPECT_DOUBLE_EQ(t.mean(), -0.5);
+  EXPECT_FLOAT_EQ(t.min(), -3.5f);
+  EXPECT_FLOAT_EQ(t.max(), 2.0f);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  const Tensor a(Shape{3}, {1, 2, 3});
+  const Tensor b(Shape{3}, {1.5f, 2, 1});
+  EXPECT_FLOAT_EQ(a.max_abs_diff(b), 2.0f);
+  EXPECT_FLOAT_EQ(a.max_abs_diff(a), 0.0f);
+}
+
+}  // namespace
+}  // namespace paintplace::nn

@@ -1,0 +1,63 @@
+#include "nn/tensor_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace paintplace::nn {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (Index i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+TEST(ConcatChannels, LayoutIsChannelMajor) {
+  Tensor a(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor b(Shape{1, 2, 2, 2}, {5, 6, 7, 8, 9, 10, 11, 12});
+  const Tensor c = concat_channels(a, b);
+  EXPECT_EQ(c.shape(), (Shape{1, 3, 2, 2}));
+  EXPECT_EQ(c.at(0, 0, 0, 0), 1.0f);
+  EXPECT_EQ(c.at(0, 1, 0, 0), 5.0f);
+  EXPECT_EQ(c.at(0, 2, 1, 1), 12.0f);
+}
+
+TEST(ConcatChannels, BatchDimensionHandled) {
+  const Tensor a = random_tensor(Shape{2, 3, 4, 4}, 1);
+  const Tensor b = random_tensor(Shape{2, 2, 4, 4}, 2);
+  const Tensor c = concat_channels(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 5, 4, 4}));
+  for (Index n = 0; n < 2; ++n) {
+    EXPECT_EQ(c.at(n, 0, 1, 2), a.at(n, 0, 1, 2));
+    EXPECT_EQ(c.at(n, 3, 1, 2), b.at(n, 0, 1, 2));
+    EXPECT_EQ(c.at(n, 4, 3, 3), b.at(n, 1, 3, 3));
+  }
+}
+
+TEST(ConcatChannels, MismatchedSpatialThrows) {
+  EXPECT_THROW(concat_channels(Tensor(Shape{1, 1, 2, 2}), Tensor(Shape{1, 1, 3, 2})), CheckError);
+  EXPECT_THROW(concat_channels(Tensor(Shape{1, 1, 2, 2}), Tensor(Shape{2, 1, 2, 2})), CheckError);
+}
+
+TEST(SplitChannels, InvertsConcat) {
+  const Tensor a = random_tensor(Shape{2, 3, 5, 4}, 3);
+  const Tensor b = random_tensor(Shape{2, 4, 5, 4}, 4);
+  const auto [a2, b2] = split_channels(concat_channels(a, b), 3);
+  EXPECT_EQ(a2.shape(), a.shape());
+  EXPECT_EQ(b2.shape(), b.shape());
+  EXPECT_EQ(a2.max_abs_diff(a), 0.0f);
+  EXPECT_EQ(b2.max_abs_diff(b), 0.0f);
+}
+
+TEST(SplitChannels, BoundaryValidation) {
+  const Tensor t(Shape{1, 4, 2, 2});
+  EXPECT_THROW(split_channels(t, 0), CheckError);
+  EXPECT_THROW(split_channels(t, 4), CheckError);
+  EXPECT_NO_THROW(split_channels(t, 1));
+  EXPECT_NO_THROW(split_channels(t, 3));
+}
+
+}  // namespace
+}  // namespace paintplace::nn

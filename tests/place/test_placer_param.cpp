@@ -1,0 +1,89 @@
+// Parameterized placer properties over the full option grid the dataset
+// sweep uses (Sec. 5 "Datasets"): legality, improvement and determinism for
+// every (algorithm, alpha_t, inner_num) combination.
+#include <gtest/gtest.h>
+
+#include "fpga/netgen.h"
+#include "place/sa_placer.h"
+
+namespace paintplace::place {
+namespace {
+
+struct PlacerCase {
+  PlaceAlgorithm algorithm;
+  double alpha_t;
+  double inner_num;
+};
+
+void PrintTo(const PlacerCase& c, std::ostream* os) {
+  *os << place_algorithm_name(c.algorithm) << "_a" << c.alpha_t << "_i" << c.inner_num;
+}
+
+class PlacerPropertyTest : public ::testing::TestWithParam<PlacerCase> {
+ protected:
+  static fpga::Netlist make_netlist() {
+    fpga::DesignSpec spec;
+    spec.name = "grid";
+    spec.num_luts = 80;
+    spec.num_ffs = 30;
+    spec.num_nets = 200;
+    spec.num_inputs = 8;
+    spec.num_outputs = 8;
+    return fpga::generate_packed(spec, fpga::NetgenParams{}, 13);
+  }
+
+  fpga::Netlist nl_ = make_netlist();
+  fpga::Arch arch_ = fpga::Arch::auto_sized({nl_.stats().num_clbs,
+                                             nl_.stats().num_inputs + nl_.stats().num_outputs,
+                                             nl_.stats().num_mems, nl_.stats().num_mults});
+
+  PlacerOptions options() const {
+    PlacerOptions opt;
+    opt.seed = 17;
+    opt.algorithm = GetParam().algorithm;
+    opt.alpha_t = GetParam().alpha_t;
+    opt.inner_num = GetParam().inner_num;
+    return opt;
+  }
+};
+
+TEST_P(PlacerPropertyTest, ResultIsLegal) {
+  SaPlacer placer(arch_, nl_, options());
+  const Placement p = placer.place();
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST_P(PlacerPropertyTest, CostNeverWorsens) {
+  SaPlacer placer(arch_, nl_, options());
+  placer.place();
+  EXPECT_LE(placer.report().final_cost, placer.report().initial_cost * 1.0001);
+}
+
+TEST_P(PlacerPropertyTest, ReportInternallyConsistent) {
+  SaPlacer placer(arch_, nl_, options());
+  const Placement p = placer.place();
+  EXPECT_NEAR(placer.report().final_cost, p.total_cost(), 1e-6);
+  EXPECT_GE(placer.report().moves_attempted, placer.report().moves_accepted);
+}
+
+TEST_P(PlacerPropertyTest, Deterministic) {
+  SaPlacer p1(arch_, nl_, options());
+  SaPlacer p2(arch_, nl_, options());
+  const Placement a = p1.place();
+  const Placement b = p2.place();
+  for (fpga::BlockId id = 0; id < nl_.num_blocks(); ++id) {
+    ASSERT_EQ(a.loc(id), b.loc(id));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OptionGrid, PlacerPropertyTest,
+    ::testing::Values(PlacerCase{PlaceAlgorithm::kAnnealing, 0.8, 0.33},
+                      PlacerCase{PlaceAlgorithm::kAnnealing, 0.9, 1.0},
+                      PlacerCase{PlaceAlgorithm::kAnnealing, 0.95, 2.0},
+                      PlacerCase{PlaceAlgorithm::kAnnealing, 0.5, 1.0},
+                      PlacerCase{PlaceAlgorithm::kGreedy, 0.9, 1.0},
+                      PlacerCase{PlaceAlgorithm::kGreedy, 0.8, 2.0}));
+
+}  // namespace
+}  // namespace paintplace::place

@@ -1,0 +1,120 @@
+#include "place/rudy.h"
+
+#include <gtest/gtest.h>
+
+#include "data/metrics.h"
+#include "fpga/netgen.h"
+#include "place/sa_placer.h"
+#include "route/router.h"
+
+namespace paintplace::place {
+namespace {
+
+struct Fixture {
+  fpga::Netlist nl;
+  fpga::Arch arch;
+
+  Fixture()
+      : nl(fpga::generate_packed(make_spec(), fpga::NetgenParams{}, 19)),
+        arch(fpga::Arch::auto_sized({nl.stats().num_clbs,
+                                     nl.stats().num_inputs + nl.stats().num_outputs,
+                                     nl.stats().num_mems, nl.stats().num_mults})) {}
+
+  static fpga::DesignSpec make_spec() {
+    fpga::DesignSpec s;
+    s.name = "rudy_toy";
+    s.num_luts = 60;
+    s.num_ffs = 20;
+    s.num_nets = 150;
+    s.num_inputs = 6;
+    s.num_outputs = 5;
+    return s;
+  }
+  Placement place(std::uint64_t seed) const {
+    PlacerOptions opt;
+    opt.seed = seed;
+    SaPlacer placer(arch, nl, opt);
+    return placer.place();
+  }
+};
+
+TEST(Rudy, MapDimensionsMatchFabric) {
+  Fixture f;
+  const RudyMap rudy(f.place(1));
+  EXPECT_EQ(rudy.width(), f.arch.width());
+  EXPECT_EQ(rudy.height(), f.arch.height());
+}
+
+TEST(Rudy, TotalEqualsSumOfNetWirelengths) {
+  // Spreading conserves mass: the map total must equal the sum of
+  // crossing-corrected half-perimeters (the placement's weighted HPWL).
+  Fixture f;
+  const Placement p = f.place(2);
+  const RudyMap rudy(p);
+  EXPECT_NEAR(rudy.total(), p.total_cost(), p.total_cost() * 1e-9 + 1e-9);
+}
+
+TEST(Rudy, DemandConcentratesInsideBoundingBoxes) {
+  Fixture f;
+  const Placement p = f.place(3);
+  const RudyMap rudy(p);
+  // Peak demand must exceed mean demand: nets overlap somewhere.
+  const double mean = rudy.total() / static_cast<double>(rudy.width() * rudy.height());
+  EXPECT_GT(rudy.peak(), mean);
+}
+
+TEST(Rudy, TracksActualRoutedCongestionAcrossQualityLevels) {
+  // The estimator's purpose: placements of different quality (random /
+  // greedy / fully annealed) must be ranked like the routed ground truth.
+  // (Between equally-good placements of one anneal, RUDY's ranking is noise
+  // — exactly the regime where the paper's learned forecast earns its keep.)
+  Fixture f;
+  std::vector<double> rudy_scores, routed_scores;
+  route::ChannelGraph graph(f.arch);
+  auto record = [&](const Placement& p) {
+    rudy_scores.push_back(RudyMap(p).total());
+    route::CongestionMap cm(graph);
+    route::PathFinderRouter router(graph);
+    router.route(p, cm);
+    routed_scores.push_back(cm.total_utilization());
+  };
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Placement random_p(f.arch, f.nl);
+    Rng rng(seed);
+    random_p.random_init(rng);
+    record(random_p);
+
+    PlacerOptions greedy;
+    greedy.seed = seed;
+    greedy.algorithm = PlaceAlgorithm::kGreedy;
+    record(SaPlacer(f.arch, f.nl, greedy).place());
+
+    record(f.place(seed));
+  }
+  EXPECT_GT(data::spearman_rank_correlation(rudy_scores, routed_scores), 0.5);
+}
+
+TEST(Rudy, SingleNetKnownValue) {
+  // Hand-built two-block placement on CLB columns 1 and 4 (column 3 is the
+  // memory column): one 2-pin net with bbox 4x1 and half-perimeter 3
+  // spreads q(2)*3/4 per tile over four tiles.
+  fpga::Netlist nl("two");
+  const fpga::BlockId a = nl.add_block(fpga::BlockKind::kClb, "a");
+  const fpga::BlockId b = nl.add_block(fpga::BlockKind::kClb, "b");
+  nl.add_net("n", a, {b});
+  const fpga::Arch arch(4, 4);
+  ASSERT_EQ(arch.tile_type(1, 2), fpga::TileType::kClb);
+  ASSERT_EQ(arch.tile_type(4, 2), fpga::TileType::kClb);
+  Placement p(arch, nl);
+  p.move(a, fpga::GridLoc{1, 2, 0});
+  p.move(b, fpga::GridLoc{4, 2, 0});
+  const RudyMap rudy(p);
+  const double expected = crossing_factor(2) * 3.0 / 4.0;
+  for (Index x = 1; x <= 4; ++x) EXPECT_NEAR(rudy.at(x, 2), expected, 1e-12);
+  EXPECT_EQ(rudy.at(0, 2), 0.0);
+  EXPECT_EQ(rudy.at(5, 2), 0.0);
+  EXPECT_EQ(rudy.at(1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace paintplace::place

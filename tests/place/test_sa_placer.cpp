@@ -1,0 +1,167 @@
+#include "place/sa_placer.h"
+
+#include <gtest/gtest.h>
+
+#include "fpga/netgen.h"
+
+namespace paintplace::place {
+namespace {
+
+using fpga::Arch;
+using fpga::DesignSpec;
+using fpga::Netlist;
+
+struct Fixture {
+  DesignSpec spec;
+  Netlist nl;
+  Arch arch;
+
+  explicit Fixture(Index luts = 50, Index nets = 120)
+      : spec(make_spec(luts, nets)),
+        nl(fpga::generate_packed(spec, fpga::NetgenParams{}, 3)),
+        arch(Arch::auto_sized({nl.stats().num_clbs,
+                               nl.stats().num_inputs + nl.stats().num_outputs,
+                               nl.stats().num_mems, nl.stats().num_mults})) {}
+
+  static DesignSpec make_spec(Index luts, Index nets) {
+    DesignSpec s;
+    s.name = "sa_toy";
+    s.num_luts = luts;
+    s.num_ffs = luts / 3;
+    s.num_nets = nets;
+    s.num_inputs = 6;
+    s.num_outputs = 5;
+    return s;
+  }
+};
+
+TEST(SaPlacer, ImprovesOverRandomInitial) {
+  Fixture f;
+  PlacerOptions opt;
+  opt.seed = 1;
+  SaPlacer placer(f.arch, f.nl, opt);
+  const Placement p = placer.place();
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_LT(placer.report().final_cost, placer.report().initial_cost * 0.9)
+      << "annealing should cut HPWL substantially";
+}
+
+TEST(SaPlacer, FinalCostMatchesPlacement) {
+  Fixture f;
+  PlacerOptions opt;
+  opt.seed = 2;
+  SaPlacer placer(f.arch, f.nl, opt);
+  const Placement p = placer.place();
+  EXPECT_NEAR(placer.report().final_cost, p.total_cost(), 1e-6);
+}
+
+TEST(SaPlacer, DeterministicPerSeed) {
+  Fixture f;
+  PlacerOptions opt;
+  opt.seed = 5;
+  SaPlacer p1(f.arch, f.nl, opt);
+  SaPlacer p2(f.arch, f.nl, opt);
+  const Placement a = p1.place();
+  const Placement b = p2.place();
+  for (fpga::BlockId id = 0; id < f.nl.num_blocks(); ++id) {
+    EXPECT_EQ(a.loc(id), b.loc(id));
+  }
+}
+
+TEST(SaPlacer, SeedsProduceDifferentPlacements) {
+  Fixture f;
+  PlacerOptions o1, o2;
+  o1.seed = 1;
+  o2.seed = 2;
+  const Placement a = SaPlacer(f.arch, f.nl, o1).place();
+  const Placement b = SaPlacer(f.arch, f.nl, o2).place();
+  Index moved = 0;
+  for (fpga::BlockId id = 0; id < f.nl.num_blocks(); ++id) {
+    if (!(a.loc(id) == b.loc(id))) moved += 1;
+  }
+  EXPECT_GT(moved, f.nl.num_blocks() / 4);
+}
+
+TEST(SaPlacer, GreedyAlgorithmTerminatesAtLocalMin) {
+  Fixture f;
+  PlacerOptions opt;
+  opt.algorithm = PlaceAlgorithm::kGreedy;
+  opt.seed = 3;
+  SaPlacer placer(f.arch, f.nl, opt);
+  const Placement p = placer.place();
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_LE(placer.report().final_cost, placer.report().initial_cost);
+}
+
+TEST(SaPlacer, HigherInnerNumAttemptsMoreMoves) {
+  Fixture f;
+  PlacerOptions lo, hi;
+  lo.inner_num = 0.25;
+  hi.inner_num = 2.0;
+  lo.seed = hi.seed = 4;
+  SaPlacer pl(f.arch, f.nl, lo), ph(f.arch, f.nl, hi);
+  pl.place();
+  ph.place();
+  EXPECT_GT(ph.report().moves_attempted, pl.report().moves_attempted);
+}
+
+TEST(SaPlacer, FasterCoolingUsesFewerTemperatures) {
+  Fixture f;
+  PlacerOptions fast, slow;
+  fast.alpha_t = 0.5;
+  slow.alpha_t = 0.95;
+  fast.seed = slow.seed = 6;
+  SaPlacer pf(f.arch, f.nl, fast), ps(f.arch, f.nl, slow);
+  pf.place();
+  ps.place();
+  EXPECT_LT(pf.report().temperature_steps, ps.report().temperature_steps);
+}
+
+TEST(SaPlacer, SnapshotCallbackFires) {
+  Fixture f;
+  PlacerOptions opt;
+  opt.seed = 8;
+  SaPlacer placer(f.arch, f.nl, opt);
+  Index calls = 0;
+  Index last_moves = 0;
+  placer.set_snapshot(
+      [&](const Placement& p, Index moves, double) {
+        calls += 1;
+        EXPECT_TRUE(p.is_placed());
+        EXPECT_GT(moves, last_moves);
+        last_moves = moves;
+      },
+      50);
+  placer.place();
+  EXPECT_GT(calls, 0);
+}
+
+TEST(SaPlacer, RejectsBadOptions) {
+  Fixture f;
+  PlacerOptions bad;
+  bad.alpha_t = 1.5;
+  EXPECT_THROW(SaPlacer(f.arch, f.nl, bad), CheckError);
+  bad = PlacerOptions{};
+  bad.inner_num = 0.0;
+  EXPECT_THROW(SaPlacer(f.arch, f.nl, bad), CheckError);
+}
+
+TEST(SaPlacer, AlgorithmNames) {
+  EXPECT_STREQ(place_algorithm_name(PlaceAlgorithm::kAnnealing), "annealing");
+  EXPECT_STREQ(place_algorithm_name(PlaceAlgorithm::kGreedy), "greedy");
+}
+
+TEST(SaPlacer, ReportCountsAreConsistent) {
+  Fixture f;
+  PlacerOptions opt;
+  opt.seed = 9;
+  SaPlacer placer(f.arch, f.nl, opt);
+  placer.place();
+  const PlacerReport& r = placer.report();
+  EXPECT_GE(r.moves_attempted, r.moves_accepted);
+  EXPECT_GT(r.moves_accepted, 0);
+  EXPECT_GT(r.temperature_steps, 0);
+}
+
+}  // namespace
+}  // namespace paintplace::place

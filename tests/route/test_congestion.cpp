@@ -1,0 +1,90 @@
+#include "route/congestion.h"
+
+#include <gtest/gtest.h>
+
+namespace paintplace::route {
+namespace {
+
+using fpga::Arch;
+
+TEST(CongestionMap, StartsEmpty) {
+  const Arch arch(3, 3);
+  const ChannelGraph g(arch);
+  const CongestionMap cm(g);
+  EXPECT_EQ(cm.total_utilization(), 0.0);
+  const CongestionStats s = cm.stats();
+  EXPECT_EQ(s.max_utilization, 0.0);
+  EXPECT_EQ(s.overused_segments, 0);
+  EXPECT_GT(s.segments, 0);
+}
+
+TEST(CongestionMap, UtilizationIsOccupancyOverCapacity) {
+  const Arch arch(3, 3);
+  const ChannelGraph g(arch);
+  CongestionMap cm(g);
+  NodeId chan = -1;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (g.is_channel(n)) {
+      chan = n;
+      break;
+    }
+  }
+  ASSERT_GE(chan, 0);
+  cm.set_occupancy(chan, 17);
+  EXPECT_DOUBLE_EQ(cm.utilization(chan), 17.0 / 34.0);
+  EXPECT_EQ(cm.occupancy(chan), 17);
+}
+
+TEST(CongestionMap, OverusedSegmentsCounted) {
+  const Arch arch(3, 3);
+  const ChannelGraph g(arch);
+  CongestionMap cm(g);
+  Index set = 0;
+  for (NodeId n = 0; n < g.num_nodes() && set < 3; ++n) {
+    if (g.is_channel(n)) {
+      cm.set_occupancy(n, 40);  // over the 34 capacity
+      set += 1;
+    }
+  }
+  EXPECT_EQ(cm.stats().overused_segments, 3);
+  EXPECT_GT(cm.stats().max_utilization, 1.0);
+}
+
+TEST(CongestionMap, NonChannelNodesContributeZeroUtilization) {
+  const Arch arch(3, 3);
+  const ChannelGraph g(arch);
+  CongestionMap cm(g);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (g.kind(n) == NodeKind::kSwitch && g.is_routable(n)) {
+      cm.set_occupancy(n, 10);
+      EXPECT_EQ(cm.utilization(n), 0.0);
+      break;
+    }
+  }
+  EXPECT_EQ(cm.total_utilization(), 0.0);
+}
+
+TEST(CongestionMap, TotalUtilizationSumsChannels) {
+  const Arch arch(3, 3);
+  const ChannelGraph g(arch);
+  CongestionMap cm(g);
+  Index count = 0;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (g.is_channel(n)) {
+      cm.set_occupancy(n, 17);
+      count += 1;
+    }
+  }
+  EXPECT_NEAR(cm.total_utilization(), static_cast<double>(count) * 0.5, 1e-9);
+  EXPECT_NEAR(cm.stats().mean_utilization, 0.5, 1e-9);
+}
+
+TEST(CongestionMap, NegativeOccupancyRejected) {
+  const Arch arch(3, 3);
+  const ChannelGraph g(arch);
+  CongestionMap cm(g);
+  EXPECT_THROW(cm.set_occupancy(0, -1), CheckError);
+}
+
+}  // namespace
+}  // namespace paintplace::route

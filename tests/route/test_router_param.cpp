@@ -1,0 +1,120 @@
+// Parameterized router properties: the PathFinder invariants must hold for
+// every channel width and design density, not just the default fabric.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fpga/design_suite.h"
+#include "fpga/netgen.h"
+#include "place/sa_placer.h"
+#include "route/router.h"
+
+namespace paintplace::route {
+namespace {
+
+struct RouterCase {
+  Index channel_width;
+  const char* design;
+  double scale;
+};
+
+void PrintTo(const RouterCase& c, std::ostream* os) {
+  *os << c.design << "_w" << c.channel_width;
+}
+
+class RouterPropertyTest : public ::testing::TestWithParam<RouterCase> {
+ protected:
+  void SetUp() override {
+    const RouterCase& param = GetParam();
+    const fpga::DesignSpec spec =
+        fpga::scale_spec(fpga::design_by_name(param.design), param.scale);
+    nl_ = std::make_unique<fpga::Netlist>(
+        fpga::generate_packed(spec, fpga::NetgenParams{}, 77));
+    const fpga::NetlistStats s = nl_->stats();
+    fpga::ArchParams arch_params;
+    arch_params.channel_width = param.channel_width;
+    arch_ = std::make_unique<fpga::Arch>(fpga::Arch::auto_sized(
+        {s.num_clbs, s.num_inputs + s.num_outputs, s.num_mems, s.num_mults}, arch_params));
+    place::PlacerOptions opt;
+    opt.seed = 5;
+    place::SaPlacer placer(*arch_, *nl_, opt);
+    placement_ = std::make_unique<place::Placement>(placer.place());
+    graph_ = std::make_unique<ChannelGraph>(*arch_);
+    congestion_ = std::make_unique<CongestionMap>(*graph_);
+    router_ = std::make_unique<PathFinderRouter>(*graph_);
+    result_ = router_->route(*placement_, *congestion_);
+  }
+
+  std::unique_ptr<fpga::Netlist> nl_;
+  std::unique_ptr<fpga::Arch> arch_;
+  std::unique_ptr<place::Placement> placement_;
+  std::unique_ptr<ChannelGraph> graph_;
+  std::unique_ptr<CongestionMap> congestion_;
+  std::unique_ptr<PathFinderRouter> router_;
+  RouteResult result_;
+};
+
+TEST_P(RouterPropertyTest, SuccessImpliesNoOveruse) {
+  if (result_.success) {
+    EXPECT_EQ(congestion_->stats().overused_segments, 0);
+  } else {
+    EXPECT_GT(congestion_->stats().overused_segments, 0);
+  }
+}
+
+TEST_P(RouterPropertyTest, OccupancyEqualsTreeMembership) {
+  std::vector<Index> occ(static_cast<std::size_t>(graph_->num_nodes()), 0);
+  for (fpga::NetId n = 0; n < nl_->num_nets(); ++n) {
+    for (NodeId node : router_->net_tree(n)) occ[static_cast<std::size_t>(node)] += 1;
+  }
+  for (NodeId n = 0; n < graph_->num_nodes(); ++n) {
+    ASSERT_EQ(congestion_->occupancy(n), occ[static_cast<std::size_t>(n)]);
+  }
+}
+
+TEST_P(RouterPropertyTest, UtilizationIsOccupancyOverWidth) {
+  const double width = static_cast<double>(GetParam().channel_width);
+  for (NodeId n = 0; n < graph_->num_nodes(); ++n) {
+    if (!graph_->is_channel(n)) continue;
+    ASSERT_DOUBLE_EQ(congestion_->utilization(n),
+                     static_cast<double>(congestion_->occupancy(n)) / width);
+  }
+}
+
+TEST_P(RouterPropertyTest, MultiTerminalNetsAreRouted) {
+  for (const fpga::Net& net : nl_->nets()) {
+    std::set<NodeId> tiles{graph_->tile_node(placement_->loc(net.driver))};
+    for (fpga::BlockId s : net.sinks) tiles.insert(graph_->tile_node(placement_->loc(s)));
+    if (tiles.size() > 1) {
+      ASSERT_FALSE(router_->net_tree(net.id).empty()) << "net " << net.name;
+    }
+  }
+}
+
+TEST_P(RouterPropertyTest, WirelengthBoundedBelowByDistance) {
+  // Each routed net's tree must contain at least as many channel hops as
+  // half the Manhattan distance between its two farthest terminals (each
+  // tile step crosses one channel and one switchbox).
+  for (const fpga::Net& net : nl_->nets()) {
+    const auto& tree = router_->net_tree(net.id);
+    if (tree.empty()) continue;
+    const fpga::GridLoc d = placement_->loc(net.driver);
+    Index max_dist = 0;
+    for (fpga::BlockId s : net.sinks) {
+      const fpga::GridLoc l = placement_->loc(s);
+      max_dist = std::max(max_dist, std::abs(l.x - d.x) + std::abs(l.y - d.y));
+    }
+    EXPECT_GE(static_cast<Index>(tree.size()), max_dist) << "net " << net.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WidthsAndDesigns, RouterPropertyTest,
+                         ::testing::Values(RouterCase{2, "diffeq1", 0.04},
+                                           RouterCase{6, "diffeq2", 0.04},
+                                           RouterCase{12, "SHA", 0.02},
+                                           RouterCase{34, "OR1200", 0.02},
+                                           RouterCase{34, "ode", 0.015},
+                                           RouterCase{60, "raygentop", 0.03}));
+
+}  // namespace
+}  // namespace paintplace::route
