@@ -1,0 +1,154 @@
+// Serving-engine benchmark: batched inference throughput vs the sequential
+// single-request baseline, end-to-end server throughput under concurrent
+// clients, and the effect of the result cache on repeat-heavy workloads.
+//
+// The serving model is channel-fat at moderate resolution (the regime where
+// per-sample GEMMs degenerate to a handful of columns and batching recovers
+// SIMD width and instruction-level parallelism — see Conv2d::forward).
+// Override with PAINT_SERVE_WIDTH / PAINT_SERVE_BASE / PAINT_SERVE_REQS.
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "nn/tensor_ops.h"
+#include "serve/forecast_server.h"
+
+using namespace paintplace;
+
+namespace {
+
+Index env_index(const char* name, Index fallback) {
+  if (const char* v = std::getenv(name)) return std::atoll(v);
+  return fallback;
+}
+
+nn::Tensor random_input(Index width, std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Tensor t(nn::Shape{1, 4, width, width});
+  for (Index i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.uniform());
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 1 << 16);
+  const Index width = env_index("PAINT_SERVE_WIDTH", 32);
+  const Index base = env_index("PAINT_SERVE_BASE", 32);
+  // At least 16 so every batch size and client count below gets real work.
+  const Index reps = std::max<Index>(16, env_index("PAINT_SERVE_REQS", 48));
+
+  std::printf("== paintplace::serve throughput ==\n");
+  std::printf("model: %lldx%lld inputs, base %lld, max %lld channels; %lld requests/run\n\n",
+              static_cast<long long>(width), static_cast<long long>(width),
+              static_cast<long long>(base), static_cast<long long>(base * 8),
+              static_cast<long long>(reps));
+
+  core::Pix2PixConfig cfg;
+  cfg.generator.in_channels = 4;
+  cfg.generator.image_size = width;
+  cfg.generator.base_channels = base;
+  cfg.generator.max_channels = base * 8;
+  cfg.disc_base_channels = base;
+  auto model = std::make_shared<core::CongestionForecaster>(cfg);
+  model->set_deterministic_inference(true);
+
+  std::vector<nn::Tensor> inputs;
+  inputs.reserve(static_cast<std::size_t>(reps));
+  for (Index i = 0; i < reps; ++i) inputs.push_back(random_input(width, 1000 + i));
+
+  // ---- 1. Batched forward pass vs sequential predict() ---------------------
+  (void)model->predict(inputs[0]);  // warm up allocators/pool
+  Timer t_seq;
+  for (Index i = 0; i < reps; ++i) (void)model->predict(inputs[i]);
+  const double seq_s = t_seq.seconds();
+  const double seq_rps = static_cast<double>(reps) / seq_s;
+  std::printf("%-28s %10.1f ms/req %10.2f req/s   (baseline)\n", "sequential predict()",
+              1e3 * seq_s / static_cast<double>(reps), seq_rps);
+
+  double speedup_at_4 = 0.0;
+  for (Index b : {2, 4, 8, 16}) {
+    Timer t_bat;
+    for (Index i = 0; i < reps; i += b) {
+      std::vector<const nn::Tensor*> ptrs;
+      for (Index j = i; j < i + b; ++j) ptrs.push_back(&inputs[j % reps]);
+      (void)model->predict_batch(nn::stack_batch(ptrs));
+    }
+    const double bat_s = t_bat.seconds();
+    const double speedup = seq_s / bat_s;
+    if (b == 4) speedup_at_4 = speedup;
+    std::printf("predict_batch(%-2lld)           %10.1f ms/req %10.2f req/s   (%.2fx)\n",
+                static_cast<long long>(b), 1e3 * bat_s / static_cast<double>(reps),
+                static_cast<double>(reps) / bat_s, speedup);
+  }
+  std::printf("\nbatched speedup at batch 4: %.2fx (acceptance floor: 2x)\n\n", speedup_at_4);
+
+  // ---- 2. End-to-end server under concurrent closed-loop clients -----------
+  std::printf("%-12s %-12s %-12s %-12s %-12s\n", "clients", "req/s", "mean batch", "max batch",
+              "speedup");
+  double one_client_rps = 0.0;
+  for (int clients : {1, 2, 4, 8}) {
+    serve::ServeConfig scfg;
+    scfg.max_batch = 8;
+    scfg.max_wait = std::chrono::microseconds(2000);
+    scfg.cache_capacity = 0;  // distinct inputs; isolate the batching effect
+    scfg.deterministic = true;
+    auto serve_model = std::make_shared<core::CongestionForecaster>(cfg);
+    serve::ForecastServer server(scfg, std::move(serve_model));
+    Timer t_srv;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (Index i = 0; i < reps / clients; ++i) {
+          const Index idx = (c * (reps / clients) + i) % reps;
+          server.submit(inputs[static_cast<std::size_t>(idx)]).get();
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const double rps = static_cast<double>((reps / clients) * clients) / t_srv.seconds();
+    if (clients == 1) one_client_rps = rps;
+    const serve::ServeStats stats = server.stats();
+    std::printf("%-12d %-12.2f %-12.2f %-12llu %-12.2f\n", clients, rps, stats.mean_batch(),
+                static_cast<unsigned long long>(stats.max_batch), rps / one_client_rps);
+  }
+
+  // ---- 3. Repeat-heavy workload: the result cache ---------------------------
+  const Index pool_size = std::max<Index>(1, reps / 8);
+  std::printf("\ncache (4 clients resubmitting %lld distinct placements):\n",
+              static_cast<long long>(pool_size));
+  {
+    serve::ServeConfig scfg;
+    scfg.max_batch = 8;
+    scfg.max_wait = std::chrono::microseconds(2000);
+    scfg.cache_capacity = 1024;
+    auto serve_model = std::make_shared<core::CongestionForecaster>(cfg);
+    serve::ForecastServer server(scfg, std::move(serve_model));
+    const Index pool = pool_size;
+    Timer t_cache;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < 4; ++c) {
+      threads.emplace_back([&, c] {
+        Rng pick(static_cast<std::uint64_t>(c) + 77);
+        for (Index i = 0; i < reps; ++i) {
+          const Index idx = pick.uniform_int(0, pool - 1);
+          server.submit(inputs[static_cast<std::size_t>(idx)]).get();
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const double rps = static_cast<double>(4 * reps) / t_cache.seconds();
+    const serve::ServeStats stats = server.stats();
+    std::printf("  %.2f req/s — %.0f%% cache hits, %llu coalesced, %llu model samples "
+                "(%.1fx over uncached single-client)\n",
+                rps,
+                100.0 * static_cast<double>(stats.cache_hits) /
+                    static_cast<double>(stats.requests),
+                static_cast<unsigned long long>(stats.coalesced),
+                static_cast<unsigned long long>(stats.model_samples), rps / one_client_rps);
+  }
+  return 0;
+}

@@ -41,8 +41,16 @@ PatchDiscriminator::PatchDiscriminator(const DiscriminatorConfig& config) : conf
 }
 
 nn::Tensor PatchDiscriminator::forward(const nn::Tensor& input) {
+  // The patch discriminator is fully convolutional: any resolution works as
+  // long as the stride-2 pyramid plus the two stride-1 k4 convs fit.
+  const Index min_size = (Index{1} << config_.num_stride2_layers()) * 4;
   PP_CHECK_MSG(input.rank() == 4 && input.dim(1) == config_.in_channels,
-               "discriminator input " << input.shape().str() << " does not match config");
+               "discriminator input " << input.shape().str() << " does not match config: expected "
+                                      << "(N," << config_.in_channels << ",H,W)");
+  PP_CHECK_MSG(input.dim(2) >= min_size && input.dim(3) >= min_size,
+               "discriminator input " << input.shape().str() << " too small: needs H,W >= "
+                                      << min_size << " for " << config_.num_stride2_layers()
+                                      << " stride-2 stages plus two stride-1 k4 convs");
   return layers_.forward(input);
 }
 

@@ -43,13 +43,41 @@ TrainHistory CongestionForecaster::fine_tune(const std::vector<const data::Sampl
   return run_epochs(samples, config);
 }
 
+void CongestionForecaster::validate_input(const nn::Tensor& input01, bool batched) const {
+  const GeneratorConfig& gen = config().generator;
+  const char* fn = batched ? "predict_batch" : "predict";
+  PP_CHECK_MSG(input01.rank() == 4,
+               "CongestionForecaster::" << fn << " expects an NCHW tensor (" << (batched ? "N" : "1")
+                                        << "," << gen.in_channels << "," << gen.image_size << ","
+                                        << gen.image_size << "), got rank " << input01.rank());
+  PP_CHECK_MSG(batched ? input01.dim(0) >= 1 : input01.dim(0) == 1,
+               "CongestionForecaster::" << fn << ": batch dimension " << input01.dim(0)
+                                        << (batched ? " must be >= 1" : " must be 1 (use predict_batch)"));
+  PP_CHECK_MSG(input01.dim(1) == gen.in_channels && input01.dim(2) == gen.image_size &&
+                   input01.dim(3) == gen.image_size,
+               "CongestionForecaster::" << fn << " input " << input01.shape().str()
+                                        << " does not match the model configuration (N,"
+                                        << gen.in_channels << "," << gen.image_size << ","
+                                        << gen.image_size << ")");
+}
+
 nn::Tensor CongestionForecaster::predict(const nn::Tensor& input01) {
+  validate_input(input01, /*batched=*/false);
   return model_.predict(input01);
 }
 
-double CongestionForecaster::congestion_score(const nn::Tensor& heatmap01) const {
-  PP_CHECK_MSG(heatmap01.rank() == 4 && heatmap01.dim(1) == 3, "score expects (1,3,H,W)");
-  const Index H = heatmap01.dim(2), W = heatmap01.dim(3);
+nn::Tensor CongestionForecaster::predict_batch(const nn::Tensor& batch01) {
+  validate_input(batch01, /*batched=*/true);
+  return model_.predict(batch01);
+}
+
+void CongestionForecaster::set_deterministic_inference(bool deterministic) {
+  deterministic_ = deterministic;
+  model_.generator().set_inference_noise(!deterministic);
+}
+
+double CongestionForecaster::score_sample(const nn::Tensor& heatmaps01, Index n) const {
+  const Index H = heatmaps01.dim(2), W = heatmaps01.dim(3);
   // Average decoded utilization over the pixels that lie near the
   // utilization gradient. Block/background pixels (black CLBs, light-blue
   // spots, ...) sit far from the gradient polyline; including them would
@@ -59,8 +87,8 @@ double CongestionForecaster::congestion_score(const nn::Tensor& heatmap01) const
   Index counted = 0;
   for (Index y = 0; y < H; ++y) {
     for (Index x = 0; x < W; ++x) {
-      const img::Color c{heatmap01.at(0, 0, y, x), heatmap01.at(0, 1, y, x),
-                         heatmap01.at(0, 2, y, x)};
+      const img::Color c{heatmaps01.at(n, 0, y, x), heatmaps01.at(n, 1, y, x),
+                         heatmaps01.at(n, 2, y, x)};
       if (img::UtilizationColormap::unmap_distance(c) >
           img::UtilizationColormap::kOnGradientDistance) {
         continue;
@@ -71,6 +99,22 @@ double CongestionForecaster::congestion_score(const nn::Tensor& heatmap01) const
   }
   if (counted == 0) return 0.0;
   return sum / static_cast<double>(counted);
+}
+
+double CongestionForecaster::congestion_score(const nn::Tensor& heatmap01) const {
+  PP_CHECK_MSG(heatmap01.rank() == 4 && heatmap01.dim(0) == 1 && heatmap01.dim(1) == 3,
+               "congestion_score expects (1,3,H,W), got "
+                   << heatmap01.shape().str() << " (use congestion_scores for batches)");
+  return score_sample(heatmap01, 0);
+}
+
+std::vector<double> CongestionForecaster::congestion_scores(const nn::Tensor& heatmaps01) const {
+  PP_CHECK_MSG(heatmaps01.rank() == 4 && heatmaps01.dim(1) == 3,
+               "congestion_scores expects (N,3,H,W), got " << heatmaps01.shape().str());
+  std::vector<double> scores;
+  scores.reserve(static_cast<std::size_t>(heatmaps01.dim(0)));
+  for (Index n = 0; n < heatmaps01.dim(0); ++n) scores.push_back(score_sample(heatmaps01, n));
+  return scores;
 }
 
 EvalResult CongestionForecaster::evaluate(const std::vector<const data::Sample*>& test_samples,

@@ -53,13 +53,32 @@ class CongestionForecaster {
   TrainHistory fine_tune(const std::vector<const data::Sample*>& samples,
                          const TrainConfig& config, float lr_scale = 0.5f);
 
-  /// Predicted heat-map tensor (1,3,w,w) in [0,1] from an input tensor.
+  /// Predicted heat-map tensor (1,3,w,w) in [0,1] from a (1,C,w,w) input.
   nn::Tensor predict(const nn::Tensor& input01);
+
+  /// Batched inference: (N,C,w,w) in, (N,3,w,w) out — one forward pass for
+  /// the whole batch. With deterministic inference enabled, sample i of the
+  /// result is bit-identical to predict() on sample i alone.
+  nn::Tensor predict_batch(const nn::Tensor& batch01);
+
+  /// Freezes (true) or re-enables (false) the inference noise z. Frozen
+  /// inference is a pure function of the input — required by the serving
+  /// layer's result cache and for batched/per-sample equivalence.
+  void set_deterministic_inference(bool deterministic);
+  bool deterministic_inference() const { return deterministic_; }
 
   /// Congestion score of a predicted heat map: mean decoded utilization
   /// over all pixels via the colormap inverse. Monotone proxy for the
   /// router's total utilization, used for ranking placements.
   double congestion_score(const nn::Tensor& heatmap01) const;
+
+  /// Per-sample congestion scores of an (N,3,w,w) heat-map batch.
+  std::vector<double> congestion_scores(const nn::Tensor& heatmaps01) const;
+
+  /// The shape check predict/predict_batch run, exposed so callers that
+  /// queue work (the serving layer) can fail fast in the submitting thread
+  /// with the same message. Throws CheckError on mismatch.
+  void validate_input(const nn::Tensor& input01, bool batched) const;
 
   EvalResult evaluate(const std::vector<const data::Sample*>& test_samples, Index top_k = 10);
 
@@ -69,8 +88,10 @@ class CongestionForecaster {
  private:
   TrainHistory run_epochs(const std::vector<const data::Sample*>& samples,
                           const TrainConfig& config);
+  double score_sample(const nn::Tensor& heatmaps01, Index n) const;
 
   Pix2Pix model_;
+  bool deterministic_ = false;
 };
 
 }  // namespace paintplace::core

@@ -85,7 +85,16 @@ GanLosses Pix2Pix::train_step(const nn::Tensor& input01, const nn::Tensor& truth
 }
 
 nn::Tensor Pix2Pix::predict(const nn::Tensor& input01) {
-  generator_->set_training(false);  // eval batch-norm; dropout z stays live
+  const GeneratorConfig& gen = config_.generator;
+  PP_CHECK_MSG(input01.rank() == 4, "Pix2Pix::predict expects an NCHW tensor (N," << gen.in_channels
+                                        << "," << gen.image_size << "," << gen.image_size
+                                        << "), got rank " << input01.rank());
+  PP_CHECK_MSG(input01.dim(0) >= 1 && input01.dim(1) == gen.in_channels &&
+                   input01.dim(2) == gen.image_size && input01.dim(3) == gen.image_size,
+               "Pix2Pix::predict input " << input01.shape().str() << " does not match model (N,"
+                                         << gen.in_channels << "," << gen.image_size << ","
+                                         << gen.image_size << ")");
+  generator_->set_training(false);  // eval batch-norm; dropout z stays live unless frozen
   const nn::Tensor g = generator_->forward(to_signed(input01));
   return to_unit(g);
 }

@@ -131,7 +131,9 @@ nn::Tensor UNetGenerator::dec_backward(DecLevel& level, const nn::Tensor& g) {
 nn::Tensor UNetGenerator::forward(const nn::Tensor& input) {
   PP_CHECK_MSG(input.rank() == 4 && input.dim(1) == config_.in_channels &&
                    input.dim(2) == config_.image_size && input.dim(3) == config_.image_size,
-               "UNet input shape " << input.shape().str() << " does not match config");
+               "UNet input shape " << input.shape().str() << " does not match config: expected (N,"
+                                   << config_.in_channels << "," << config_.image_size << ","
+                                   << config_.image_size << ")");
   const Index d = config_.depth();
   nn::Tensor h = input;
   for (Index i = 0; i < d; ++i) {
@@ -215,6 +217,13 @@ void UNetGenerator::reseed_noise(std::uint64_t seed) {
   Rng rng(seed);
   for (DecLevel& lvl : dec_) {
     if (lvl.dropout) lvl.dropout->reseed(rng.engine()());
+  }
+}
+
+void UNetGenerator::set_inference_noise(bool enabled) {
+  inference_noise_ = enabled;
+  for (DecLevel& lvl : dec_) {
+    if (lvl.dropout) lvl.dropout->set_active_in_eval(enabled);
   }
 }
 

@@ -78,6 +78,13 @@ class UNetGenerator : public nn::Module {
   /// Re-seed all dropout noise streams (deterministic inference in tests).
   void reseed_noise(std::uint64_t seed);
 
+  /// Enables/disables the stochastic noise z at inference. The paper keeps
+  /// dropout live in eval (z of G(x, z)); the serving layer freezes it so a
+  /// forward pass is a pure function of the input (cacheable, and a batched
+  /// pass matches per-sample passes exactly).
+  void set_inference_noise(bool enabled);
+  bool inference_noise() const { return inference_noise_; }
+
  private:
   struct EncLevel {
     std::unique_ptr<nn::LeakyReLU> act;  // null at level 0
@@ -97,6 +104,7 @@ class UNetGenerator : public nn::Module {
   nn::Tensor dec_backward(DecLevel& level, const nn::Tensor& g);
 
   GeneratorConfig config_;
+  bool inference_noise_ = true;
   std::vector<EncLevel> enc_;
   std::vector<DecLevel> dec_;
 };

@@ -5,7 +5,8 @@
 namespace paintplace::nn {
 
 Tensor LeakyReLU::forward(const Tensor& input) {
-  cached_input_ = input;
+  // Backward caches are only needed when training; inference skips the copy.
+  cached_input_ = training_ ? input : Tensor();
   Tensor out(input.shape());
   const Index n = input.numel();
   for (Index i = 0; i < n; ++i) out[i] = input[i] > 0.0f ? input[i] : slope_ * input[i];
@@ -24,7 +25,7 @@ Tensor LeakyReLU::backward(const Tensor& grad_output) {
 }
 
 Tensor ReLU::forward(const Tensor& input) {
-  cached_input_ = input;
+  cached_input_ = training_ ? input : Tensor();
   Tensor out(input.shape());
   const Index n = input.numel();
   for (Index i = 0; i < n; ++i) out[i] = input[i] > 0.0f ? input[i] : 0.0f;
@@ -44,7 +45,7 @@ Tensor Tanh::forward(const Tensor& input) {
   Tensor out(input.shape());
   const Index n = input.numel();
   for (Index i = 0; i < n; ++i) out[i] = std::tanh(input[i]);
-  cached_output_ = out;
+  cached_output_ = training_ ? out : Tensor();
   return out;
 }
 
@@ -63,7 +64,7 @@ Tensor Sigmoid::forward(const Tensor& input) {
   Tensor out(input.shape());
   const Index n = input.numel();
   for (Index i = 0; i < n; ++i) out[i] = 1.0f / (1.0f + std::exp(-input[i]));
-  cached_output_ = out;
+  cached_output_ = training_ ? out : Tensor();
   return out;
 }
 

@@ -1,5 +1,6 @@
 #include "nn/conv2d.h"
 
+#include <cstring>
 #include <vector>
 
 #include "nn/gemm.h"
@@ -27,18 +28,47 @@ ConvGeom Conv2d::geom_for(Index h, Index w) const {
 
 Tensor Conv2d::forward(const Tensor& input) {
   PP_CHECK_MSG(input.rank() == 4 && input.dim(1) == in_channels_,
-               "Conv2d " << weight_.name << ": bad input " << input.shape().str());
-  cached_input_ = input;
+               "Conv2d " << weight_.name << ": bad input " << input.shape().str()
+                         << ", expected (N," << in_channels_ << ",H,W)");
+  if (training_) {
+    cached_input_ = input;
+  } else {
+    cached_input_ = Tensor();  // inference: no backward, skip the activation copy
+  }
   const Index N = input.dim(0), H = input.dim(2), W = input.dim(3);
   const ConvGeom g = geom_for(H, W);
   const Index Ho = g.out_height(), Wo = g.out_width();
   Tensor output(Shape{N, out_channels_, Ho, Wo});
-  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
-  for (Index n = 0; n < N; ++n) {
-    im2col(g, input.data() + n * in_channels_ * H * W, col.data());
+  const Index plane_cols = g.col_cols();
+  if (N == 1) {
+    std::vector<float> col(static_cast<std::size_t>(g.col_rows() * plane_cols));
+    im2col(g, input.data(), col.data());
     // out(Cout, Ho*Wo) = weight(Cout, Cin*k*k) * col
-    sgemm(out_channels_, g.col_cols(), g.col_rows(), 1.0f, weight_.value.data(), col.data(), 0.0f,
-          output.data() + n * out_channels_ * Ho * Wo);
+    sgemm(out_channels_, plane_cols, g.col_rows(), 1.0f, weight_.value.data(), col.data(), 0.0f,
+          output.data());
+  } else {
+    // Batched lowering: unfold every sample into one wide col matrix and run
+    // a single GEMM. On the channel-fat, spatially-tiny inner U-Net levels a
+    // per-sample GEMM degenerates to a handful of columns (no SIMD width, a
+    // store-to-load accumulation chain per element); widening the column
+    // dimension by N restores throughput. Column order is per-element
+    // identical to the per-sample GEMM, so results stay bit-exact.
+    const Index total_cols = N * plane_cols;
+    std::vector<float> col(static_cast<std::size_t>(g.col_rows() * total_cols));
+    for (Index n = 0; n < N; ++n) {
+      im2col(g, input.data() + n * in_channels_ * H * W, col.data() + n * plane_cols, total_cols);
+    }
+    std::vector<float> out_cn(static_cast<std::size_t>(out_channels_ * total_cols));
+    sgemm(out_channels_, total_cols, g.col_rows(), 1.0f, weight_.value.data(), col.data(), 0.0f,
+          out_cn.data());
+    // Scatter (Cout, N*Ho*Wo) back to NCHW.
+    for (Index n = 0; n < N; ++n) {
+      for (Index c = 0; c < out_channels_; ++c) {
+        std::memcpy(output.data() + (n * out_channels_ + c) * plane_cols,
+                    out_cn.data() + c * total_cols + n * plane_cols,
+                    sizeof(float) * static_cast<std::size_t>(plane_cols));
+      }
+    }
   }
   if (has_bias_) {
     const Index plane = Ho * Wo;

@@ -1,5 +1,6 @@
 #include "nn/conv_transpose2d.h"
 
+#include <cstring>
 #include <vector>
 
 #include "nn/gemm.h"
@@ -33,8 +34,13 @@ ConvGeom ConvTranspose2d::geom_for_output(Index out_h, Index out_w) const {
 
 Tensor ConvTranspose2d::forward(const Tensor& input) {
   PP_CHECK_MSG(input.rank() == 4 && input.dim(1) == in_channels_,
-               "ConvTranspose2d " << weight_.name << ": bad input " << input.shape().str());
-  cached_input_ = input;
+               "ConvTranspose2d " << weight_.name << ": bad input " << input.shape().str()
+                                  << ", expected (N," << in_channels_ << ",H,W)");
+  if (training_) {
+    cached_input_ = input;
+  } else {
+    cached_input_ = Tensor();  // inference: no backward, skip the activation copy
+  }
   const Index N = input.dim(0), H = input.dim(2), W = input.dim(3);
   const Index Ho = out_height(H), Wo = out_width(W);
   PP_CHECK_MSG(Ho > 0 && Wo > 0, "ConvTranspose2d output would be empty");
@@ -42,12 +48,32 @@ Tensor ConvTranspose2d::forward(const Tensor& input) {
   PP_CHECK(g.out_height() == H && g.out_width() == W);
 
   Tensor output(Shape{N, out_channels_, Ho, Wo});
-  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
-  for (Index n = 0; n < N; ++n) {
+  const Index plane = H * W;
+  if (N == 1) {
+    std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
     // col(Cout*k*k, H*W) = weight^T(Cout*k*k, Cin) * x(Cin, H*W)
-    sgemm_at(g.col_rows(), H * W, in_channels_, 1.0f, weight_.value.data(),
-             input.data() + n * in_channels_ * H * W, 0.0f, col.data());
-    col2im(g, col.data(), output.data() + n * out_channels_ * Ho * Wo);
+    sgemm_at(g.col_rows(), plane, in_channels_, 1.0f, weight_.value.data(), input.data(), 0.0f,
+             col.data());
+    col2im(g, col.data(), output.data());
+  } else {
+    // Batched lowering (see Conv2d::forward): pack the batch into one
+    // (Cin, N*H*W) matrix, run a single wide GEMM, and scatter each
+    // sample's columns through col2im. Bit-exact vs the per-sample path.
+    const Index total_cols = N * plane;
+    std::vector<float> packed(static_cast<std::size_t>(in_channels_ * total_cols));
+    for (Index n = 0; n < N; ++n) {
+      for (Index c = 0; c < in_channels_; ++c) {
+        std::memcpy(packed.data() + c * total_cols + n * plane,
+                    input.data() + (n * in_channels_ + c) * plane,
+                    sizeof(float) * static_cast<std::size_t>(plane));
+      }
+    }
+    std::vector<float> col(static_cast<std::size_t>(g.col_rows() * total_cols));
+    sgemm_at(g.col_rows(), total_cols, in_channels_, 1.0f, weight_.value.data(), packed.data(),
+             0.0f, col.data());
+    for (Index n = 0; n < N; ++n) {
+      col2im(g, col.data() + n * plane, output.data() + n * out_channels_ * Ho * Wo, total_cols);
+    }
   }
   if (has_bias_) {
     const Index plane = Ho * Wo;

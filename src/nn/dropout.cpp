@@ -4,18 +4,19 @@ namespace paintplace::nn {
 
 Tensor Dropout::forward(const Tensor& input) {
   if (probability_ == 0.0f || !active()) {
-    mask_ = Tensor::full(input.shape(), 1.0f);
+    mask_ = training_ ? Tensor::full(input.shape(), 1.0f) : Tensor();
     return input;
   }
   // Inverted dropout: surviving units scaled by 1/keep so eval needs no rescale.
   const float keep = 1.0f - probability_;
   const float scale = 1.0f / keep;
-  mask_ = Tensor(input.shape());
+  const bool keep_mask = training_;  // backward never follows an eval forward
+  mask_ = keep_mask ? Tensor(input.shape()) : Tensor();
   Tensor out(input.shape());
   const Index n = input.numel();
   for (Index i = 0; i < n; ++i) {
     const float m = rng_.chance(static_cast<double>(keep)) ? scale : 0.0f;
-    mask_[i] = m;
+    if (keep_mask) mask_[i] = m;
     out[i] = input[i] * m;
   }
   return out;

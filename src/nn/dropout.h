@@ -24,6 +24,12 @@ class Dropout : public Module {
   /// Re-seed the noise stream (used to make inference deterministic in tests).
   void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
 
+  /// Freeze or re-enable the inference noise z: with eval activity off, an
+  /// eval-mode forward is the identity, making inference a pure function of
+  /// the input (required by the serving layer's result cache).
+  void set_active_in_eval(bool active) { active_in_eval_ = active; }
+  bool active_in_eval() const { return active_in_eval_; }
+
  private:
   bool active() const { return training_ || active_in_eval_; }
 

@@ -4,10 +4,10 @@
 
 namespace paintplace::nn {
 
-void im2col(const ConvGeom& g, const float* image, float* col) {
+void im2col(const ConvGeom& g, const float* image, float* col, Index col_stride) {
   g.validate();
   const Index Ho = g.out_height(), Wo = g.out_width();
-  const Index cols = Ho * Wo;
+  PP_CHECK_MSG(col_stride >= Ho * Wo, "im2col col_stride narrower than the unfold");
   const Index kk = g.kernel * g.kernel;
   // Every (channel, kh, kw) row of the col matrix is independent.
   parallel_for_each(g.channels * kk, [&](Index row) {
@@ -15,7 +15,7 @@ void im2col(const ConvGeom& g, const float* image, float* col) {
     const Index kh = (row % kk) / g.kernel;
     const Index kw = row % g.kernel;
     const float* img_c = image + c * g.height * g.width;
-    float* dst = col + row * cols;
+    float* dst = col + row * col_stride;
     for (Index oh = 0; oh < Ho; ++oh) {
       const Index ih = oh * g.stride + kh - g.pad;
       if (ih < 0 || ih >= g.height) {
@@ -31,10 +31,14 @@ void im2col(const ConvGeom& g, const float* image, float* col) {
   });
 }
 
-void col2im(const ConvGeom& g, const float* col, float* image) {
+void im2col(const ConvGeom& g, const float* image, float* col) {
+  im2col(g, image, col, g.col_cols());
+}
+
+void col2im(const ConvGeom& g, const float* col, float* image, Index col_stride) {
   g.validate();
   const Index Ho = g.out_height(), Wo = g.out_width();
-  const Index cols = Ho * Wo;
+  PP_CHECK_MSG(col_stride >= Ho * Wo, "col2im col_stride narrower than the unfold");
   // Rows of one channel scatter into the same image plane, so the parallel
   // unit is the channel, not the row.
   parallel_for_each(g.channels, [&](Index c) {
@@ -42,7 +46,7 @@ void col2im(const ConvGeom& g, const float* col, float* image) {
     Index row = c * g.kernel * g.kernel;
     for (Index kh = 0; kh < g.kernel; ++kh) {
       for (Index kw = 0; kw < g.kernel; ++kw, ++row) {
-        const float* src = col + row * cols;
+        const float* src = col + row * col_stride;
         for (Index oh = 0; oh < Ho; ++oh) {
           const Index ih = oh * g.stride + kh - g.pad;
           if (ih < 0 || ih >= g.height) continue;
@@ -55,6 +59,10 @@ void col2im(const ConvGeom& g, const float* col, float* image) {
       }
     }
   });
+}
+
+void col2im(const ConvGeom& g, const float* col, float* image) {
+  col2im(g, col, image, g.col_cols());
 }
 
 }  // namespace paintplace::nn

@@ -33,8 +33,17 @@ struct ConvGeom {
 /// image (C,H,W) -> col (C*k*k, Hout*Wout). `col` must hold col_rows*col_cols floats.
 void im2col(const ConvGeom& g, const float* image, float* col);
 
+/// Strided variant for batched lowering: writes the same unfold into a wider
+/// matrix whose rows are `col_stride` floats apart (col points at this
+/// sample's first column). Requires col_stride >= col_cols().
+void im2col(const ConvGeom& g, const float* image, float* col, Index col_stride);
+
 /// Adjoint: scatter-add col back into image (C,H,W). `image` must be zeroed
 /// by the caller if accumulation from a clean slate is wanted.
 void col2im(const ConvGeom& g, const float* col, float* image);
+
+/// Strided variant: reads this sample's columns out of a wider matrix whose
+/// rows are `col_stride` floats apart. Requires col_stride >= col_cols().
+void col2im(const ConvGeom& g, const float* col, float* image, Index col_stride);
 
 }  // namespace paintplace::nn

@@ -19,8 +19,9 @@ Tensor InstanceNorm2d::forward(const Tensor& input) {
   const Index N = input.dim(0), H = input.dim(2), W = input.dim(3);
   const Index plane = H * W;
   Tensor output(input.shape());
-  cached_normalized_ = Tensor(input.shape());
-  cached_inv_std_.assign(static_cast<std::size_t>(N * channels_), 0.0f);
+  const bool cache = training_;  // backward never follows an eval forward
+  cached_normalized_ = cache ? Tensor(input.shape()) : Tensor();
+  cached_inv_std_.assign(cache ? static_cast<std::size_t>(N * channels_) : 0, 0.0f);
   for (Index n = 0; n < N; ++n) {
     for (Index c = 0; c < channels_; ++c) {
       const float* x = input.data() + (n * channels_ + c) * plane;
@@ -32,13 +33,17 @@ Tensor InstanceNorm2d::forward(const Tensor& input) {
       const double mean = sum / static_cast<double>(plane);
       const double var = std::max(0.0, sq / static_cast<double>(plane) - mean * mean);
       const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
-      cached_inv_std_[static_cast<std::size_t>(n * channels_ + c)] = inv_std;
       const float g = gamma_.value[c], b = beta_.value[c], m = static_cast<float>(mean);
-      float* xh = cached_normalized_.data() + (n * channels_ + c) * plane;
       float* y = output.data() + (n * channels_ + c) * plane;
-      for (Index i = 0; i < plane; ++i) {
-        xh[i] = (x[i] - m) * inv_std;
-        y[i] = g * xh[i] + b;
+      if (cache) {
+        cached_inv_std_[static_cast<std::size_t>(n * channels_ + c)] = inv_std;
+        float* xh = cached_normalized_.data() + (n * channels_ + c) * plane;
+        for (Index i = 0; i < plane; ++i) {
+          xh[i] = (x[i] - m) * inv_std;
+          y[i] = g * xh[i] + b;
+        }
+      } else {
+        for (Index i = 0; i < plane; ++i) y[i] = g * ((x[i] - m) * inv_std) + b;
       }
     }
   }

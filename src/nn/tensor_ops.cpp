@@ -37,4 +37,35 @@ std::pair<Tensor, Tensor> split_channels(const Tensor& grad, Index channels_a) {
   return {std::move(a), std::move(b)};
 }
 
+Tensor stack_batch(const std::vector<const Tensor*>& samples) {
+  PP_CHECK_MSG(!samples.empty(), "stack_batch on empty sample list");
+  const Tensor& first = *samples.front();
+  PP_CHECK_MSG(first.rank() == 4 && first.dim(0) == 1,
+               "stack_batch expects (1,C,H,W) samples, got " << first.shape().str());
+  const Index C = first.dim(1), H = first.dim(2), W = first.dim(3);
+  const Index sample_numel = C * H * W;
+  const Index N = static_cast<Index>(samples.size());
+  Tensor out(Shape{N, C, H, W});
+  for (Index n = 0; n < N; ++n) {
+    const Tensor& s = *samples[static_cast<std::size_t>(n)];
+    PP_CHECK_MSG(s.shape() == first.shape(), "stack_batch sample " << n << " shape "
+                                                                   << s.shape().str()
+                                                                   << " != " << first.shape().str());
+    std::memcpy(out.data() + n * sample_numel, s.data(),
+                sizeof(float) * static_cast<std::size_t>(sample_numel));
+  }
+  return out;
+}
+
+Tensor slice_batch(const Tensor& batch, Index n) {
+  PP_CHECK_MSG(batch.rank() == 4, "slice_batch needs an NCHW tensor");
+  const Index N = batch.dim(0), C = batch.dim(1), H = batch.dim(2), W = batch.dim(3);
+  PP_CHECK_MSG(n >= 0 && n < N, "slice_batch index " << n << " out of batch " << N);
+  const Index sample_numel = C * H * W;
+  Tensor out(Shape{1, C, H, W});
+  std::memcpy(out.data(), batch.data() + n * sample_numel,
+              sizeof(float) * static_cast<std::size_t>(sample_numel));
+  return out;
+}
+
 }  // namespace paintplace::nn

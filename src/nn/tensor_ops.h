@@ -1,6 +1,9 @@
 // Structural tensor ops used by composite networks: channel concatenation
-// (U-Net skip connections) and its adjoint split.
+// (U-Net skip connections) and its adjoint split, plus batch stacking and
+// slicing used by the micro-batched serving layer.
 #pragma once
+
+#include <vector>
 
 #include "nn/tensor.h"
 
@@ -12,5 +15,12 @@ Tensor concat_channels(const Tensor& a, const Tensor& b);
 /// Adjoint of concat_channels: splits grad of the concatenated tensor back
 /// into the two channel groups (first `channels_a` channels vs the rest).
 std::pair<Tensor, Tensor> split_channels(const Tensor& grad, Index channels_a);
+
+/// Stacks single-sample NCHW tensors (each with dim(0) == 1 and identical
+/// C,H,W) into one (N,C,H,W) batch.
+Tensor stack_batch(const std::vector<const Tensor*>& samples);
+
+/// Extracts sample `n` of an (N,C,H,W) batch as a (1,C,H,W) tensor.
+Tensor slice_batch(const Tensor& batch, Index n);
 
 }  // namespace paintplace::nn

@@ -1,0 +1,63 @@
+// Micro-batch request queue: the heart of the serving engine's coalescing.
+//
+// Producers push single requests; consumers pop whole batches. A batch is
+// released when either (a) max_batch requests are pending, or (b) max_wait
+// has elapsed since the *oldest* pending request arrived — so a lone request
+// pays at most max_wait of latency while bursts fill batches immediately.
+// close() stops intake but lets consumers drain what is queued; pop_batch
+// returns an empty vector once the queue is closed and empty.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "serve/forecast_types.h"
+#include "serve/tensor_key.h"
+
+namespace paintplace::serve {
+
+/// One queued forecast request: the rendered placement, its content hash,
+/// and the promise the client's future is waiting on.
+struct PendingRequest {
+  nn::Tensor input;  ///< (1,C,w,w) in [0,1]
+  TensorKey key;
+  std::promise<ForecastResult> promise;
+  std::chrono::steady_clock::time_point enqueued_at;
+};
+
+class BatchQueue {
+ public:
+  BatchQueue(Index max_batch, std::chrono::microseconds max_wait)
+      : max_batch_(max_batch), max_wait_(max_wait) {
+    PP_CHECK_MSG(max_batch >= 1, "BatchQueue max_batch must be >= 1");
+    PP_CHECK_MSG(max_wait.count() >= 0, "BatchQueue max_wait must be >= 0");
+  }
+
+  /// Enqueues a request. Returns false (leaving `req` untouched) after close().
+  bool push(PendingRequest& req);
+
+  /// Blocks until a batch is ready per the flush policy, then returns up to
+  /// max_batch requests (oldest first). Empty vector = closed and drained.
+  std::vector<PendingRequest> pop_batch();
+
+  /// Stops intake; queued requests remain poppable. Idempotent.
+  void close();
+
+  bool closed() const;
+  std::size_t pending() const;
+
+ private:
+  const Index max_batch_;
+  const std::chrono::microseconds max_wait_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace paintplace::serve

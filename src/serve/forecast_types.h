@@ -1,0 +1,33 @@
+// Value types shared across the serving subsystem.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/tensor.h"
+
+namespace paintplace::serve {
+
+using paintplace::Index;
+
+/// What a client gets back for one submitted placement render.
+struct ForecastResult {
+  nn::Tensor heatmap;             ///< (1,3,w,w) predicted routing heat map in [0,1]
+  double congestion_score = 0.0;  ///< mean decoded utilization (ranking proxy)
+  std::uint64_t model_version = 0;  ///< registry version that produced the map
+  bool from_cache = false;        ///< true when served without a model pass
+};
+
+/// Monotonic counters describing server behaviour since construction.
+struct ServeStats {
+  std::uint64_t requests = 0;       ///< total submits accepted
+  std::uint64_t cache_hits = 0;     ///< resolved from the result cache
+  std::uint64_t coalesced = 0;      ///< deduplicated against an identical batch-mate
+  std::uint64_t batches = 0;        ///< generator forward passes
+  std::uint64_t model_samples = 0;  ///< samples that actually went through the model
+  std::uint64_t max_batch = 0;      ///< largest batch coalesced so far
+  double mean_batch() const {
+    return batches == 0 ? 0.0 : static_cast<double>(model_samples) / static_cast<double>(batches);
+  }
+};
+
+}  // namespace paintplace::serve

@@ -1,0 +1,30 @@
+#include "serve/model_registry.h"
+
+namespace paintplace::serve {
+
+std::uint64_t ModelRegistry::publish(std::shared_ptr<core::CongestionForecaster> model,
+                                     std::string label) {
+  PP_CHECK_MSG(model != nullptr, "ModelRegistry::publish: null model");
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t version = next_version_++;
+  current_ = ModelSnapshot{version, label, std::move(model)};
+  history_.emplace_back(version, std::move(label));
+  return version;
+}
+
+ModelSnapshot ModelRegistry::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+bool ModelRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_.model == nullptr;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> ModelRegistry::history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+}  // namespace paintplace::serve

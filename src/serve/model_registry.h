@@ -1,0 +1,51 @@
+// Versioned registry of forecaster checkpoints with hot swap.
+//
+// publish() atomically replaces the serving model; current() hands out a
+// shared_ptr snapshot. In-flight batches keep the snapshot they started
+// with, so a swap never drains or interrupts them — the old model is
+// destroyed when its last batch finishes. Versions are monotonically
+// increasing so clients can tell which checkpoint produced a result.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/forecaster.h"
+
+namespace paintplace::serve {
+
+struct ModelSnapshot {
+  std::uint64_t version = 0;
+  std::string label;
+  std::shared_ptr<core::CongestionForecaster> model;
+
+  explicit operator bool() const { return model != nullptr; }
+};
+
+class ModelRegistry {
+ public:
+  /// Registers `model` as the new serving model; returns its version (1, 2,
+  /// ...). The previous model stays alive while any batch still holds it.
+  std::uint64_t publish(std::shared_ptr<core::CongestionForecaster> model, std::string label);
+
+  /// Snapshot of the current serving model. Empty (version 0, null model)
+  /// before the first publish.
+  ModelSnapshot current() const;
+
+  bool empty() const;
+
+  /// (version, label) of every publish, oldest first.
+  std::vector<std::pair<std::uint64_t, std::string>> history() const;
+
+ private:
+  mutable std::mutex mu_;
+  ModelSnapshot current_;
+  std::uint64_t next_version_ = 1;
+  std::vector<std::pair<std::uint64_t, std::string>> history_;
+};
+
+}  // namespace paintplace::serve

@@ -1,0 +1,75 @@
+#include "serve/result_cache.h"
+
+namespace paintplace::serve {
+
+std::optional<ForecastResult> ResultCache::get(const TensorKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    stats_.misses += 1;
+    return std::nullopt;
+  }
+  stats_.hits += 1;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ForecastResult result = it->second->second;
+  result.from_cache = true;
+  return result;
+}
+
+std::optional<ForecastResult> ResultCache::get(const TensorKey& key,
+                                               std::uint64_t required_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    stats_.misses += 1;
+    return std::nullopt;
+  }
+  if (it->second->second.model_version != required_version) {
+    lru_.erase(it->second);
+    index_.erase(it);
+    stats_.misses += 1;
+    stats_.evictions += 1;
+    return std::nullopt;
+  }
+  stats_.hits += 1;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ForecastResult result = it->second->second;
+  result.from_cache = true;
+  return result;
+}
+
+void ResultCache::put(const TensorKey& key, const ForecastResult& result) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->second = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, result);
+  index_.emplace(key, lru_.begin());
+  stats_.insertions += 1;
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    stats_.evictions += 1;
+  }
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace paintplace::serve

@@ -1,0 +1,61 @@
+// Thread-safe LRU cache from input-tensor content hash to forecast result.
+//
+// Identical placements are common in serving (placement explorers re-score
+// candidate sets; SA clients snapshot plateaued placements repeatedly), and
+// a cGAN forward pass is ~ms while a lookup is ~µs. Entries are keyed by
+// TensorKey (128-bit content hash), so hits never touch the model and return
+// the stored heat map bit-identically.
+#pragma once
+
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "serve/forecast_types.h"
+#include "serve/tensor_key.h"
+
+namespace paintplace::serve {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// capacity = maximum resident entries; 0 disables the cache entirely.
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the stored result (marked from_cache) and refreshes its
+  /// recency, or nullopt on miss.
+  std::optional<ForecastResult> get(const TensorKey& key);
+
+  /// As get(), but an entry whose model_version differs from
+  /// `required_version` counts as a miss and is evicted — a batch that was
+  /// in flight across a hot swap may insert results of the superseded model
+  /// after the swap's clear(), and those must never be served.
+  std::optional<ForecastResult> get(const TensorKey& key, std::uint64_t required_version);
+
+  /// Inserts or refreshes; evicts the least-recently-used entry when full.
+  void put(const TensorKey& key, const ForecastResult& result);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  Stats stats() const;
+  void clear();
+
+ private:
+  using Entry = std::pair<TensorKey, ForecastResult>;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<TensorKey, std::list<Entry>::iterator, TensorKeyHash> index_;
+  Stats stats_;
+};
+
+}  // namespace paintplace::serve

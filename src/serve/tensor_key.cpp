@@ -1,0 +1,37 @@
+#include "serve/tensor_key.h"
+
+#include <cstring>
+
+namespace paintplace::serve {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+constexpr std::uint64_t kFnvBasis1 = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvBasis2 = 0x6c62272e07bb0142ULL;  // distinct stream
+
+inline void mix(std::uint64_t& h1, std::uint64_t& h2, const unsigned char* bytes, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h1 = (h1 ^ bytes[i]) * kFnvPrime;
+    h2 = (h2 ^ static_cast<unsigned char>(bytes[i] + 0x5bU)) * kFnvPrime;
+  }
+}
+
+}  // namespace
+
+TensorKey TensorKey::of(const nn::Tensor& t) {
+  TensorKey key;
+  key.h1 = kFnvBasis1;
+  key.h2 = kFnvBasis2;
+  key.numel = t.numel();
+  for (Index d : t.shape().dims()) {
+    const auto v = static_cast<std::uint64_t>(d);
+    unsigned char bytes[sizeof(v)];
+    std::memcpy(bytes, &v, sizeof(v));
+    mix(key.h1, key.h2, bytes, sizeof(v));
+  }
+  mix(key.h1, key.h2, reinterpret_cast<const unsigned char*>(t.data()),
+      sizeof(float) * static_cast<std::size_t>(t.numel()));
+  return key;
+}
+
+}  // namespace paintplace::serve

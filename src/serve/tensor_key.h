@@ -1,0 +1,37 @@
+// Content hash of an input tensor — the identity of a forecast request.
+//
+// Two independent 64-bit FNV-1a streams over the shape and the raw float
+// bytes. A single 64-bit hash would make silent cache collisions merely
+// improbable; 128 bits makes them unrealistic for any serving lifetime, so
+// the cache can skip storing (and comparing) full tensor copies per entry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nn/tensor.h"
+
+namespace paintplace::serve {
+
+using paintplace::Index;
+
+struct TensorKey {
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 0;
+  Index numel = 0;
+
+  static TensorKey of(const nn::Tensor& t);
+
+  bool operator==(const TensorKey& o) const {
+    return h1 == o.h1 && h2 == o.h2 && numel == o.numel;
+  }
+  bool operator!=(const TensorKey& o) const { return !(*this == o); }
+};
+
+struct TensorKeyHash {
+  std::size_t operator()(const TensorKey& k) const {
+    return static_cast<std::size_t>(k.h1 ^ (k.h2 * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+}  // namespace paintplace::serve

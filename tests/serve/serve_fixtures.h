@@ -1,0 +1,39 @@
+// Shared helpers for the serving-layer tests: a tiny forecaster config and
+// deterministic random input tensors shaped for it. No dataset/training —
+// the serving machinery only needs a model that can run forward.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/forecaster.h"
+
+namespace paintplace::serve::testfix {
+
+inline core::Pix2PixConfig tiny_config(Index image_size = 16) {
+  core::Pix2PixConfig cfg;
+  cfg.generator.in_channels = 4;
+  cfg.generator.out_channels = 3;
+  cfg.generator.image_size = image_size;
+  cfg.generator.base_channels = 4;
+  cfg.generator.max_channels = 8;
+  cfg.disc_base_channels = 4;
+  cfg.seed = 9;
+  return cfg;
+}
+
+inline std::shared_ptr<core::CongestionForecaster> tiny_model(std::uint64_t seed = 9,
+                                                              Index image_size = 16) {
+  core::Pix2PixConfig cfg = tiny_config(image_size);
+  cfg.seed = seed;
+  return std::make_shared<core::CongestionForecaster>(cfg);
+}
+
+inline nn::Tensor random_input(std::uint64_t seed, Index image_size = 16, Index channels = 4) {
+  Rng rng(seed);
+  nn::Tensor t(nn::Shape{1, channels, image_size, image_size});
+  for (Index i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.uniform());
+  return t;
+}
+
+}  // namespace paintplace::serve::testfix

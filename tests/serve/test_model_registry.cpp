@@ -1,0 +1,77 @@
+#include "serve/model_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tests/serve/serve_fixtures.h"
+
+namespace paintplace::serve {
+namespace {
+
+TEST(ModelRegistry, EmptyUntilFirstPublish) {
+  ModelRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  const ModelSnapshot snap = reg.current();
+  EXPECT_FALSE(snap);
+  EXPECT_EQ(snap.version, 0u);
+}
+
+TEST(ModelRegistry, PublishAssignsMonotonicVersions) {
+  ModelRegistry reg;
+  EXPECT_EQ(reg.publish(testfix::tiny_model(1), "base"), 1u);
+  EXPECT_EQ(reg.publish(testfix::tiny_model(2), "fine-tuned"), 2u);
+  const ModelSnapshot snap = reg.current();
+  EXPECT_EQ(snap.version, 2u);
+  EXPECT_EQ(snap.label, "fine-tuned");
+  ASSERT_TRUE(snap);
+}
+
+TEST(ModelRegistry, HistoryRecordsEveryPublish) {
+  ModelRegistry reg;
+  reg.publish(testfix::tiny_model(1), "a");
+  reg.publish(testfix::tiny_model(2), "b");
+  const auto hist = reg.history();
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0], (std::pair<std::uint64_t, std::string>{1u, "a"}));
+  EXPECT_EQ(hist[1], (std::pair<std::uint64_t, std::string>{2u, "b"}));
+}
+
+TEST(ModelRegistry, NullModelThrows) {
+  ModelRegistry reg;
+  EXPECT_THROW(reg.publish(nullptr, "bad"), CheckError);
+}
+
+TEST(ModelRegistry, InFlightSnapshotSurvivesHotSwap) {
+  ModelRegistry reg;
+  reg.publish(testfix::tiny_model(1), "v1");
+  const ModelSnapshot held = reg.current();  // a batch "in flight"
+  std::weak_ptr<core::CongestionForecaster> watch = held.model;
+  reg.publish(testfix::tiny_model(2), "v2");
+  // The swapped-out model is still alive through the held snapshot ...
+  EXPECT_FALSE(watch.expired());
+  EXPECT_EQ(held.version, 1u);
+  EXPECT_EQ(reg.current().version, 2u);
+  // ... and predictions on it still run fine after the swap.
+  EXPECT_NO_THROW(held.model->predict(testfix::random_input(3)));
+}
+
+TEST(ModelRegistry, ConcurrentPublishAndSnapshot) {
+  ModelRegistry reg;
+  reg.publish(testfix::tiny_model(0), "v0");
+  std::thread publisher([&] {
+    for (std::uint64_t i = 1; i <= 20; ++i) reg.publish(testfix::tiny_model(i), "v");
+  });
+  std::uint64_t last_seen = 0;
+  for (int i = 0; i < 200; ++i) {
+    const ModelSnapshot snap = reg.current();
+    ASSERT_TRUE(snap);
+    EXPECT_GE(snap.version, last_seen);  // versions never go backwards
+    last_seen = snap.version;
+  }
+  publisher.join();
+  EXPECT_EQ(reg.current().version, 21u);
+}
+
+}  // namespace
+}  // namespace paintplace::serve

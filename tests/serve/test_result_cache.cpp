@@ -1,0 +1,145 @@
+#include "serve/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tests/serve/serve_fixtures.h"
+
+namespace paintplace::serve {
+namespace {
+
+TensorKey key_of(std::uint64_t seed) { return TensorKey::of(testfix::random_input(seed)); }
+
+ForecastResult result_with_score(double score) {
+  ForecastResult r;
+  r.heatmap = nn::Tensor(nn::Shape{1, 3, 2, 2});
+  r.heatmap.fill(static_cast<float>(score));
+  r.congestion_score = score;
+  r.model_version = 1;
+  return r;
+}
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache(4);
+  const TensorKey k = key_of(1);
+  EXPECT_FALSE(cache.get(k).has_value());
+  cache.put(k, result_with_score(0.25));
+  const auto hit = cache.get(k);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->congestion_score, 0.25);
+  EXPECT_TRUE(hit->from_cache);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCache, StoredHeatmapIsBitIdentical) {
+  ResultCache cache(4);
+  const TensorKey k = key_of(3);
+  ForecastResult original;
+  original.heatmap = testfix::random_input(42, 4, 3).reshaped(nn::Shape{1, 3, 4, 4});
+  cache.put(k, original);
+  const auto hit = cache.get(k);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->heatmap.max_abs_diff(original.heatmap), 0.0f);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  const TensorKey a = key_of(1), b = key_of(2), c = key_of(3);
+  cache.put(a, result_with_score(1));
+  cache.put(b, result_with_score(2));
+  cache.put(c, result_with_score(3));  // evicts a (oldest)
+  EXPECT_FALSE(cache.get(a).has_value());
+  EXPECT_TRUE(cache.get(b).has_value());
+  EXPECT_TRUE(cache.get(c).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCache, GetRefreshesRecency) {
+  ResultCache cache(2);
+  const TensorKey a = key_of(1), b = key_of(2), c = key_of(3);
+  cache.put(a, result_with_score(1));
+  cache.put(b, result_with_score(2));
+  EXPECT_TRUE(cache.get(a).has_value());     // a becomes most recent
+  cache.put(c, result_with_score(3));        // evicts b, not a
+  EXPECT_TRUE(cache.get(a).has_value());
+  EXPECT_FALSE(cache.get(b).has_value());
+}
+
+TEST(ResultCache, PutRefreshesExistingEntry) {
+  ResultCache cache(2);
+  const TensorKey a = key_of(1), b = key_of(2), c = key_of(3);
+  cache.put(a, result_with_score(1));
+  cache.put(b, result_with_score(2));
+  cache.put(a, result_with_score(10));  // refresh, no eviction
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  cache.put(c, result_with_score(3));  // evicts b
+  ASSERT_TRUE(cache.get(a).has_value());
+  EXPECT_DOUBLE_EQ(cache.get(a)->congestion_score, 10.0);
+  EXPECT_FALSE(cache.get(b).has_value());
+}
+
+TEST(ResultCache, VersionMismatchIsAMissAndEvicts) {
+  // A batch in flight across a hot swap can insert results of the
+  // superseded model after the swap cleared the cache; a version-checked
+  // get must refuse (and drop) them.
+  ResultCache cache(4);
+  const TensorKey k = key_of(1);
+  ForecastResult stale = result_with_score(0.5);
+  stale.model_version = 1;
+  cache.put(k, stale);
+  EXPECT_FALSE(cache.get(k, /*required_version=*/2).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  // Matching version still hits.
+  ForecastResult fresh = result_with_score(0.7);
+  fresh.model_version = 2;
+  cache.put(k, fresh);
+  const auto hit = cache.get(k, 2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->congestion_score, 0.7);
+}
+
+TEST(ResultCache, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  const TensorKey a = key_of(1);
+  cache.put(a, result_with_score(1));
+  EXPECT_FALSE(cache.get(a).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCache, ClearEmptiesTheCache) {
+  ResultCache cache(4);
+  cache.put(key_of(1), result_with_score(1));
+  cache.put(key_of(2), result_with_score(2));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(key_of(1)).has_value());
+}
+
+TEST(ResultCache, ConcurrentGetPutStaysConsistent) {
+  ResultCache cache(16);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 200; ++i) {
+        const TensorKey k = key_of(static_cast<std::uint64_t>(i % 32));
+        if ((i + t) % 2 == 0) {
+          cache.put(k, result_with_score(i));
+        } else {
+          (void)cache.get(k);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(cache.size(), 16u);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, 400u);
+}
+
+}  // namespace
+}  // namespace paintplace::serve

@@ -1,0 +1,47 @@
+#include "serve/tensor_key.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/serve/serve_fixtures.h"
+
+namespace paintplace::serve {
+namespace {
+
+TEST(TensorKey, IdenticalContentGivesIdenticalKeys) {
+  const nn::Tensor a = testfix::random_input(1);
+  const nn::Tensor b = a;  // value copy
+  EXPECT_EQ(TensorKey::of(a), TensorKey::of(b));
+}
+
+TEST(TensorKey, SingleElementChangeChangesKey) {
+  const nn::Tensor a = testfix::random_input(1);
+  nn::Tensor b = a;
+  b[b.numel() / 2] += 1e-6f;
+  EXPECT_NE(TensorKey::of(a), TensorKey::of(b));
+}
+
+TEST(TensorKey, ShapeIsPartOfTheIdentity) {
+  // Same bytes, different shape must not collide.
+  const nn::Tensor a(nn::Shape{1, 4, 2, 8}, std::vector<float>(64, 0.5f));
+  const nn::Tensor b(nn::Shape{1, 4, 8, 2}, std::vector<float>(64, 0.5f));
+  EXPECT_NE(TensorKey::of(a), TensorKey::of(b));
+}
+
+TEST(TensorKey, StableAcrossCalls) {
+  const nn::Tensor a = testfix::random_input(7);
+  const TensorKey k1 = TensorKey::of(a);
+  const TensorKey k2 = TensorKey::of(a);
+  EXPECT_EQ(k1.h1, k2.h1);
+  EXPECT_EQ(k1.h2, k2.h2);
+  EXPECT_EQ(k1.numel, a.numel());
+}
+
+TEST(TensorKey, HashFunctorDiscriminates) {
+  TensorKeyHash hasher;
+  const nn::Tensor a = testfix::random_input(1);
+  const nn::Tensor b = testfix::random_input(2);
+  EXPECT_NE(hasher(TensorKey::of(a)), hasher(TensorKey::of(b)));
+}
+
+}  // namespace
+}  // namespace paintplace::serve
