@@ -1,0 +1,158 @@
+// Per-backend GEMM sweep over the U-Net's real layer shapes.
+//
+// For every generator-layer GEMM (encoder convs and decoder deconvs, batch 1
+// and 4) this times each registered compute backend, reports GFLOP/s, checks
+// cpu_opt against reference at 1e-4 relative tolerance on the same operands,
+// and prints the aggregate speedup — first single-threaded (the acceptance
+// number: cpu_opt >= 3x reference), then on the full pool when the host has
+// more than one core.
+//
+// Model scale defaults to the serving-scale config bench_serve uses; override
+// with PAINT_GEMM_WIDTH / PAINT_GEMM_BASE (PAINT_FULL=1 gives the paper's
+// 256x256/base-64 model — minutes, not seconds, on the reference backend).
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/gemm_shapes.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+
+using namespace paintplace;
+using bench::GemmShape;
+
+namespace {
+
+Index env_index(const char* name, Index fallback) {
+  if (const char* v = std::getenv(name)) return std::atoll(v);
+  return fallback;
+}
+
+std::vector<float> random_vec(Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+/// Largest |a-b| / max(1, |b|) over the two buffers.
+float max_rel_diff(const std::vector<float>& a, const std::vector<float>& b) {
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float rel = std::fabs(a[i] - b[i]) / std::max(1.0f, std::fabs(b[i]));
+    worst = std::max(worst, rel);
+  }
+  return worst;
+}
+
+struct SweepTotals {
+  double ref_flops = 0.0, ref_secs = 0.0;
+  double opt_flops = 0.0, opt_secs = 0.0;
+  float worst_rel = 0.0f;
+
+  double speedup() const { return (ref_secs / ref_flops) * (opt_flops / opt_secs); }
+};
+
+void run_sweep(const core::GeneratorConfig& gen, Index batch, SweepTotals& totals) {
+  const backend::ComputeBackend* ref = backend::find_backend("reference");
+  const backend::ComputeBackend* opt = backend::find_backend("cpu_opt");
+  std::printf("batch %lld:\n", static_cast<long long>(batch));
+  std::printf("  %-12s %6s %8s %7s   %10s %10s %9s %10s\n", "layer", "M", "N", "K", "ref GF/s",
+              "opt GF/s", "speedup", "rel diff");
+  for (const GemmShape& s : bench::unet_gemm_shapes(gen, batch)) {
+    // sgemm reads A as MxK; sgemm_at reads A stored KxM — same element count.
+    const auto A = random_vec(s.M * s.K, 11 + s.M);
+    const auto B = random_vec(s.K * s.N, 23 + s.N);
+    std::vector<float> c_ref(static_cast<std::size_t>(s.M * s.N), 0.0f);
+    std::vector<float> c_opt(c_ref.size(), 0.0f);
+
+    const double ref_gfs = bench::time_gemm(*ref, s, A.data(), B.data(), c_ref.data());
+    const double opt_gfs = bench::time_gemm(*opt, s, A.data(), B.data(), c_opt.data());
+    const float rel = max_rel_diff(c_opt, c_ref);
+
+    totals.ref_flops += s.flops();
+    totals.ref_secs += s.flops() / (ref_gfs * 1e9);
+    totals.opt_flops += s.flops();
+    totals.opt_secs += s.flops() / (opt_gfs * 1e9);
+    totals.worst_rel = std::max(totals.worst_rel, rel);
+
+    std::printf("  %-12s %6lld %8lld %7lld   %10.2f %10.2f %8.2fx %10.2e%s\n", s.label.c_str(),
+                static_cast<long long>(s.M), static_cast<long long>(s.N),
+                static_cast<long long>(s.K), ref_gfs, opt_gfs, opt_gfs / ref_gfs, rel,
+                rel > 1e-4f ? "  MISMATCH" : "");
+  }
+}
+
+SweepTotals sweep_over(const core::GeneratorConfig& gen, const char* heading) {
+  std::printf("%s\n", heading);
+  SweepTotals totals;
+  for (Index batch : {Index{1}, Index{4}}) run_sweep(gen, batch, totals);
+  std::printf("  aggregate: reference %.2f GF/s, cpu_opt %.2f GF/s — %.2fx; worst rel diff %.2e\n\n",
+              totals.ref_flops / totals.ref_secs / 1e9, totals.opt_flops / totals.opt_secs / 1e9,
+              totals.speedup(), totals.worst_rel);
+  return totals;
+}
+
+}  // namespace
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 1 << 16);
+
+  core::GeneratorConfig gen;
+  gen.in_channels = 4;
+  if (const char* v = std::getenv("PAINT_FULL"); v != nullptr && v[0] == '1') {
+    gen.image_size = 256;
+    gen.base_channels = 64;
+    gen.max_channels = 512;
+  } else {
+    gen.image_size = 32;
+    gen.base_channels = 32;
+    gen.max_channels = 256;
+  }
+  gen.image_size = env_index("PAINT_GEMM_WIDTH", gen.image_size);
+  gen.base_channels = env_index("PAINT_GEMM_BASE", gen.base_channels);
+  gen.max_channels = std::max(gen.max_channels, gen.base_channels);
+
+  std::printf("== paintplace::backend GEMM sweep (U-Net layer shapes) ==\n");
+  std::printf("model: image %lldx%lld, channels %lld..%lld; hardware workers %d\n\n",
+              static_cast<long long>(gen.image_size), static_cast<long long>(gen.image_size),
+              static_cast<long long>(gen.base_channels), static_cast<long long>(gen.max_channels),
+              parallel_workers());
+
+  const int hw_workers = parallel_workers();
+  set_parallel_workers(1);
+  const SweepTotals st =
+      sweep_over(gen, "-- single-threaded (acceptance: cpu_opt >= 3x reference) --");
+
+  SweepTotals mt = st;
+  if (hw_workers > 1) {
+    set_parallel_workers(0);  // restore the hardware default
+    char heading[64];
+    std::snprintf(heading, sizeof(heading), "-- %d workers --", hw_workers);
+    mt = sweep_over(gen, heading);
+  }
+  set_parallel_workers(0);
+
+  // Exit non-zero on a correctness mismatch or a speedup collapse so the CI
+  // sweep step actually gates kernel regressions instead of just logging
+  // them. The hard perf floor sits below the 3x acceptance number to keep
+  // noisy shared runners from flaking; override with PAINT_GEMM_FLOOR.
+  double hard_floor = 2.0;
+  if (const char* v = std::getenv("PAINT_GEMM_FLOOR")) hard_floor = std::atof(v);
+  const float worst_rel = std::max(st.worst_rel, mt.worst_rel);
+
+  std::printf("single-thread aggregate speedup: %.2fx (acceptance: 3x, hard floor: %.1fx)%s\n",
+              st.speedup(), hard_floor, st.speedup() >= 3.0 ? "" : "  BELOW ACCEPTANCE");
+  if (hw_workers > 1) std::printf("threaded aggregate speedup: %.2fx\n", mt.speedup());
+  if (worst_rel > 1e-4f) {
+    std::printf("FAIL: cpu_opt diverges from reference (worst rel diff %.2e > 1e-4)\n", worst_rel);
+    return 1;
+  }
+  if (st.speedup() < hard_floor) {
+    std::printf("FAIL: single-thread speedup %.2fx below hard floor %.1fx\n", st.speedup(),
+                hard_floor);
+    return 1;
+  }
+  return 0;
+}

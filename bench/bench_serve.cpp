@@ -11,6 +11,9 @@
 #include <thread>
 #include <vector>
 
+#include "backend/backend.h"
+#include "bench/gemm_shapes.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "nn/tensor_ops.h"
@@ -42,10 +45,40 @@ int main() {
   const Index reps = std::max<Index>(16, env_index("PAINT_SERVE_REQS", 48));
 
   std::printf("== paintplace::serve throughput ==\n");
-  std::printf("model: %lldx%lld inputs, base %lld, max %lld channels; %lld requests/run\n\n",
+  std::printf("model: %lldx%lld inputs, base %lld, max %lld channels; %lld requests/run\n",
               static_cast<long long>(width), static_cast<long long>(width),
               static_cast<long long>(base), static_cast<long long>(base * 8),
               static_cast<long long>(reps));
+  // Numbers below are attributable: they depend on which GEMM backend the
+  // forward passes dispatch to and how many pool workers it fans out over.
+  std::printf("compute backend: %s; pool workers: %d\n\n", backend::active_backend().name(),
+              parallel_workers());
+
+  // GEMM context for the serving numbers — same U-Net shape sweep as
+  // bench_gemm, batch 4, aggregated per backend.
+  {
+    core::GeneratorConfig gen;
+    gen.in_channels = 4;
+    gen.image_size = width;
+    gen.base_channels = base;
+    gen.max_channels = base * 8;
+    std::printf("GEMM backends on this model's layer shapes (batch 4):\n");
+    for (const std::string& name : backend::backend_names()) {
+      const backend::ComputeBackend* be = backend::find_backend(name);
+      double flops = 0.0, secs = 0.0;
+      for (const bench::GemmShape& s : bench::unet_gemm_shapes(gen, 4)) {
+        std::vector<float> A(static_cast<std::size_t>(s.M * s.K), 0.5f);
+        std::vector<float> B(static_cast<std::size_t>(s.K * s.N), 0.25f);
+        std::vector<float> C(static_cast<std::size_t>(s.M * s.N), 0.0f);
+        const double gfs = bench::time_gemm(*be, s, A.data(), B.data(), C.data(), 0.02);
+        flops += s.flops();
+        secs += s.flops() / (gfs * 1e9);
+      }
+      std::printf("  %-12s %8.2f GFLOP/s aggregate%s\n", name.c_str(), flops / secs / 1e9,
+                  name == backend::active_backend().name() ? "   (active)" : "");
+    }
+    std::printf("\n");
+  }
 
   core::Pix2PixConfig cfg;
   cfg.generator.in_channels = 4;

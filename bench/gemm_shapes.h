@@ -1,0 +1,72 @@
+// The GEMM shapes a U-Net forward pass actually runs, derived from a
+// GeneratorConfig exactly the way the layers lower themselves:
+//
+//   * Conv2d (encoder):           sgemm   M=Cout, N=batch*Ho*Wo, K=Cin*k*k
+//   * ConvTranspose2d (decoder):  sgemm_at M=Cout*k*k, N=batch*H*W, K=Cin
+//
+// Shared by bench_gemm (the per-backend sweep) and bench_serve (the compact
+// backend summary), so both report on the same workload.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "backend/backend.h"
+#include "common/timer.h"
+#include "core/unet.h"
+
+namespace paintplace::bench {
+
+struct GemmShape {
+  std::string label;  ///< e.g. "enc3 conv" / "dec2 deconv"
+  enum class Kind { kGemm, kGemmAT } kind = Kind::kGemm;
+  Index M = 0, N = 0, K = 0;
+
+  double flops() const { return 2.0 * static_cast<double>(M) * static_cast<double>(N) * K; }
+};
+
+/// Every generator-layer GEMM of one forward pass at the given batch size,
+/// encoder first, in execution order.
+inline std::vector<GemmShape> unet_gemm_shapes(const core::GeneratorConfig& g, Index batch) {
+  g.validate();
+  const Index d = g.depth();
+  const Index kk = 4 * 4;  // the U-Net's fixed 4x4 kernels
+  std::vector<GemmShape> shapes;
+  for (Index i = 0; i < d; ++i) {
+    const Index cin = i == 0 ? g.in_channels : g.channels_at(i - 1);
+    const Index cout = g.channels_at(i);
+    const Index out_sp = g.image_size >> (i + 1);
+    shapes.push_back({"enc" + std::to_string(i) + " conv", GemmShape::Kind::kGemm, cout,
+                      batch * out_sp * out_sp, cin * kk});
+  }
+  for (Index i = d - 1; i >= 0; --i) {
+    // Mirrors UNetGenerator's decoder wiring with the paper's all-skip mode.
+    const Index cin = i == d - 1 ? g.channels_at(d - 1) : g.channels_at(i) * 2;
+    const Index cout = i == 0 ? g.out_channels : g.channels_at(i - 1);
+    const Index in_sp = g.image_size >> (i + 1);
+    shapes.push_back({"dec" + std::to_string(i) + " deconv", GemmShape::Kind::kGemmAT, cout * kk,
+                      batch * in_sp * in_sp, cin});
+  }
+  return shapes;
+}
+
+/// One timed run of `shape` on `be`: repeats until ~min_seconds of wall time
+/// and returns GFLOP/s. Operands are caller-provided so backends time the
+/// same bits.
+inline double time_gemm(const backend::ComputeBackend& be, const GemmShape& shape, const float* A,
+                        const float* B, float* C, double min_seconds = 0.15) {
+  Index reps = 0;
+  Timer t;
+  do {
+    if (shape.kind == GemmShape::Kind::kGemm) {
+      be.sgemm(shape.M, shape.N, shape.K, 1.0f, A, B, 0.0f, C);
+    } else {
+      be.sgemm_at(shape.M, shape.N, shape.K, 1.0f, A, B, 0.0f, C);
+    }
+    reps += 1;
+  } while (t.seconds() < min_seconds);
+  return shape.flops() * static_cast<double>(reps) / t.seconds() / 1e9;
+}
+
+}  // namespace paintplace::bench

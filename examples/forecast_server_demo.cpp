@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "backend/backend.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "core/forecaster.h"
 #include "data/dataset.h"
@@ -35,7 +37,9 @@ struct ClientFrame {
 
 int main() {
   std::setvbuf(stdout, nullptr, _IOLBF, 1 << 16);
-  std::printf("== forecast_server_demo: SA placer clients vs the serving engine ==\n\n");
+  std::printf("== forecast_server_demo: SA placer clients vs the serving engine ==\n");
+  std::printf("compute backend: %s; pool workers: %d\n\n", backend::active_backend().name(),
+              parallel_workers());
 
   constexpr Index kWidth = 32;
   const fpga::DesignSpec spec = fpga::scale_spec(fpga::design_by_name("diffeq1"), 0.12);

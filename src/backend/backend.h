@@ -1,0 +1,95 @@
+// paintplace::backend — pluggable compute backends for the dense kernels.
+//
+// Every conv/deconv in the cGAN lowers to one of three single-precision GEMM
+// variants (see nn/gemm.h); the ComputeBackend interface pins those down so
+// the math can be swapped without touching the layers. Two implementations
+// ship in-tree:
+//
+//   * "reference" — the cache-blocked triple loops the repo grew up with.
+//     Simple, portable, and the bit-exactness oracle the optimised backends
+//     are tested against.
+//   * "cpu_opt"   — packed, register-blocked micro-kernel (BLIS-style
+//     MC/KC/NC tiling) parallelised over row/column tiles. The serving
+//     speed lever; results are deterministic across thread counts and
+//     identical between batched and per-sample lowering.
+//
+// Selection: the process-wide active backend defaults to "cpu_opt", can be
+// pre-selected with the PAINTPLACE_BACKEND environment variable (read once,
+// on first use), and switched at runtime with set_active_backend(). External
+// code can add backends via register_backend().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace paintplace::backend {
+
+/// Environment variable naming the backend to activate at startup.
+inline constexpr const char* kBackendEnvVar = "PAINTPLACE_BACKEND";
+/// Backend used when neither the environment nor the API chose one.
+inline constexpr const char* kDefaultBackendName = "cpu_opt";
+
+/// A provider of the dense kernels. Implementations must be stateless or
+/// internally synchronised: one instance serves every thread in the process.
+class ComputeBackend {
+ public:
+  virtual ~ComputeBackend() = default;
+
+  /// Stable identifier ("reference", "cpu_opt", ...).
+  virtual const char* name() const = 0;
+
+  /// C = alpha * A(MxK) * B(KxN) + beta * C(MxN); all row-major, no aliasing.
+  virtual void sgemm(Index M, Index N, Index K, float alpha, const float* A, const float* B,
+                     float beta, float* C) const = 0;
+
+  /// C = alpha * A^T * B + beta * C, where A is stored (KxM) row-major.
+  virtual void sgemm_at(Index M, Index N, Index K, float alpha, const float* A, const float* B,
+                        float beta, float* C) const = 0;
+
+  /// C = alpha * A * B^T + beta * C, where B is stored (NxK) row-major.
+  virtual void sgemm_bt(Index M, Index N, Index K, float alpha, const float* A, const float* B,
+                        float beta, float* C) const = 0;
+};
+
+/// The backend all nn-layer GEMMs dispatch to. Resolves the PAINTPLACE_BACKEND
+/// environment variable on first call; throws CheckError if it names an
+/// unknown backend. Lock-free after initialisation.
+ComputeBackend& active_backend();
+
+/// Switches the process-wide active backend. Throws CheckError on unknown
+/// names. Do not call concurrently with in-flight forward passes that must
+/// land on one specific backend.
+void set_active_backend(const std::string& name);
+
+/// Registered backend names, in registration order.
+std::vector<std::string> backend_names();
+
+/// Looks a backend up by name (nullptr if absent) without activating it —
+/// benches and tests use this to drive several backends side by side.
+ComputeBackend* find_backend(const std::string& name);
+
+/// Adds a backend to the registry. Throws CheckError on duplicate names.
+void register_backend(std::unique_ptr<ComputeBackend> backend);
+
+/// RAII backend switch for tests and benches: activates `name`, restores the
+/// previously active backend on destruction.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(const std::string& name);
+  ~ScopedBackend();
+
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  std::string prev_;
+};
+
+// Factories for the built-in backends (internal; the registry installs both).
+std::unique_ptr<ComputeBackend> make_reference_backend();
+std::unique_ptr<ComputeBackend> make_cpu_opt_backend();
+
+}  // namespace paintplace::backend

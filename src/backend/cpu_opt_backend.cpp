@@ -1,0 +1,249 @@
+// "cpu_opt" backend: BLIS-style packed, register-blocked GEMM.
+//
+// All three variants run through one blocked driver parameterised on element
+// accessors for op(A) and op(B) — the transposed cases differ only in how
+// the pack routines gather, so the hot macro/micro-kernel is shared.
+//
+// Tiling (all compile-time constants):
+//   * The C plane is cut into kRowTile x kColTile task tiles; tasks are
+//     independent and fan out over common/parallel. Each C element belongs
+//     to exactly one task and its K loop runs in one fixed order, so results
+//     are bit-identical for every thread count.
+//   * Inside a task, K is blocked by kKC. Per K panel the task packs its
+//     A block into MR-row strips (k-major) and its B block into NR-column
+//     strips, zero-padded to full strips, into the thread's Workspace —
+//     steady state does no heap allocation.
+//   * The micro-kernel accumulates an MR x NR tile of C in registers over
+//     the whole K panel: MR*NR independent FMA chains that vectorise across
+//     the NR lanes. Lane position never feeds back into the arithmetic, so
+//     a column's values do not depend on where in the matrix it sits — this
+//     is what keeps batched conv lowering bit-exact vs per-sample (a sample's
+//     columns land at different offsets in the wide batched GEMM).
+//
+// Build note: CMake compiles this file with -march=native when available
+// (PAINTPLACE_NATIVE_KERNEL, default ON) so the micro-kernel vectorises to
+// the widest FMA the build host has; everything here is plain C++ and also
+// compiles (slower) without it.
+#include <algorithm>
+#include <cstring>
+
+#include "backend/backend.h"
+#include "backend/workspace.h"
+#include "common/parallel.h"
+
+namespace paintplace::backend {
+namespace {
+
+constexpr Index MR = 6;   ///< micro-kernel rows (accumulator rows)
+constexpr Index NR = 16;  ///< micro-kernel columns (one or two SIMD vectors)
+constexpr Index kKC = 256;       ///< K panel — packed strips stay L1/L2 resident
+constexpr Index kRowTile = 96;   ///< task tile rows (multiple of MR)
+constexpr Index kColTile = 512;  ///< task tile columns (multiple of NR)
+
+static_assert(kRowTile % MR == 0 && kColTile % NR == 0);
+
+/// Packs rows [0,mt) x [0,kc) of op(A) into MR-row strips, k-major within a
+/// strip, rows zero-padded to a full strip. `a(i,k)` reads op(A) at the
+/// tile-local coordinate.
+template <class GetA>
+void pack_a(Index mt, Index kc, GetA a, float* __restrict dst) {
+  const Index strips = (mt + MR - 1) / MR;
+  for (Index s = 0; s < strips; ++s) {
+    const Index i0 = s * MR;
+    const Index rows = std::min(MR, mt - i0);
+    float* __restrict d = dst + s * MR * kc;
+    if (rows == MR) {
+      for (Index k = 0; k < kc; ++k) {
+        for (Index r = 0; r < MR; ++r) d[k * MR + r] = a(i0 + r, k);
+      }
+    } else {
+      for (Index k = 0; k < kc; ++k) {
+        for (Index r = 0; r < rows; ++r) d[k * MR + r] = a(i0 + r, k);
+        for (Index r = rows; r < MR; ++r) d[k * MR + r] = 0.0f;
+      }
+    }
+  }
+}
+
+/// Packs columns [0,nt) x rows [0,kc) of op(B) into NR-column strips,
+/// k-major within a strip, columns zero-padded to a full strip.
+template <class GetB>
+void pack_b(Index nt, Index kc, GetB b, float* __restrict dst) {
+  const Index strips = (nt + NR - 1) / NR;
+  for (Index s = 0; s < strips; ++s) {
+    const Index j0 = s * NR;
+    const Index cols = std::min(NR, nt - j0);
+    float* __restrict d = dst + s * NR * kc;
+    if (cols == NR) {
+      for (Index k = 0; k < kc; ++k) {
+        for (Index c = 0; c < NR; ++c) d[k * NR + c] = b(k, j0 + c);
+      }
+    } else {
+      for (Index k = 0; k < kc; ++k) {
+        for (Index c = 0; c < cols; ++c) d[k * NR + c] = b(k, j0 + c);
+        for (Index c = cols; c < NR; ++c) d[k * NR + c] = 0.0f;
+      }
+    }
+  }
+}
+
+/// acc(MR x NR) = sum_k a_strip(:,k) * b_strip(k,:).
+#if defined(__GNUC__) || defined(__clang__)
+// The accumulators are spelled as explicit vector-extension registers: a
+// plain scalar loop here gets outer-loop-vectorised by GCC with every
+// accumulator spilled to the stack, which is ~40x slower than keeping the
+// 12 row-vectors live across the K loop. vector_size(32) lowers to two SSE
+// ops per update when AVX is off, so the file stays portable; -Wpsabi only
+// warns about the ABI of a function that is always inlined away.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpsabi"
+typedef float vf __attribute__((vector_size(32), aligned(4)));
+
+inline vf load8(const float* p) {
+  vf v;
+  __builtin_memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline void micro_kernel(Index kc, const float* __restrict a, const float* __restrict b,
+                         float* __restrict acc) {
+  static_assert(MR == 6 && NR == 16, "micro_kernel is unrolled for 6x16 tiles");
+  vf c00{}, c01{}, c10{}, c11{}, c20{}, c21{}, c30{}, c31{}, c40{}, c41{}, c50{}, c51{};
+  for (Index k = 0; k < kc; ++k) {
+    const float* __restrict ak = a + k * MR;
+    const vf b0 = load8(b + k * NR);
+    const vf b1 = load8(b + k * NR + 8);
+    c00 += ak[0] * b0; c01 += ak[0] * b1;
+    c10 += ak[1] * b0; c11 += ak[1] * b1;
+    c20 += ak[2] * b0; c21 += ak[2] * b1;
+    c30 += ak[3] * b0; c31 += ak[3] * b1;
+    c40 += ak[4] * b0; c41 += ak[4] * b1;
+    c50 += ak[5] * b0; c51 += ak[5] * b1;
+  }
+  const vf rows[MR][2] = {{c00, c01}, {c10, c11}, {c20, c21}, {c30, c31}, {c40, c41}, {c50, c51}};
+  for (Index r = 0; r < MR; ++r) {
+    __builtin_memcpy(acc + r * NR, &rows[r][0], sizeof(vf));
+    __builtin_memcpy(acc + r * NR + 8, &rows[r][1], sizeof(vf));
+  }
+}
+#pragma GCC diagnostic pop
+#else
+inline void micro_kernel(Index kc, const float* __restrict a, const float* __restrict b,
+                         float* __restrict acc) {
+  for (Index i = 0; i < MR * NR; ++i) acc[i] = 0.0f;
+  for (Index k = 0; k < kc; ++k) {
+    const float* __restrict ak = a + k * MR;
+    const float* __restrict bk = b + k * NR;
+    for (Index r = 0; r < MR; ++r) {
+      const float av = ak[r];
+      for (Index c = 0; c < NR; ++c) acc[r * NR + c] += av * bk[c];
+    }
+  }
+}
+#endif
+
+/// C := beta * C (beta == 0 overwrites, so garbage/NaN inputs are erased).
+void scale_c(Index M, Index N, float beta, float* C) {
+  if (beta == 1.0f) return;
+  parallel_for(M, [&](Index ib, Index ie) {
+    for (Index i = ib; i < ie; ++i) {
+      float* c = C + i * N;
+      if (beta == 0.0f) {
+        std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(N));
+      } else {
+        for (Index j = 0; j < N; ++j) c[j] *= beta;
+      }
+    }
+  });
+}
+
+template <class GetA, class GetB>
+void blocked_gemm(Index M, Index N, Index K, float alpha, GetA a, GetB b, float beta,
+                  float* __restrict C) {
+  if (M == 0 || N == 0) return;
+  if (K == 0 || alpha == 0.0f) {
+    scale_c(M, N, beta, C);
+    return;
+  }
+  const Index row_tiles = (M + kRowTile - 1) / kRowTile;
+  const Index col_tiles = (N + kColTile - 1) / kColTile;
+  parallel_for_each(row_tiles * col_tiles, [&](Index tile) {
+    const Index i0 = (tile / col_tiles) * kRowTile;
+    const Index mt = std::min(kRowTile, M - i0);
+    const Index j0 = (tile % col_tiles) * kColTile;
+    const Index nt = std::min(kColTile, N - j0);
+    const Index m_strips = (mt + MR - 1) / MR;
+    const Index n_strips = (nt + NR - 1) / NR;
+
+    WorkspaceScope ws;
+    float* apack = ws.alloc(static_cast<std::size_t>(m_strips * MR * kKC));
+    float* bpack = ws.alloc(static_cast<std::size_t>(n_strips * NR * kKC));
+    alignas(64) float acc[MR * NR];
+
+    for (Index k0 = 0; k0 < K; k0 += kKC) {
+      const Index kc = std::min(kKC, K - k0);
+      const bool first_panel = (k0 == 0);
+      pack_a(mt, kc, [&](Index i, Index k) { return a(i0 + i, k0 + k); }, apack);
+      pack_b(nt, kc, [&](Index k, Index j) { return b(k0 + k, j0 + j); }, bpack);
+      for (Index sn = 0; sn < n_strips; ++sn) {
+        const Index j = j0 + sn * NR;
+        const Index cols = std::min(NR, j0 + nt - j);
+        for (Index sm = 0; sm < m_strips; ++sm) {
+          const Index i = i0 + sm * MR;
+          const Index rows = std::min(MR, i0 + mt - i);
+          micro_kernel(kc, apack + sm * MR * kc, bpack + sn * NR * kc, acc);
+          for (Index r = 0; r < rows; ++r) {
+            float* __restrict c = C + (i + r) * N + j;
+            const float* __restrict av = acc + r * NR;
+            if (first_panel) {
+              if (beta == 0.0f) {
+                for (Index cc = 0; cc < cols; ++cc) c[cc] = alpha * av[cc];
+              } else {
+                for (Index cc = 0; cc < cols; ++cc) c[cc] = alpha * av[cc] + beta * c[cc];
+              }
+            } else {
+              for (Index cc = 0; cc < cols; ++cc) c[cc] += alpha * av[cc];
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+class CpuOptBackend final : public ComputeBackend {
+ public:
+  const char* name() const override { return "cpu_opt"; }
+
+  void sgemm(Index M, Index N, Index K, float alpha, const float* A, const float* B, float beta,
+             float* C) const override {
+    blocked_gemm(
+        M, N, K, alpha, [A, K](Index i, Index k) { return A[i * K + k]; },
+        [B, N](Index k, Index j) { return B[k * N + j]; }, beta, C);
+  }
+
+  void sgemm_at(Index M, Index N, Index K, float alpha, const float* A, const float* B, float beta,
+                float* C) const override {
+    // A stored KxM: op(A)(i,k) = A[k*M + i]. The gather is strided but runs
+    // once per K panel; the macro-kernel only ever sees packed strips.
+    blocked_gemm(
+        M, N, K, alpha, [A, M](Index i, Index k) { return A[k * M + i]; },
+        [B, N](Index k, Index j) { return B[k * N + j]; }, beta, C);
+  }
+
+  void sgemm_bt(Index M, Index N, Index K, float alpha, const float* A, const float* B, float beta,
+                float* C) const override {
+    // B stored NxK: op(B)(k,j) = B[j*K + k].
+    blocked_gemm(
+        M, N, K, alpha, [A, K](Index i, Index k) { return A[i * K + k]; },
+        [B, K](Index k, Index j) { return B[j * K + k]; }, beta, C);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ComputeBackend> make_cpu_opt_backend() {
+  return std::make_unique<CpuOptBackend>();
+}
+
+}  // namespace paintplace::backend

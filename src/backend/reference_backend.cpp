@@ -1,0 +1,132 @@
+// "reference" backend: the cache-blocked triple-loop GEMMs the repo's layers
+// were originally built on. Kept bit-for-bit as the oracle the optimised
+// backends are tested against — change nothing here without updating the
+// backend test suite's expectations.
+#include <algorithm>
+
+#include "backend/backend.h"
+#include "common/parallel.h"
+
+namespace paintplace::backend {
+namespace {
+
+// Convolution lowers to GEMMs whose row count is the channel count (small)
+// and whose column count is the spatial extent (large), so the kernels
+// parallelise over a 2-D grid of (row block x column block) tiles — row-only
+// partitioning would leave most cores idle on channel-thin matrices.
+constexpr Index kRowBlock = 48;
+constexpr Index kColBlock = 512;
+constexpr Index kKBlock = 256;
+
+struct TileGrid {
+  Index row_blocks, col_blocks;
+  Index tiles() const { return row_blocks * col_blocks; }
+};
+
+TileGrid grid_for(Index M, Index N) {
+  return TileGrid{(M + kRowBlock - 1) / kRowBlock, (N + kColBlock - 1) / kColBlock};
+}
+
+class ReferenceBackend final : public ComputeBackend {
+ public:
+  const char* name() const override { return "reference"; }
+
+  void sgemm(Index M, Index N, Index K, float alpha, const float* A, const float* B, float beta,
+             float* C) const override {
+    if (M == 0 || N == 0) return;
+    const TileGrid grid = grid_for(M, N);
+    parallel_for_each(grid.tiles(), [&](Index tile) {
+      const Index i0 = (tile / grid.col_blocks) * kRowBlock;
+      const Index i1 = std::min(M, i0 + kRowBlock);
+      const Index j0 = (tile % grid.col_blocks) * kColBlock;
+      const Index j1 = std::min(N, j0 + kColBlock);
+      for (Index i = i0; i < i1; ++i) {
+        float* c = C + i * N;
+        if (beta == 0.0f) {
+          std::fill(c + j0, c + j1, 0.0f);
+        } else if (beta != 1.0f) {
+          for (Index j = j0; j < j1; ++j) c[j] *= beta;
+        }
+      }
+      for (Index k0 = 0; k0 < K; k0 += kKBlock) {
+        const Index k1 = std::min(K, k0 + kKBlock);
+        for (Index i = i0; i < i1; ++i) {
+          const float* a = A + i * K;
+          float* c = C + i * N;
+          for (Index k = k0; k < k1; ++k) {
+            const float aik = alpha * a[k];
+            if (aik == 0.0f) continue;
+            const float* b = B + k * N;
+            for (Index j = j0; j < j1; ++j) c[j] += aik * b[j];
+          }
+        }
+      }
+    });
+  }
+
+  void sgemm_at(Index M, Index N, Index K, float alpha, const float* A, const float* B, float beta,
+                float* C) const override {
+    // A is KxM row-major; A^T(i,k) = A[k*M + i]. Same tiling as sgemm with a
+    // strided read of A — contiguous traffic stays on the B and C rows.
+    if (M == 0 || N == 0) return;
+    const TileGrid grid = grid_for(M, N);
+    parallel_for_each(grid.tiles(), [&](Index tile) {
+      const Index i0 = (tile / grid.col_blocks) * kRowBlock;
+      const Index i1 = std::min(M, i0 + kRowBlock);
+      const Index j0 = (tile % grid.col_blocks) * kColBlock;
+      const Index j1 = std::min(N, j0 + kColBlock);
+      for (Index i = i0; i < i1; ++i) {
+        float* c = C + i * N;
+        if (beta == 0.0f) {
+          std::fill(c + j0, c + j1, 0.0f);
+        } else if (beta != 1.0f) {
+          for (Index j = j0; j < j1; ++j) c[j] *= beta;
+        }
+      }
+      for (Index k0 = 0; k0 < K; k0 += kKBlock) {
+        const Index k1 = std::min(K, k0 + kKBlock);
+        for (Index i = i0; i < i1; ++i) {
+          float* c = C + i * N;
+          for (Index k = k0; k < k1; ++k) {
+            const float aik = alpha * A[k * M + i];
+            if (aik == 0.0f) continue;
+            const float* b = B + k * N;
+            for (Index j = j0; j < j1; ++j) c[j] += aik * b[j];
+          }
+        }
+      }
+    });
+  }
+
+  void sgemm_bt(Index M, Index N, Index K, float alpha, const float* A, const float* B, float beta,
+                float* C) const override {
+    // B is NxK row-major; C(i,j) = dot(A row i, B row j) — two contiguous
+    // streams per output element.
+    if (M == 0 || N == 0) return;
+    const TileGrid grid = grid_for(M, N);
+    parallel_for_each(grid.tiles(), [&](Index tile) {
+      const Index i0 = (tile / grid.col_blocks) * kRowBlock;
+      const Index i1 = std::min(M, i0 + kRowBlock);
+      const Index j0 = (tile % grid.col_blocks) * kColBlock;
+      const Index j1 = std::min(N, j0 + kColBlock);
+      for (Index i = i0; i < i1; ++i) {
+        const float* a = A + i * K;
+        float* c = C + i * N;
+        for (Index j = j0; j < j1; ++j) {
+          const float* b = B + j * K;
+          float acc = 0.0f;
+          for (Index k = 0; k < K; ++k) acc += a[k] * b[k];
+          c[j] = alpha * acc + (beta == 0.0f ? 0.0f : beta * c[j]);
+        }
+      }
+    });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ComputeBackend> make_reference_backend() {
+  return std::make_unique<ReferenceBackend>();
+}
+
+}  // namespace paintplace::backend

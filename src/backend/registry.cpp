@@ -1,0 +1,94 @@
+#include "backend/backend.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+namespace paintplace::backend {
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ComputeBackend>> backends;
+  std::atomic<ComputeBackend*> active{nullptr};
+
+  ComputeBackend* find_locked(const std::string& name) {
+    for (auto& b : backends) {
+      if (name == b->name()) return b.get();
+    }
+    return nullptr;
+  }
+};
+
+[[noreturn]] void throw_unknown(const Registry& reg, const std::string& name, const char* source) {
+  std::ostringstream os;
+  os << "unknown compute backend \"" << name << "\" (from " << source << "); available:";
+  for (const auto& b : reg.backends) os << " " << b->name();
+  throw CheckError(os.str());
+}
+
+// Built lazily on first use (no static-init registrar objects: this library
+// links statically and the linker would be free to drop them). Initialisation
+// failure — an unknown PAINTPLACE_BACKEND value — throws, and the next call
+// retries per the magic-static contract.
+Registry& registry() {
+  static Registry* reg = [] {
+    auto* r = new Registry;
+    r->backends.push_back(make_reference_backend());
+    r->backends.push_back(make_cpu_opt_backend());
+    const char* env = std::getenv(kBackendEnvVar);
+    const std::string name = (env != nullptr && env[0] != '\0') ? env : kDefaultBackendName;
+    ComputeBackend* chosen = r->find_locked(name);
+    if (chosen == nullptr) throw_unknown(*r, name, kBackendEnvVar);
+    r->active.store(chosen, std::memory_order_release);
+    return r;
+  }();
+  return *reg;
+}
+
+}  // namespace
+
+ComputeBackend& active_backend() {
+  return *registry().active.load(std::memory_order_acquire);
+}
+
+void set_active_backend(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  ComputeBackend* chosen = reg.find_locked(name);
+  if (chosen == nullptr) throw_unknown(reg, name, "set_active_backend");
+  reg.active.store(chosen, std::memory_order_release);
+}
+
+std::vector<std::string> backend_names() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<std::string> names;
+  names.reserve(reg.backends.size());
+  for (const auto& b : reg.backends) names.emplace_back(b->name());
+  return names;
+}
+
+ComputeBackend* find_backend(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.find_locked(name);
+}
+
+void register_backend(std::unique_ptr<ComputeBackend> backend) {
+  PP_CHECK(backend != nullptr);
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  PP_CHECK_MSG(reg.find_locked(backend->name()) == nullptr,
+               "compute backend \"" << backend->name() << "\" already registered");
+  reg.backends.push_back(std::move(backend));
+}
+
+ScopedBackend::ScopedBackend(const std::string& name) : prev_(active_backend().name()) {
+  set_active_backend(name);
+}
+
+ScopedBackend::~ScopedBackend() { set_active_backend(prev_); }
+
+}  // namespace paintplace::backend

@@ -1,0 +1,80 @@
+#include "backend/workspace.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace paintplace::backend {
+namespace {
+
+// First block is big enough for the serving-scale models so most threads
+// only ever hold one; growth doubles from there for the paper-scale ones.
+constexpr std::size_t kMinBlockFloats = std::size_t{1} << 16;  // 256 KiB
+
+// Blocks start 64-byte-aligned and slices are rounded up to a cache line, so
+// consecutive allocations never share one (the GEMM packers write them from
+// different loop nests).
+constexpr std::size_t kAlignFloats = 16;
+
+std::size_t round_up(std::size_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+}  // namespace
+
+float* Workspace::alloc(std::size_t n) {
+  n = std::max<std::size_t>(round_up(n), kAlignFloats);
+  // Advance to the first block with room; blocks past `active_` are empty.
+  while (active_ < blocks_.size() && blocks_[active_].size - blocks_[active_].used < n) {
+    ++active_;
+  }
+  if (active_ == blocks_.size()) {
+    const std::size_t grow = std::max(n, std::max(kMinBlockFloats, 2 * capacity_floats()));
+    // operator new[] only guarantees 16-byte alignment; over-allocate one
+    // cache line and round the base up so slice offsets stay line-aligned.
+    auto storage = std::make_unique<float[]>(grow + kAlignFloats);
+    const auto addr = reinterpret_cast<std::uintptr_t>(storage.get());
+    const std::size_t skip =
+        (kAlignFloats * sizeof(float) - addr % (kAlignFloats * sizeof(float))) % (kAlignFloats * sizeof(float)) /
+        sizeof(float);
+    float* base = storage.get() + skip;
+    blocks_.push_back(Block{std::move(storage), base, grow, 0});
+  }
+  Block& b = blocks_[active_];
+  float* out = b.base + b.used;
+  b.used += n;
+  return out;
+}
+
+void Workspace::reset() { release_to(Mark{0, 0}); }
+
+std::size_t Workspace::capacity_floats() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+std::size_t Workspace::in_use_floats() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i <= active_ && i < blocks_.size(); ++i) total += blocks_[i].used;
+  return total;
+}
+
+Workspace::Mark Workspace::mark() const {
+  if (blocks_.empty()) return Mark{0, 0};
+  return Mark{active_, active_ < blocks_.size() ? blocks_[active_].used : 0};
+}
+
+void Workspace::release_to(const Mark& m) {
+  if (blocks_.empty()) return;
+  PP_CHECK(m.active <= active_);
+  for (std::size_t i = m.active + 1; i < blocks_.size(); ++i) blocks_[i].used = 0;
+  active_ = std::min(m.active, blocks_.size() - 1);
+  blocks_[active_].used = m.used;
+}
+
+Workspace& tls_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace paintplace::backend

@@ -1,0 +1,85 @@
+// Workspace — a per-thread scratch arena for kernel temporaries.
+//
+// The convolution lowering needs large short-lived float buffers (im2col
+// matrices, packed GEMM panels, batched-output staging). Allocating them
+// with std::vector per forward pass puts a malloc/free pair and a page-fault
+// storm on the serving hot path; the Workspace instead hands out bump-pointer
+// slices of blocks that are retained for the lifetime of the thread, so a
+// steady-state forward pass performs zero heap allocations.
+//
+// Usage: open a WorkspaceScope, alloc() what the kernel needs, and let the
+// scope's destructor return the space to the arena (memory is kept, only the
+// high-water mark rolls back). Scopes nest; pointers from an inner scope die
+// with it, pointers from an outer scope survive it.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+
+namespace paintplace::backend {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Returns an uninitialised scratch slice of `n` floats, valid until the
+  /// enclosing WorkspaceScope closes (or reset()).
+  float* alloc(std::size_t n);
+
+  /// Rolls every block back to empty. Capacity is retained.
+  void reset();
+
+  /// Total floats of backing storage currently held (never shrinks).
+  std::size_t capacity_floats() const;
+  /// Floats currently handed out.
+  std::size_t in_use_floats() const;
+
+ private:
+  friend class WorkspaceScope;
+
+  struct Block {
+    std::unique_ptr<float[]> storage;  ///< owns base + alignment slack
+    float* base = nullptr;             ///< 64-byte-aligned start of usable space
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+  struct Mark {
+    std::size_t active = 0;
+    std::size_t used = 0;
+  };
+
+  Mark mark() const;
+  void release_to(const Mark& m);
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;  ///< index of the block currently being bumped
+};
+
+/// The calling thread's workspace (one arena per thread — pool workers and
+/// serving threads each grow their own and never contend).
+Workspace& tls_workspace();
+
+/// RAII frame over a Workspace: records the arena's high-water mark on entry
+/// and rolls back to it on exit.
+class WorkspaceScope {
+ public:
+  WorkspaceScope() : ws_(tls_workspace()), mark_(ws_.mark()) {}
+  explicit WorkspaceScope(Workspace& ws) : ws_(ws), mark_(ws_.mark()) {}
+  ~WorkspaceScope() { ws_.release_to(mark_); }
+
+  WorkspaceScope(const WorkspaceScope&) = delete;
+  WorkspaceScope& operator=(const WorkspaceScope&) = delete;
+
+  float* alloc(std::size_t n) { return ws_.alloc(n); }
+
+ private:
+  Workspace& ws_;
+  Workspace::Mark mark_;
+};
+
+}  // namespace paintplace::backend

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "img/color.h"
 #include "img/image.h"
@@ -111,9 +112,13 @@ double CongestionForecaster::congestion_score(const nn::Tensor& heatmap01) const
 std::vector<double> CongestionForecaster::congestion_scores(const nn::Tensor& heatmaps01) const {
   PP_CHECK_MSG(heatmaps01.rank() == 4 && heatmaps01.dim(1) == 3,
                "congestion_scores expects (N,3,H,W), got " << heatmaps01.shape().str());
-  std::vector<double> scores;
-  scores.reserve(static_cast<std::size_t>(heatmaps01.dim(0)));
-  for (Index n = 0; n < heatmaps01.dim(0); ++n) scores.push_back(score_sample(heatmaps01, n));
+  // Scoring decodes every pixel through the colormap inverse — after the
+  // batched GEMM forward this is the next-densest loop on the serving path,
+  // and the samples are independent.
+  std::vector<double> scores(static_cast<std::size_t>(heatmaps01.dim(0)));
+  parallel_for_each(heatmaps01.dim(0), [&](Index n) {
+    scores[static_cast<std::size_t>(n)] = score_sample(heatmaps01, n);
+  });
   return scores;
 }
 

@@ -1,8 +1,9 @@
 #include "nn/conv2d.h"
 
 #include <cstring>
-#include <vector>
 
+#include "backend/workspace.h"
+#include "common/parallel.h"
 #include "nn/gemm.h"
 #include "nn/init.h"
 
@@ -40,11 +41,15 @@ Tensor Conv2d::forward(const Tensor& input) {
   const Index Ho = g.out_height(), Wo = g.out_width();
   Tensor output(Shape{N, out_channels_, Ho, Wo});
   const Index plane_cols = g.col_cols();
+  // im2col matrices and batched staging live in the thread's workspace arena:
+  // steady-state forwards (the serving loop) reuse the same blocks instead of
+  // paying a malloc + page-fault storm per pass.
+  backend::WorkspaceScope ws;
   if (N == 1) {
-    std::vector<float> col(static_cast<std::size_t>(g.col_rows() * plane_cols));
-    im2col(g, input.data(), col.data());
+    float* col = ws.alloc(static_cast<std::size_t>(g.col_rows() * plane_cols));
+    im2col(g, input.data(), col);
     // out(Cout, Ho*Wo) = weight(Cout, Cin*k*k) * col
-    sgemm(out_channels_, plane_cols, g.col_rows(), 1.0f, weight_.value.data(), col.data(), 0.0f,
+    sgemm(out_channels_, plane_cols, g.col_rows(), 1.0f, weight_.value.data(), col, 0.0f,
           output.data());
   } else {
     // Batched lowering: unfold every sample into one wide col matrix and run
@@ -54,21 +59,21 @@ Tensor Conv2d::forward(const Tensor& input) {
     // dimension by N restores throughput. Column order is per-element
     // identical to the per-sample GEMM, so results stay bit-exact.
     const Index total_cols = N * plane_cols;
-    std::vector<float> col(static_cast<std::size_t>(g.col_rows() * total_cols));
+    float* col = ws.alloc(static_cast<std::size_t>(g.col_rows() * total_cols));
+    // Serial over samples: im2col itself fans out over C*k*k rows, which is
+    // far finer-grained than N and keeps every worker busy at small batches.
     for (Index n = 0; n < N; ++n) {
-      im2col(g, input.data() + n * in_channels_ * H * W, col.data() + n * plane_cols, total_cols);
+      im2col(g, input.data() + n * in_channels_ * H * W, col + n * plane_cols, total_cols);
     }
-    std::vector<float> out_cn(static_cast<std::size_t>(out_channels_ * total_cols));
-    sgemm(out_channels_, total_cols, g.col_rows(), 1.0f, weight_.value.data(), col.data(), 0.0f,
-          out_cn.data());
+    float* out_cn = ws.alloc(static_cast<std::size_t>(out_channels_ * total_cols));
+    sgemm(out_channels_, total_cols, g.col_rows(), 1.0f, weight_.value.data(), col, 0.0f, out_cn);
     // Scatter (Cout, N*Ho*Wo) back to NCHW.
-    for (Index n = 0; n < N; ++n) {
-      for (Index c = 0; c < out_channels_; ++c) {
-        std::memcpy(output.data() + (n * out_channels_ + c) * plane_cols,
-                    out_cn.data() + c * total_cols + n * plane_cols,
-                    sizeof(float) * static_cast<std::size_t>(plane_cols));
-      }
-    }
+    parallel_for_each(N * out_channels_, [&](Index row) {
+      const Index n = row / out_channels_, c = row % out_channels_;
+      std::memcpy(output.data() + (n * out_channels_ + c) * plane_cols,
+                  out_cn + c * total_cols + n * plane_cols,
+                  sizeof(float) * static_cast<std::size_t>(plane_cols));
+    });
   }
   if (has_bias_) {
     const Index plane = Ho * Wo;
@@ -95,18 +100,19 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
                "Conv2d backward: bad grad shape " << grad_output.shape().str());
 
   Tensor grad_input(input.shape());
-  std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
-  std::vector<float> dcol(col.size());
+  backend::WorkspaceScope ws;
+  const std::size_t col_floats = static_cast<std::size_t>(g.col_rows() * g.col_cols());
+  float* col = ws.alloc(col_floats);
+  float* dcol = ws.alloc(col_floats);
   for (Index n = 0; n < N; ++n) {
     const float* go = grad_output.data() + n * out_channels_ * Ho * Wo;
     // dW += go(Cout, Ho*Wo) * col^T
-    im2col(g, input.data() + n * in_channels_ * H * W, col.data());
-    sgemm_bt(out_channels_, g.col_rows(), g.col_cols(), 1.0f, go, col.data(), 1.0f,
-             weight_.grad.data());
+    im2col(g, input.data() + n * in_channels_ * H * W, col);
+    sgemm_bt(out_channels_, g.col_rows(), g.col_cols(), 1.0f, go, col, 1.0f, weight_.grad.data());
     // dcol = W^T(Cin*k*k, Cout) * go
     sgemm_at(g.col_rows(), g.col_cols(), out_channels_, 1.0f, weight_.value.data(), go, 0.0f,
-             dcol.data());
-    col2im(g, dcol.data(), grad_input.data() + n * in_channels_ * H * W);
+             dcol);
+    col2im(g, dcol, grad_input.data() + n * in_channels_ * H * W);
   }
   if (has_bias_) {
     const Index plane = Ho * Wo;

@@ -1,8 +1,9 @@
 #include "nn/conv_transpose2d.h"
 
 #include <cstring>
-#include <vector>
 
+#include "backend/workspace.h"
+#include "common/parallel.h"
 #include "nn/gemm.h"
 #include "nn/init.h"
 
@@ -49,30 +50,31 @@ Tensor ConvTranspose2d::forward(const Tensor& input) {
 
   Tensor output(Shape{N, out_channels_, Ho, Wo});
   const Index plane = H * W;
+  // Scratch comes from the thread's workspace arena (see Conv2d::forward).
+  backend::WorkspaceScope ws;
   if (N == 1) {
-    std::vector<float> col(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+    float* col = ws.alloc(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
     // col(Cout*k*k, H*W) = weight^T(Cout*k*k, Cin) * x(Cin, H*W)
     sgemm_at(g.col_rows(), plane, in_channels_, 1.0f, weight_.value.data(), input.data(), 0.0f,
-             col.data());
-    col2im(g, col.data(), output.data());
+             col);
+    col2im(g, col, output.data());
   } else {
     // Batched lowering (see Conv2d::forward): pack the batch into one
     // (Cin, N*H*W) matrix, run a single wide GEMM, and scatter each
     // sample's columns through col2im. Bit-exact vs the per-sample path.
     const Index total_cols = N * plane;
-    std::vector<float> packed(static_cast<std::size_t>(in_channels_ * total_cols));
+    float* packed = ws.alloc(static_cast<std::size_t>(in_channels_ * total_cols));
+    parallel_for_each(N * in_channels_, [&](Index row) {
+      const Index n = row / in_channels_, c = row % in_channels_;
+      std::memcpy(packed + c * total_cols + n * plane,
+                  input.data() + (n * in_channels_ + c) * plane,
+                  sizeof(float) * static_cast<std::size_t>(plane));
+    });
+    float* col = ws.alloc(static_cast<std::size_t>(g.col_rows() * total_cols));
+    sgemm_at(g.col_rows(), total_cols, in_channels_, 1.0f, weight_.value.data(), packed, 0.0f,
+             col);
     for (Index n = 0; n < N; ++n) {
-      for (Index c = 0; c < in_channels_; ++c) {
-        std::memcpy(packed.data() + c * total_cols + n * plane,
-                    input.data() + (n * in_channels_ + c) * plane,
-                    sizeof(float) * static_cast<std::size_t>(plane));
-      }
-    }
-    std::vector<float> col(static_cast<std::size_t>(g.col_rows() * total_cols));
-    sgemm_at(g.col_rows(), total_cols, in_channels_, 1.0f, weight_.value.data(), packed.data(),
-             0.0f, col.data());
-    for (Index n = 0; n < N; ++n) {
-      col2im(g, col.data() + n * plane, output.data() + n * out_channels_ * Ho * Wo, total_cols);
+      col2im(g, col + n * plane, output.data() + n * out_channels_ * Ho * Wo, total_cols);
     }
   }
   if (has_bias_) {
@@ -100,16 +102,17 @@ Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
   const ConvGeom g = geom_for_output(Ho, Wo);
 
   Tensor grad_input(input.shape());
-  std::vector<float> dcol(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
+  backend::WorkspaceScope ws;
+  float* dcol = ws.alloc(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
   for (Index n = 0; n < N; ++n) {
     const float* go = grad_output.data() + n * out_channels_ * Ho * Wo;
-    im2col(g, go, dcol.data());
+    im2col(g, go, dcol);
     // dx(Cin, H*W) = weight(Cin, Cout*k*k) * dcol
-    sgemm(in_channels_, H * W, g.col_rows(), 1.0f, weight_.value.data(), dcol.data(), 0.0f,
+    sgemm(in_channels_, H * W, g.col_rows(), 1.0f, weight_.value.data(), dcol, 0.0f,
           grad_input.data() + n * in_channels_ * H * W);
     // dW(Cin, Cout*k*k) += x(Cin, H*W) * dcol^T
     sgemm_bt(in_channels_, g.col_rows(), H * W, 1.0f, input.data() + n * in_channels_ * H * W,
-             dcol.data(), 1.0f, weight_.grad.data());
+             dcol, 1.0f, weight_.grad.data());
   }
   if (has_bias_) {
     const Index plane = Ho * Wo;

@@ -1,10 +1,12 @@
 // Single-precision GEMM for the convolution kernels.
 //
 // C (MxN) = alpha * op(A) * op(B) + beta * C, row-major, with optional
-// transposition of either operand. Parallelised over row blocks of C via the
-// process thread pool; inner kernel is a cache-blocked triple loop in
-// (i, k, j) order so the innermost loop is a contiguous AXPY that the
-// compiler auto-vectorises.
+// transposition of either operand. These free functions validate arguments
+// and dispatch to the process-wide active ComputeBackend (see
+// backend/backend.h): "reference" is the original cache-blocked triple loop,
+// "cpu_opt" a packed register-blocked micro-kernel; both parallelise over
+// C tiles via the process thread pool. Select with PAINTPLACE_BACKEND or
+// backend::set_active_backend().
 #pragma once
 
 #include "common/check.h"

@@ -4,7 +4,17 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/parallel.h"
+
 namespace paintplace::nn {
+namespace {
+
+// Elementwise loops fan out over the pool only past this size — below it the
+// dispatch overhead beats the work. Chosen so optimizer updates on real layer
+// weights parallelise while per-pixel scalars and test tensors stay serial.
+constexpr Index kParallelGrain = Index{1} << 15;
+
+}  // namespace
 
 std::string Shape::str() const {
   std::ostringstream os;
@@ -29,12 +39,26 @@ Tensor& Tensor::add_(const Tensor& other, float alpha) {
   const float* src = other.data();
   float* dst = data();
   const Index n = numel();
-  for (Index i = 0; i < n; ++i) dst[i] += alpha * src[i];
+  if (n < kParallelGrain) {
+    for (Index i = 0; i < n; ++i) dst[i] += alpha * src[i];
+  } else {
+    parallel_for(n, [&](Index b, Index e) {
+      for (Index i = b; i < e; ++i) dst[i] += alpha * src[i];
+    });
+  }
   return *this;
 }
 
 Tensor& Tensor::mul_(float s) {
-  for (float& v : data_) v *= s;
+  float* dst = data();
+  const Index n = numel();
+  if (n < kParallelGrain) {
+    for (Index i = 0; i < n; ++i) dst[i] *= s;
+  } else {
+    parallel_for(n, [&](Index b, Index e) {
+      for (Index i = b; i < e; ++i) dst[i] *= s;
+    });
+  }
   return *this;
 }
 

@@ -2,7 +2,26 @@
 
 #include <cstring>
 
+#include "common/parallel.h"
+
 namespace paintplace::nn {
+namespace {
+
+// Channel-row copies fan out over the pool once the tensor is big enough
+// that memory bandwidth, not dispatch, dominates. Skip connections at the
+// outer U-Net levels move multi-megabyte activations through these ops every
+// forward pass; tiny test tensors stay serial.
+constexpr Index kParallelGrain = Index{1} << 15;
+
+void copy_rows(Index rows, Index total, const std::function<void(Index)>& row_fn) {
+  if (total < kParallelGrain) {
+    for (Index r = 0; r < rows; ++r) row_fn(r);
+  } else {
+    parallel_for_each(rows, row_fn);
+  }
+}
+
+}  // namespace
 
 Tensor concat_channels(const Tensor& a, const Tensor& b) {
   PP_CHECK_MSG(a.rank() == 4 && b.rank() == 4, "concat_channels needs NCHW tensors");
@@ -11,12 +30,12 @@ Tensor concat_channels(const Tensor& a, const Tensor& b) {
   const Index N = a.dim(0), Ca = a.dim(1), Cb = b.dim(1), H = a.dim(2), W = a.dim(3);
   const Index plane = H * W;
   Tensor out(Shape{N, Ca + Cb, H, W});
-  for (Index n = 0; n < N; ++n) {
+  copy_rows(N, out.numel(), [&](Index n) {
     std::memcpy(out.data() + (n * (Ca + Cb)) * plane, a.data() + n * Ca * plane,
                 sizeof(float) * static_cast<std::size_t>(Ca * plane));
     std::memcpy(out.data() + (n * (Ca + Cb) + Ca) * plane, b.data() + n * Cb * plane,
                 sizeof(float) * static_cast<std::size_t>(Cb * plane));
-  }
+  });
   return out;
 }
 
@@ -28,12 +47,12 @@ std::pair<Tensor, Tensor> split_channels(const Tensor& grad, Index channels_a) {
   const Index plane = H * W;
   Tensor a(Shape{N, channels_a, H, W});
   Tensor b(Shape{N, Cb, H, W});
-  for (Index n = 0; n < N; ++n) {
+  copy_rows(N, grad.numel(), [&](Index n) {
     std::memcpy(a.data() + n * channels_a * plane, grad.data() + (n * C) * plane,
                 sizeof(float) * static_cast<std::size_t>(channels_a * plane));
     std::memcpy(b.data() + n * Cb * plane, grad.data() + (n * C + channels_a) * plane,
                 sizeof(float) * static_cast<std::size_t>(Cb * plane));
-  }
+  });
   return {std::move(a), std::move(b)};
 }
 
@@ -45,15 +64,17 @@ Tensor stack_batch(const std::vector<const Tensor*>& samples) {
   const Index C = first.dim(1), H = first.dim(2), W = first.dim(3);
   const Index sample_numel = C * H * W;
   const Index N = static_cast<Index>(samples.size());
-  Tensor out(Shape{N, C, H, W});
   for (Index n = 0; n < N; ++n) {
     const Tensor& s = *samples[static_cast<std::size_t>(n)];
     PP_CHECK_MSG(s.shape() == first.shape(), "stack_batch sample " << n << " shape "
                                                                    << s.shape().str()
                                                                    << " != " << first.shape().str());
-    std::memcpy(out.data() + n * sample_numel, s.data(),
-                sizeof(float) * static_cast<std::size_t>(sample_numel));
   }
+  Tensor out(Shape{N, C, H, W});
+  copy_rows(N, out.numel(), [&](Index n) {
+    std::memcpy(out.data() + n * sample_numel, samples[static_cast<std::size_t>(n)]->data(),
+                sizeof(float) * static_cast<std::size_t>(sample_numel));
+  });
   return out;
 }
 

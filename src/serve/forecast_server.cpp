@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "backend/backend.h"
 #include "nn/tensor_ops.h"
 
 namespace paintplace::serve {
@@ -18,6 +19,9 @@ ForecastServer::ForecastServer(const ServeConfig& config,
                "stochastic inference with a result cache would serve stale noise draws; "
                "set deterministic=true or cache_capacity=0");
   if (config_.deterministic) model->set_deterministic_inference(true);
+  // Throws on unknown names before any worker starts, so a typo in a config
+  // fails the server construction instead of silently serving on the default.
+  if (!config_.backend.empty()) backend::set_active_backend(config_.backend);
   registry_.publish(std::move(model), std::move(label));
   workers_.reserve(static_cast<std::size_t>(config.workers));
   for (int w = 0; w < config.workers; ++w) {

@@ -39,6 +39,12 @@ struct ServeConfig {
   /// function of the input. Required for the cache to be sound; disable only
   /// if you want stochastic maps AND an empty cache_capacity.
   bool deterministic = true;
+  /// Compute backend to activate when the server starts ("reference",
+  /// "cpu_opt", ...). Empty keeps the process default (PAINTPLACE_BACKEND
+  /// env var, else cpu_opt). Note the active backend is process-wide, not
+  /// per-server — both built-in backends agree to ~1e-4, but a swap mid-run
+  /// invalidates bit-exact cache guarantees, so pick one at startup.
+  std::string backend;
 };
 
 class ForecastServer {
