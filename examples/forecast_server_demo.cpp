@@ -6,6 +6,10 @@
 // Their bursts coalesce into micro-batches, repeated snapshots of plateaued
 // placements hit the result cache, and halfway through the run a fine-tuned
 // checkpoint is hot-swapped in without dropping a single request.
+//
+// Pass a train_cgan checkpoint path as argv[1] to hot-swap that instead of
+// the in-demo stand-in (it must be a 32x32, 4-channel model — e.g.
+// `train_cgan --width 32 --out ckpts && forecast_server_demo ckpts/best.ckpt`).
 #include <cstdio>
 #include <memory>
 #include <mutex>
@@ -35,8 +39,9 @@ struct ClientFrame {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IOLBF, 1 << 16);
+  const char* swap_ckpt = argc > 1 ? argv[1] : nullptr;
   std::printf("== forecast_server_demo: SA placer clients vs the serving engine ==\n");
   std::printf("compute backend: %s; pool workers: %d\n\n", backend::active_backend().name(),
               parallel_workers());
@@ -64,17 +69,50 @@ int main() {
   mcfg.disc_base_channels = 8;
   mcfg.adam.lr = 1e-3f;
 
-  // Base checkpoint (v1) plus a longer-trained stand-in for a fine-tuned
-  // checkpoint (v2) to hot-swap mid-traffic.
-  std::printf("training base and fine-tuned checkpoints ...\n\n");
+  // Base checkpoint (v1) plus a fine-tuned checkpoint (v2) to hot-swap
+  // mid-traffic: a train_cgan checkpoint when one was passed on the command
+  // line, else a longer-trained in-demo stand-in.
+  std::shared_ptr<core::CongestionForecaster> tuned;
+  std::string tuned_label = "fine-tuned";
+  if (swap_ckpt != nullptr) {
+    try {
+      const core::Pix2PixConfig ckpt_cfg = core::Pix2Pix::peek_config(swap_ckpt);
+      if (ckpt_cfg.generator.image_size == kWidth &&
+          ckpt_cfg.generator.in_channels == mcfg.generator.in_channels &&
+          ckpt_cfg.generator.out_channels == mcfg.generator.out_channels) {
+        std::printf("hot-swap candidate: %s\n", swap_ckpt);
+        tuned = std::make_shared<core::CongestionForecaster>(ckpt_cfg);
+        tuned->load(swap_ckpt);
+        tuned_label = swap_ckpt;
+      } else {
+        std::printf("checkpoint %s is %lldx%lld %lld->%lld-channel, demo needs %lldx%lld "
+                    "%lld->%lld — using the in-demo stand-in instead\n",
+                    swap_ckpt, static_cast<long long>(ckpt_cfg.generator.image_size),
+                    static_cast<long long>(ckpt_cfg.generator.image_size),
+                    static_cast<long long>(ckpt_cfg.generator.in_channels),
+                    static_cast<long long>(ckpt_cfg.generator.out_channels),
+                    static_cast<long long>(kWidth), static_cast<long long>(kWidth),
+                    static_cast<long long>(mcfg.generator.in_channels),
+                    static_cast<long long>(mcfg.generator.out_channels));
+      }
+    } catch (const std::exception& e) {
+      std::printf("could not load checkpoint %s (%s) — using the in-demo stand-in instead\n",
+                  swap_ckpt, e.what());
+      tuned.reset();
+    }
+  }
+  std::printf(tuned ? "training base checkpoint ...\n\n"
+                    : "training base and fine-tuned checkpoints ...\n\n");
   auto base = std::make_shared<core::CongestionForecaster>(mcfg);
   core::TrainConfig tcfg;
   tcfg.epochs = 4;
   base->train(train_set, tcfg);
-  auto tuned = std::make_shared<core::CongestionForecaster>(mcfg);
-  core::TrainConfig tcfg2;
-  tcfg2.epochs = 10;
-  tuned->train(train_set, tcfg2);
+  if (!tuned) {
+    tuned = std::make_shared<core::CongestionForecaster>(mcfg);
+    core::TrainConfig tcfg2;
+    tcfg2.epochs = 10;
+    tuned->train(train_set, tcfg2);
+  }
 
   serve::ServeConfig scfg;
   scfg.max_batch = 4;

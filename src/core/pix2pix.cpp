@@ -2,10 +2,32 @@
 
 #include <algorithm>
 
+#include "common/timer.h"
 #include "nn/serialize.h"
 #include "nn/tensor_ops.h"
 
 namespace paintplace::core {
+
+namespace {
+
+void check_training_pair(const Pix2PixConfig& config, const nn::Tensor& input01,
+                         const nn::Tensor& truth01) {
+  const GeneratorConfig& gen = config.generator;
+  PP_CHECK_MSG(input01.rank() == 4 && input01.dim(0) >= 1 && input01.dim(1) == gen.in_channels &&
+                   input01.dim(2) == gen.image_size && input01.dim(3) == gen.image_size,
+               "Pix2Pix::train_step input " << input01.shape().str() << " does not match model (N,"
+                                            << gen.in_channels << "," << gen.image_size << ","
+                                            << gen.image_size << ")");
+  PP_CHECK_MSG(truth01.rank() == 4 && truth01.dim(0) == input01.dim(0) &&
+                   truth01.dim(1) == gen.out_channels && truth01.dim(2) == gen.image_size &&
+                   truth01.dim(3) == gen.image_size,
+               "Pix2Pix::train_step truth " << truth01.shape().str() << " does not match input "
+                                            << input01.shape().str() << " and model (N,"
+                                            << gen.out_channels << "," << gen.image_size << ","
+                                            << gen.image_size << ")");
+}
+
+}  // namespace
 
 Pix2Pix::Pix2Pix(const Pix2PixConfig& config) : config_(config) {
   GeneratorConfig gen_cfg = config.generator;
@@ -28,20 +50,25 @@ nn::Tensor Pix2Pix::to_unit(const nn::Tensor& signed_t) {
   return t;
 }
 
-GanLosses Pix2Pix::train_step(const nn::Tensor& input01, const nn::Tensor& truth01) {
+GanLosses Pix2Pix::train_step(const nn::Tensor& input01, const nn::Tensor& truth01,
+                              StepTimings* timings) {
+  check_training_pair(config_, input01, truth01);
   const nn::Tensor x = to_signed(input01);
   const nn::Tensor t = to_signed(truth01);
 
   generator_->set_training(true);
   discriminator_->set_training(true);
 
+  Timer timer;
   // ---- Generator forward (one stochastic draw of z per step). ----
   const nn::Tensor g = generator_->forward(x);
+  if (timings) timings->g_forward_s = timer.seconds();
 
   GanLosses losses;
 
   // ---- Discriminator step: real pair -> 1, fake pair -> 0. ----
   discriminator_->zero_grad();
+  timer.reset();
   {
     const nn::Tensor real_logits = discriminator_->forward(nn::concat_channels(x, t));
     const float loss_real = bce_.forward(real_logits, 1.0f);
@@ -59,10 +86,12 @@ GanLosses Pix2Pix::train_step(const nn::Tensor& input01, const nn::Tensor& truth
     losses.d_loss = 0.5 * (static_cast<double>(loss_real) + static_cast<double>(loss_fake));
     opt_d_->step();
   }
+  if (timings) timings->d_step_s = timer.seconds();
 
   // ---- Generator step: fool the (updated) discriminator + L1. ----
   generator_->zero_grad();
   discriminator_->zero_grad();  // scratch; D is not stepped below
+  timer.reset();
   {
     // Re-run D on the fake pair so its activation caches match the weights
     // used to compute the generator gradient.
@@ -79,6 +108,93 @@ GanLosses Pix2Pix::train_step(const nn::Tensor& input01, const nn::Tensor& truth
       grad_g.add_(l1_.backward(), config_.lambda_l1);
     }
     generator_->backward(grad_g);
+    opt_g_->step();
+  }
+  if (timings) timings->g_step_s = timer.seconds();
+  return losses;
+}
+
+GanLosses Pix2Pix::train_step_accumulated(const std::vector<const nn::Tensor*>& inputs01,
+                                          const std::vector<const nn::Tensor*>& truths01) {
+  const Index B = static_cast<Index>(inputs01.size());
+  PP_CHECK_MSG(B >= 1 && inputs01.size() == truths01.size(),
+               "train_step_accumulated needs matching, non-empty input/truth lists");
+  PP_CHECK_MSG((B & (B - 1)) == 0,
+               "train_step_accumulated batch size " << B << " must be a power of two "
+                                                    << "(exact 1/N gradient scaling)");
+  const float inv_b = 1.0f / static_cast<float>(B);
+
+  generator_->set_training(true);
+  discriminator_->set_training(true);
+
+  std::vector<nn::Tensor> xs, ts, fakes;
+  xs.reserve(static_cast<std::size_t>(B));
+  ts.reserve(static_cast<std::size_t>(B));
+  fakes.reserve(static_cast<std::size_t>(B));
+  for (Index b = 0; b < B; ++b) {
+    check_training_pair(config_, *inputs01[static_cast<std::size_t>(b)],
+                        *truths01[static_cast<std::size_t>(b)]);
+    PP_CHECK_MSG(inputs01[static_cast<std::size_t>(b)]->dim(0) == 1,
+                 "train_step_accumulated samples must be single (1,C,H,W) tensors");
+    xs.push_back(to_signed(*inputs01[static_cast<std::size_t>(b)]));
+    ts.push_back(to_signed(*truths01[static_cast<std::size_t>(b)]));
+    // One stochastic draw per sample for the D phase's fake pairs. (A batched
+    // step draws the batch's noise field in one pass instead — see
+    // docs/training.md for when the two updates coincide bit-for-bit.)
+    fakes.push_back(generator_->forward(xs.back()));
+  }
+
+  GanLosses losses;
+
+  // ---- Discriminator step, gradients averaged over the micro-batch. ----
+  discriminator_->zero_grad();
+  {
+    double loss_real = 0.0, loss_fake = 0.0;
+    for (Index b = 0; b < B; ++b) {
+      const nn::Tensor real_logits = discriminator_->forward(
+          nn::concat_channels(xs[static_cast<std::size_t>(b)], ts[static_cast<std::size_t>(b)]));
+      loss_real += static_cast<double>(bce_.forward(real_logits, 1.0f));
+      nn::Tensor grad = bce_.backward();
+      grad.mul_(0.5f * inv_b);  // exact: both factors are powers of two
+      discriminator_->backward(grad);
+    }
+    for (Index b = 0; b < B; ++b) {
+      const nn::Tensor fake_logits = discriminator_->forward(nn::concat_channels(
+          xs[static_cast<std::size_t>(b)], fakes[static_cast<std::size_t>(b)]));
+      loss_fake += static_cast<double>(bce_.forward(fake_logits, 0.0f));
+      nn::Tensor grad = bce_.backward();
+      grad.mul_(0.5f * inv_b);
+      discriminator_->backward(grad);
+    }
+    losses.d_loss = 0.5 * (loss_real + loss_fake) / static_cast<double>(B);
+    opt_d_->step();
+  }
+
+  // ---- Generator step: per-sample forward/backward, one Adam update. ----
+  generator_->zero_grad();
+  discriminator_->zero_grad();  // scratch; D is not stepped below
+  {
+    for (Index b = 0; b < B; ++b) {
+      // Re-run G so its layer caches (and D's, below) belong to this sample.
+      const nn::Tensor g = generator_->forward(xs[static_cast<std::size_t>(b)]);
+      const nn::Tensor fake_logits = discriminator_->forward(
+          nn::concat_channels(xs[static_cast<std::size_t>(b)], g));
+      losses.g_gan += static_cast<double>(bce_.forward(fake_logits, 1.0f));
+      nn::Tensor grad = bce_.backward();
+      grad.mul_(inv_b);
+      const nn::Tensor grad_concat = discriminator_->backward(grad);
+      auto [grad_x_part, grad_g] = nn::split_channels(grad_concat, config_.generator.in_channels);
+      (void)grad_x_part;
+      losses.g_l1 += static_cast<double>(l1_.forward(g, ts[static_cast<std::size_t>(b)]));
+      if (config_.use_l1) {
+        nn::Tensor l1_grad = l1_.backward();
+        l1_grad.mul_(inv_b);
+        grad_g.add_(l1_grad, config_.lambda_l1);
+      }
+      generator_->backward(grad_g);
+    }
+    losses.g_gan /= static_cast<double>(B);
+    losses.g_l1 /= static_cast<double>(B);
     opt_g_->step();
   }
   return losses;
@@ -160,6 +276,13 @@ void Pix2Pix::load(const std::string& path) {
   }
   nn::restore_parameters(*generator_, map);
   nn::restore_parameters(*discriminator_, map);
+}
+
+Pix2PixConfig Pix2Pix::peek_config(const std::string& path) {
+  const nn::TensorMap map = nn::load_tensors_file(path);
+  const auto it = map.find(kConfigKey);
+  PP_CHECK_MSG(it != map.end(), "checkpoint " << path << " has no config record");
+  return decode_config(it->second);
 }
 
 Pix2Pix Pix2Pix::load_file(const std::string& path) {

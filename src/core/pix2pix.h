@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/discriminator.h"
 #include "core/unet.h"
@@ -52,6 +53,23 @@ struct GanLosses {
   }
 };
 
+/// Wall-clock seconds spent in each phase of one train_step, for the
+/// training bench and the Trainer's per-epoch phase breakdown. The data
+/// phase (batch assembly) happens outside the model and is timed by the
+/// caller (see train::EpochStats).
+struct StepTimings {
+  double g_forward_s = 0.0;  ///< generator forward (one pass, whole batch)
+  double d_step_s = 0.0;     ///< discriminator real+fake forward/backward + Adam
+  double g_step_s = 0.0;     ///< generator adversarial/L1 backward + Adam
+
+  StepTimings& operator+=(const StepTimings& o) {
+    g_forward_s += o.g_forward_s;
+    d_step_s += o.d_step_s;
+    g_step_s += o.g_step_s;
+    return *this;
+  }
+};
+
 class Pix2Pix {
  public:
   explicit Pix2Pix(const Pix2PixConfig& config);
@@ -60,8 +78,25 @@ class Pix2Pix {
   UNetGenerator& generator() { return *generator_; }
   PatchDiscriminator& discriminator() { return *discriminator_; }
 
-  /// One optimization step on an (x, truth) pair, both in [0,1].
-  GanLosses train_step(const nn::Tensor& input01, const nn::Tensor& truth01);
+  /// One optimization step on an (x, truth) pair or mini-batch, both NCHW in
+  /// [0,1] with matching batch dimension. With N > 1 this is true mini-batch
+  /// training: losses are means over the whole batch, conv/deconv lower to
+  /// wide batched GEMMs in forward AND backward, batch-norm statistics (if
+  /// configured) are computed over the batch, and dropout draws one noise
+  /// field for the batch. With per-sample normalisation (instance norm) and
+  /// dropout disabled, a batch-N step is bit-identical to
+  /// train_step_accumulated on the same samples.
+  GanLosses train_step(const nn::Tensor& input01, const nn::Tensor& truth01,
+                       StepTimings* timings = nullptr);
+
+  /// Gradient accumulation: the same update as a batch-N train_step, computed
+  /// one sample at a time (N forwards/backwards, one optimizer step, loss
+  /// gradients scaled by 1/N). Peak activation memory stays at batch-1 cost —
+  /// the fallback when the batched step does not fit. N must be a power of
+  /// two so the 1/N scaling is exact; see docs/training.md for the
+  /// equivalence guarantees.
+  GanLosses train_step_accumulated(const std::vector<const nn::Tensor*>& inputs01,
+                                   const std::vector<const nn::Tensor*>& truths01);
 
   /// Generator inference: [0,1] input -> [0,1] image tensor.
   nn::Tensor predict(const nn::Tensor& input01);
@@ -76,6 +111,10 @@ class Pix2Pix {
   void save(const std::string& path);
   void load(const std::string& path);
   static Pix2Pix load_file(const std::string& path);
+
+  /// Reads only the architecture configuration out of a checkpoint — used to
+  /// construct a matching model (e.g. a CongestionForecaster) before load().
+  static Pix2PixConfig peek_config(const std::string& path);
 
   /// Encodes/decodes the architecture-defining config fields (everything
   /// load_file needs; optimizer state and seeds are not persisted).

@@ -36,4 +36,22 @@ Split leave_one_design_out(const std::vector<Dataset>& datasets, const std::stri
   return split;
 }
 
+std::pair<std::vector<const Sample*>, std::vector<const Sample*>> train_val_split(
+    const std::vector<const Sample*>& samples, double val_fraction, std::uint64_t seed) {
+  PP_CHECK_MSG(val_fraction >= 0.0 && val_fraction < 1.0,
+               "val_fraction must be in [0, 1), got " << val_fraction);
+  const Index n = static_cast<Index>(samples.size());
+  PP_CHECK_MSG(n >= 1, "train_val_split needs at least one sample");
+  Index n_val = static_cast<Index>(static_cast<double>(n) * val_fraction + 0.5);
+  if (val_fraction > 0.0 && n_val == 0) n_val = 1;
+  if (n_val >= n) n_val = n - 1;  // never empty the training side
+
+  std::vector<const Sample*> order = samples;
+  Rng rng(seed);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  std::vector<const Sample*> val(order.begin(), order.begin() + n_val);
+  std::vector<const Sample*> train(order.begin() + n_val, order.end());
+  return {std::move(train), std::move(val)};
+}
+
 }  // namespace paintplace::data

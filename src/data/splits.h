@@ -5,6 +5,7 @@
 //     pairs from the test design (Acc.2).
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -24,5 +25,12 @@ struct Split {
 /// `seed`) and the remaining test samples.
 Split leave_one_design_out(const std::vector<Dataset>& datasets, const std::string& test_design,
                            Index fine_tune_pairs = 10, std::uint64_t seed = 99);
+
+/// Random held-out split for the training pipeline: shuffles `samples`
+/// deterministically from `seed` and moves `val_fraction` of them (at least
+/// one when the fraction is > 0 and at most n-1, so neither side is empty)
+/// into a validation set. Returned as {train, val}.
+std::pair<std::vector<const Sample*>, std::vector<const Sample*>> train_val_split(
+    const std::vector<const Sample*>& samples, double val_fraction, std::uint64_t seed = 99);
 
 }  // namespace paintplace::data

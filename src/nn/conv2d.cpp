@@ -101,18 +101,48 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
 
   Tensor grad_input(input.shape());
   backend::WorkspaceScope ws;
-  const std::size_t col_floats = static_cast<std::size_t>(g.col_rows() * g.col_cols());
-  float* col = ws.alloc(col_floats);
-  float* dcol = ws.alloc(col_floats);
-  for (Index n = 0; n < N; ++n) {
-    const float* go = grad_output.data() + n * out_channels_ * Ho * Wo;
+  const Index rows = g.col_rows(), cols = g.col_cols();
+  const std::size_t col_floats = static_cast<std::size_t>(rows * cols);
+  if (N == 1) {
+    const float* go = grad_output.data();
+    float* col = ws.alloc(col_floats);
+    float* dcol = ws.alloc(col_floats);
     // dW += go(Cout, Ho*Wo) * col^T
-    im2col(g, input.data() + n * in_channels_ * H * W, col);
-    sgemm_bt(out_channels_, g.col_rows(), g.col_cols(), 1.0f, go, col, 1.0f, weight_.grad.data());
+    im2col(g, input.data(), col);
+    sgemm_bt(out_channels_, rows, cols, 1.0f, go, col, 1.0f, weight_.grad.data());
     // dcol = W^T(Cin*k*k, Cout) * go
-    sgemm_at(g.col_rows(), g.col_cols(), out_channels_, 1.0f, weight_.value.data(), go, 0.0f,
-             dcol);
-    col2im(g, dcol, grad_input.data() + n * in_channels_ * H * W);
+    sgemm_at(rows, cols, out_channels_, 1.0f, weight_.value.data(), go, 0.0f, dcol);
+    col2im(g, dcol, grad_input.data());
+  } else {
+    // Batched lowering of the data gradient (the adjoint of the forward's
+    // batched lowering): pack the batch's grad_output into one wide
+    // (Cout, N*Ho*Wo) matrix and run a single GEMM. Widening the column
+    // dimension leaves every output element's reduction untouched, so each
+    // sample's gradient is bit-identical to the per-sample GEMM it replaces.
+    const Index total_cols = N * cols;
+    float* go_wide = ws.alloc(static_cast<std::size_t>(out_channels_ * total_cols));
+    parallel_for_each(N * out_channels_, [&](Index row) {
+      const Index n = row / out_channels_, c = row % out_channels_;
+      std::memcpy(go_wide + c * total_cols + n * cols,
+                  grad_output.data() + (n * out_channels_ + c) * cols,
+                  sizeof(float) * static_cast<std::size_t>(cols));
+    });
+    // dcol_wide = W^T(Cin*k*k, Cout) * go_wide
+    float* dcol_wide = ws.alloc(static_cast<std::size_t>(rows * total_cols));
+    sgemm_at(rows, total_cols, out_channels_, 1.0f, weight_.value.data(), go_wide, 0.0f,
+             dcol_wide);
+    for (Index n = 0; n < N; ++n) {
+      col2im(g, dcol_wide + n * cols, grad_input.data() + n * in_channels_ * H * W, total_cols);
+    }
+    // dW is a reduction over the batch: widening K would regroup the
+    // floating-point accumulation, so keep the per-sample GEMMs in batch
+    // order — bit-identical to accumulating B single-sample backwards.
+    float* col = ws.alloc(col_floats);
+    for (Index n = 0; n < N; ++n) {
+      im2col(g, input.data() + n * in_channels_ * H * W, col);
+      sgemm_bt(out_channels_, rows, cols, 1.0f, grad_output.data() + n * out_channels_ * cols, col,
+               1.0f, weight_.grad.data());
+    }
   }
   if (has_bias_) {
     const Index plane = Ho * Wo;

@@ -103,16 +103,44 @@ Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
 
   Tensor grad_input(input.shape());
   backend::WorkspaceScope ws;
-  float* dcol = ws.alloc(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
-  for (Index n = 0; n < N; ++n) {
-    const float* go = grad_output.data() + n * out_channels_ * Ho * Wo;
+  const Index rows = g.col_rows();
+  const Index plane = H * W;  // == g.col_cols()
+  if (N == 1) {
+    const float* go = grad_output.data();
+    float* dcol = ws.alloc(static_cast<std::size_t>(rows * plane));
     im2col(g, go, dcol);
     // dx(Cin, H*W) = weight(Cin, Cout*k*k) * dcol
-    sgemm(in_channels_, H * W, g.col_rows(), 1.0f, weight_.value.data(), dcol, 0.0f,
-          grad_input.data() + n * in_channels_ * H * W);
+    sgemm(in_channels_, plane, rows, 1.0f, weight_.value.data(), dcol, 0.0f, grad_input.data());
     // dW(Cin, Cout*k*k) += x(Cin, H*W) * dcol^T
-    sgemm_bt(in_channels_, g.col_rows(), H * W, 1.0f, input.data() + n * in_channels_ * H * W,
-             dcol, 1.0f, weight_.grad.data());
+    sgemm_bt(in_channels_, rows, plane, 1.0f, input.data(), dcol, 1.0f, weight_.grad.data());
+  } else {
+    // Batched data gradient (see Conv2d::backward): unfold every sample's
+    // grad_output into one wide (Cout*k*k, N*H*W) matrix and run a single
+    // GEMM. Column-widening keeps per-sample results bit-exact.
+    const Index total_cols = N * plane;
+    float* dcol_wide = ws.alloc(static_cast<std::size_t>(rows * total_cols));
+    for (Index n = 0; n < N; ++n) {
+      im2col(g, grad_output.data() + n * out_channels_ * Ho * Wo, dcol_wide + n * plane,
+             total_cols);
+    }
+    float* dx_wide = ws.alloc(static_cast<std::size_t>(in_channels_ * total_cols));
+    sgemm(in_channels_, total_cols, rows, 1.0f, weight_.value.data(), dcol_wide, 0.0f, dx_wide);
+    // Scatter (Cin, N*H*W) back to NCHW.
+    parallel_for_each(N * in_channels_, [&](Index row) {
+      const Index n = row / in_channels_, c = row % in_channels_;
+      std::memcpy(grad_input.data() + (n * in_channels_ + c) * plane,
+                  dx_wide + c * total_cols + n * plane,
+                  sizeof(float) * static_cast<std::size_t>(plane));
+    });
+    // dW reduces over the batch: keep per-sample GEMMs in batch order so the
+    // accumulation is bit-identical to B sequential single-sample backwards
+    // (the second unfold pays one extra im2col; the GEMMs dominate).
+    float* dcol = ws.alloc(static_cast<std::size_t>(rows * plane));
+    for (Index n = 0; n < N; ++n) {
+      im2col(g, grad_output.data() + n * out_channels_ * Ho * Wo, dcol);
+      sgemm_bt(in_channels_, rows, plane, 1.0f, input.data() + n * in_channels_ * plane, dcol,
+               1.0f, weight_.grad.data());
+    }
   }
   if (has_bias_) {
     const Index plane = Ho * Wo;

@@ -88,4 +88,15 @@ float Tensor::max_abs_diff(const Tensor& other) const {
   return m;
 }
 
+double Tensor::mean_abs_diff(const Tensor& other) const {
+  PP_CHECK_MSG(shape_ == other.shape_, "mean_abs_diff shape mismatch");
+  if (numel() == 0) return 0.0;
+  double s = 0.0;
+  for (Index i = 0; i < numel(); ++i) {
+    s += std::fabs(static_cast<double>(data_[static_cast<std::size_t>(i)]) -
+                   static_cast<double>(other.data_[static_cast<std::size_t>(i)]));
+  }
+  return s / static_cast<double>(numel());
+}
+
 }  // namespace paintplace::nn

@@ -111,6 +111,8 @@ class Tensor {
   float max() const;
   /// Largest absolute element-wise difference to `other` (shapes must match).
   float max_abs_diff(const Tensor& other) const;
+  /// Mean |a - b| over all elements (the validation L1 metric).
+  double mean_abs_diff(const Tensor& other) const;
 
  private:
   std::size_t offset4(Index n, Index c, Index h, Index w) const {

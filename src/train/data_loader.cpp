@@ -1,0 +1,83 @@
+#include "train/data_loader.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace paintplace::train {
+
+DataLoader::DataLoader(std::vector<const data::Sample*> samples, const DataLoaderConfig& config)
+    : samples_(std::move(samples)), config_(config) {
+  PP_CHECK_MSG(!samples_.empty(), "DataLoader needs at least one sample");
+  PP_CHECK_MSG(config_.batch_size >= 1, "DataLoader batch_size must be >= 1");
+  for (const data::Sample* s : samples_) {
+    PP_CHECK_MSG(s != nullptr && s->input.rank() == 4 && s->input.dim(0) == 1 &&
+                     s->target.rank() == 4 && s->target.dim(0) == 1,
+                 "DataLoader samples must be single (1,C,H,W) input/target pairs");
+  }
+  order_.resize(samples_.size());
+  std::iota(order_.begin(), order_.end(), Index{0});
+  cursor_ = static_cast<Index>(samples_.size());  // exhausted until start_epoch
+}
+
+void DataLoader::start_epoch(Index epoch) {
+  PP_CHECK(epoch >= 0);
+  cursor_ = 0;
+  std::iota(order_.begin(), order_.end(), Index{0});
+  if (config_.shuffle) {
+    // Mix epoch into the seed so every epoch gets its own permutation and
+    // epoch k's batches are reproducible without replaying epochs 0..k-1.
+    Rng rng(config_.seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(epoch) + 1);
+    std::shuffle(order_.begin(), order_.end(), rng.engine());
+  }
+}
+
+Index DataLoader::batches_per_epoch() const {
+  const Index n = size();
+  if (config_.keep_partial) return (n + config_.batch_size - 1) / config_.batch_size;
+  return n / config_.batch_size;
+}
+
+bool DataLoader::next(Batch& out) {
+  const Index n = size();
+  Index b = std::min(config_.batch_size, n - cursor_);
+  if (b < config_.batch_size && !config_.keep_partial) b = 0;
+  if (b <= 0) {
+    out = Batch{};
+    return false;
+  }
+
+  const data::Sample& first = *samples_[0];
+  const Index in_c = first.input.dim(1), out_c = first.target.dim(1);
+  const Index h = first.input.dim(2), w = first.input.dim(3);
+  out.inputs = nn::Tensor(nn::Shape{b, in_c, h, w});
+  out.targets = nn::Tensor(nn::Shape{b, out_c, h, w});
+  out.samples.resize(static_cast<std::size_t>(b));
+
+  const Index start = cursor_;
+  const std::size_t in_floats = static_cast<std::size_t>(in_c * h * w);
+  const std::size_t out_floats = static_cast<std::size_t>(out_c * h * w);
+  // Batch assembly fans out over the pool: each worker memcpys whole
+  // samples, so the stacking keeps up with training-step consumption.
+  parallel_for_each(b, [&](Index i) {
+    const data::Sample& s =
+        *samples_[static_cast<std::size_t>(order_[static_cast<std::size_t>(start + i)])];
+    PP_CHECK_MSG(s.input.dim(1) == in_c && s.input.dim(2) == h && s.input.dim(3) == w &&
+                     s.target.dim(1) == out_c && s.target.dim(2) == h && s.target.dim(3) == w,
+                 "DataLoader sample " << (start + i) << " shape " << s.input.shape().str()
+                                      << " differs from the first sample's "
+                                      << first.input.shape().str());
+    std::memcpy(out.inputs.data() + i * static_cast<Index>(in_floats), s.input.data(),
+                sizeof(float) * in_floats);
+    std::memcpy(out.targets.data() + i * static_cast<Index>(out_floats), s.target.data(),
+                sizeof(float) * out_floats);
+    out.samples[static_cast<std::size_t>(i)] = &s;
+  });
+  cursor_ += b;
+  return true;
+}
+
+}  // namespace paintplace::train

@@ -1,0 +1,63 @@
+// DataLoader — shuffled mini-batch iteration over a sample set.
+//
+// The training pipeline's data stage: takes the (x, truth) pairs a
+// data::Dataset produced, reshuffles them deterministically per epoch, and
+// assembles contiguous (B,C,H,W) batch tensors on the worker pool so the
+// copy bandwidth scales with cores instead of serialising in front of the
+// GEMMs. Samples are referenced, never copied, until batch assembly.
+#pragma once
+
+#include <vector>
+
+#include "data/sample.h"
+
+namespace paintplace::train {
+
+using paintplace::Index;
+
+struct DataLoaderConfig {
+  Index batch_size = 4;
+  bool shuffle = true;        ///< reshuffle each epoch from (seed, epoch)
+  std::uint64_t seed = 7;
+  /// Emit the trailing short batch (true) or drop it (false). Dropping keeps
+  /// every step's batch-norm statistics at full batch width.
+  bool keep_partial = true;
+};
+
+/// One assembled mini-batch: stacked input/target tensors plus the sample
+/// provenance (for metrics that need routed ground-truth scalars).
+struct Batch {
+  nn::Tensor inputs;   ///< (B, Cin, w, w) in [0,1]
+  nn::Tensor targets;  ///< (B, Cout, w, w) in [0,1]
+  std::vector<const data::Sample*> samples;
+
+  Index size() const { return inputs.rank() == 4 ? inputs.dim(0) : 0; }
+};
+
+class DataLoader {
+ public:
+  /// All samples must share the first sample's input/target shapes
+  /// (checked at assembly). The list must be non-empty.
+  DataLoader(std::vector<const data::Sample*> samples, const DataLoaderConfig& config);
+
+  /// Begins epoch `epoch`: rewinds the cursor and, with shuffle on, applies
+  /// the deterministic permutation derived from (seed, epoch) — resuming a
+  /// run at epoch k replays exactly the batches the original run saw.
+  void start_epoch(Index epoch);
+
+  /// Assembles the next mini-batch (worker-pool parallel copy). Returns
+  /// false when the epoch is exhausted (then also clears `out`).
+  bool next(Batch& out);
+
+  Index size() const { return static_cast<Index>(samples_.size()); }
+  Index batches_per_epoch() const;
+  const DataLoaderConfig& config() const { return config_; }
+
+ private:
+  std::vector<const data::Sample*> samples_;
+  std::vector<Index> order_;
+  DataLoaderConfig config_;
+  Index cursor_ = 0;
+};
+
+}  // namespace paintplace::train

@@ -1,0 +1,183 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "common/timer.h"
+#include "data/metrics.h"
+#include "nn/serialize.h"
+#include "nn/tensor_ops.h"
+
+namespace paintplace::train {
+
+namespace {
+
+constexpr const char* kStateKey = "__trainer_state__";
+
+std::string join(const std::string& dir, const char* file) {
+  return (std::filesystem::path(dir) / file).string();
+}
+
+// The state tensor stores floats, which hold integers exactly only up to
+// 2^24 and would round best_val_l1 to ~7 digits — enough to misrank a
+// post-resume "new best". Split counters into 20-bit limbs (exact to 2^40)
+// and doubles into a float + float-residual pair (~48 mantissa bits).
+constexpr Index kLimb = Index{1} << 20;
+
+std::pair<float, float> split_index(Index v) {
+  return {static_cast<float>(v / kLimb), static_cast<float>(v % kLimb)};
+}
+
+Index join_index(float hi, float lo) {
+  return static_cast<Index>(hi) * kLimb + static_cast<Index>(lo);
+}
+
+std::pair<float, float> split_double(double v) {
+  const float hi = static_cast<float>(v);
+  return {hi, static_cast<float>(v - static_cast<double>(hi))};
+}
+
+double join_double(float hi, float lo) {
+  return static_cast<double>(hi) + static_cast<double>(lo);
+}
+
+}  // namespace
+
+Trainer::Trainer(core::CongestionForecaster& forecaster, const TrainerConfig& config)
+    : forecaster_(forecaster), config_(config) {
+  PP_CHECK_MSG(config_.epochs >= 1, "Trainer needs epochs >= 1");
+  PP_CHECK_MSG(config_.batch_size >= 1, "Trainer needs batch_size >= 1");
+  if (config_.resume) {
+    PP_CHECK_MSG(!config_.checkpoint_dir.empty(), "Trainer resume needs a checkpoint_dir");
+    try_resume();
+  }
+}
+
+void Trainer::try_resume() {
+  const std::string last = join(config_.checkpoint_dir, kLastCheckpoint);
+  const std::string state = join(config_.checkpoint_dir, kStateCheckpoint);
+  if (!std::filesystem::exists(last) || !std::filesystem::exists(state)) return;
+  forecaster_.load(last);
+  const nn::TensorMap map = nn::load_tensors_file(state);
+  const auto it = map.find(kStateKey);
+  PP_CHECK_MSG(it != map.end() && it->second.shape() == nn::Shape{7},
+               "malformed trainer state in " << state);
+  const nn::Tensor& t = it->second;
+  start_epoch_ = join_index(t[0], t[1]);
+  has_best_ = t[2] != 0.0f;
+  best_val_l1_ = join_double(t[3], t[4]);
+  total_steps_ = join_index(t[5], t[6]);
+}
+
+void Trainer::save_checkpoints(bool is_best) {
+  if (config_.checkpoint_dir.empty()) return;
+  std::filesystem::create_directories(config_.checkpoint_dir);
+  forecaster_.save(join(config_.checkpoint_dir, kLastCheckpoint));
+  if (is_best) forecaster_.save(join(config_.checkpoint_dir, kBestCheckpoint));
+  const auto [epoch_hi, epoch_lo] = split_index(start_epoch_);
+  const auto [best_hi, best_lo] = split_double(best_val_l1_);
+  const auto [steps_hi, steps_lo] = split_index(total_steps_);
+  nn::TensorMap state;
+  state.emplace(kStateKey,
+                nn::Tensor(nn::Shape{7}, {epoch_hi, epoch_lo, has_best_ ? 1.0f : 0.0f, best_hi,
+                                          best_lo, steps_hi, steps_lo}));
+  nn::save_tensors_file(state, join(config_.checkpoint_dir, kStateCheckpoint));
+}
+
+EpochStats Trainer::validate(const std::vector<const data::Sample*>& val_samples, Index epoch) {
+  EpochStats stats;
+  stats.epoch = epoch;
+  fill_validation(stats, val_samples);
+  return stats;
+}
+
+void Trainer::fill_validation(EpochStats& stats,
+                              const std::vector<const data::Sample*>& val_samples) {
+  if (val_samples.empty()) return;
+  stats.has_validation = true;
+
+  // Deterministic inference for a stable metric (and to match what the
+  // serving layer will see); the previous noise setting is restored.
+  const bool was_deterministic = forecaster_.deterministic_inference();
+  forecaster_.set_deterministic_inference(true);
+
+  const Index n = static_cast<Index>(val_samples.size());
+  const Index chunk = std::max<Index>(1, config_.batch_size);
+  double l1_sum = 0.0, acc_sum = 0.0;
+  std::vector<double> predicted, truth;
+  predicted.reserve(static_cast<std::size_t>(n));
+  truth.reserve(static_cast<std::size_t>(n));
+  for (Index at = 0; at < n; at += chunk) {
+    const Index b = std::min(chunk, n - at);
+    std::vector<const nn::Tensor*> inputs(static_cast<std::size_t>(b));
+    for (Index i = 0; i < b; ++i) inputs[static_cast<std::size_t>(i)] =
+        &val_samples[static_cast<std::size_t>(at + i)]->input;
+    const nn::Tensor batch = nn::stack_batch(inputs);
+    const nn::Tensor pred = forecaster_.predict_batch(batch);
+    const std::vector<double> scores = forecaster_.congestion_scores(pred);
+    for (Index i = 0; i < b; ++i) {
+      const data::Sample& s = *val_samples[static_cast<std::size_t>(at + i)];
+      const nn::Tensor pred_i = nn::slice_batch(pred, i);
+      l1_sum += static_cast<double>(pred_i.mean_abs_diff(s.target));
+      acc_sum += data::per_pixel_accuracy(pred_i, s.target);
+      predicted.push_back(scores[static_cast<std::size_t>(i)]);
+      truth.push_back(s.meta.true_total_utilization);
+    }
+  }
+  forecaster_.set_deterministic_inference(was_deterministic);
+
+  stats.val_l1 = l1_sum / static_cast<double>(n);
+  stats.val_pixel_accuracy = acc_sum / static_cast<double>(n);
+  stats.val_rank_correlation = data::spearman_rank_correlation(predicted, truth);
+  stats.val_topk = data::topk_min_overlap(predicted, truth, std::min<Index>(10, n));
+}
+
+std::vector<EpochStats> Trainer::run(const std::vector<const data::Sample*>& train_samples,
+                                     const std::vector<const data::Sample*>& val_samples) {
+  DataLoaderConfig loader_cfg;
+  loader_cfg.batch_size = config_.batch_size;
+  loader_cfg.shuffle = config_.shuffle;
+  loader_cfg.seed = config_.seed;
+  DataLoader loader(train_samples, loader_cfg);
+
+  std::vector<EpochStats> history;
+  for (Index epoch = start_epoch_; epoch < config_.epochs; ++epoch) {
+    Timer epoch_timer;
+    EpochStats stats;
+    stats.epoch = epoch;
+    loader.start_epoch(epoch);
+    Batch batch;
+    Timer data_timer;
+    while (loader.next(batch)) {
+      stats.data_seconds += data_timer.seconds();
+      core::StepTimings step;
+      stats.train += forecaster_.model().train_step(batch.inputs, batch.targets, &step);
+      stats.phases += step;
+      stats.steps += 1;
+      total_steps_ += 1;
+      data_timer.reset();
+    }
+    PP_CHECK_MSG(stats.steps > 0, "epoch produced no batches (batch_size "
+                                      << config_.batch_size << " over "
+                                      << train_samples.size() << " samples)");
+    stats.train /= static_cast<double>(stats.steps);
+
+    fill_validation(stats, val_samples);
+    if (stats.has_validation) {
+      if (!has_best_ || stats.val_l1 < best_val_l1_) {
+        has_best_ = true;
+        best_val_l1_ = stats.val_l1;
+        stats.is_best = true;
+      }
+    }
+
+    start_epoch_ = epoch + 1;  // state records the NEXT epoch to run
+    save_checkpoints(stats.is_best);
+    stats.epoch_seconds = epoch_timer.seconds();
+    history.push_back(stats);
+    if (config_.on_epoch) config_.on_epoch(stats);
+  }
+  return history;
+}
+
+}  // namespace paintplace::train

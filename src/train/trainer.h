@@ -1,0 +1,98 @@
+// Trainer — drives mini-batched cGAN training end to end.
+//
+// Wraps a CongestionForecaster with the full training loop the paper only
+// sketches: shuffled mini-batches from a DataLoader, the adversarial + L1
+// update of Eq. 2 per batch (one batched forward/backward through the wide
+// GEMM lowering), per-epoch validation with the Section-5.1 metrics, and
+// best/last checkpointing with resume. The produced checkpoints are
+// ordinary Pix2Pix files: ForecastServer hot-swaps them directly (see
+// docs/serving.md).
+//
+// Checkpoint layout under TrainerConfig::checkpoint_dir:
+//   last.ckpt           — model after the most recent epoch
+//   best.ckpt           — model with the lowest validation L1 so far
+//   trainer_state.ckpt  — loop state (next epoch, best metric, step count)
+// Adam moments are not persisted: a resumed run restarts the optimizer's
+// moment estimates (documented in docs/training.md).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/forecaster.h"
+#include "train/data_loader.h"
+
+namespace paintplace::train {
+
+struct TrainerConfig {
+  Index epochs = 10;
+  Index batch_size = 4;
+  bool shuffle = true;
+  std::uint64_t seed = 7;
+  /// Directory for last/best/state checkpoints; empty disables writing.
+  std::string checkpoint_dir;
+  /// Continue from checkpoint_dir's last.ckpt + trainer_state.ckpt when they
+  /// exist (no-op on a fresh directory).
+  bool resume = false;
+  /// Called after every epoch (validation included) — progress logging.
+  std::function<void(const struct EpochStats&)> on_epoch;
+};
+
+/// One epoch's training record: losses, phase timing, validation metrics.
+struct EpochStats {
+  Index epoch = 0;
+  Index steps = 0;             ///< optimizer steps this epoch
+  core::GanLosses train;       ///< epoch-mean train losses
+  core::StepTimings phases;    ///< summed model-phase seconds (G-fwd/D/G-bwd)
+  double data_seconds = 0.0;   ///< batch-assembly time (the "data" phase)
+  double epoch_seconds = 0.0;  ///< wall time of the whole epoch
+
+  bool has_validation = false;
+  double val_l1 = 0.0;               ///< mean |G(x) - truth| in [0,1] space
+  double val_pixel_accuracy = 0.0;   ///< mean data::per_pixel_accuracy
+  double val_rank_correlation = 0.0; ///< Spearman, predicted vs routed scores
+  double val_topk = 0.0;             ///< Top-k retrieval overlap (k <= 10)
+  bool is_best = false;              ///< lowest val_l1 so far (saved as best)
+};
+
+class Trainer {
+ public:
+  static constexpr const char* kLastCheckpoint = "last.ckpt";
+  static constexpr const char* kBestCheckpoint = "best.ckpt";
+  static constexpr const char* kStateCheckpoint = "trainer_state.ckpt";
+
+  /// The forecaster is borrowed; it must outlive the Trainer. With
+  /// config.resume, the model weights and loop state are restored here.
+  Trainer(core::CongestionForecaster& forecaster, const TrainerConfig& config);
+
+  /// Runs the remaining epochs (all of them on a fresh run, the tail after a
+  /// resume). Validation (and best-checkpoint tracking) is skipped when
+  /// `val_samples` is empty. Returns one EpochStats per epoch run.
+  std::vector<EpochStats> run(const std::vector<const data::Sample*>& train_samples,
+                              const std::vector<const data::Sample*>& val_samples);
+
+  /// Validation only: metrics of the current model over `val_samples`
+  /// (deterministic inference, batched forward).
+  EpochStats validate(const std::vector<const data::Sample*>& val_samples, Index epoch = 0);
+
+  Index start_epoch() const { return start_epoch_; }
+  double best_val_l1() const { return best_val_l1_; }
+  Index total_steps() const { return total_steps_; }
+
+ private:
+  void save_checkpoints(bool is_best);
+  void try_resume();
+  /// Runs validation and writes the val_* fields (and has_validation) into
+  /// `stats`; no-op on an empty sample list.
+  void fill_validation(EpochStats& stats, const std::vector<const data::Sample*>& val_samples);
+
+  core::CongestionForecaster& forecaster_;
+  TrainerConfig config_;
+  Index start_epoch_ = 0;
+  Index total_steps_ = 0;
+  double best_val_l1_ = 0.0;
+  bool has_best_ = false;
+};
+
+}  // namespace paintplace::train

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "nn/serialize.h"
+#include "nn/tensor_ops.h"
 
 namespace paintplace::core {
 namespace {
@@ -108,6 +109,82 @@ TEST(Pix2Pix, DeterministicTrainingGivenSeed) {
     EXPECT_DOUBLE_EQ(la.g_gan, lb.g_gan);
     EXPECT_DOUBLE_EQ(la.g_l1, lb.g_l1);
   }
+}
+
+TEST(Pix2Pix, TrainStepRejectsMismatchedShapes) {
+  Pix2Pix model(tiny_config());
+  EXPECT_THROW(model.train_step(random01(Shape{1, 2, 16, 16}, 1), random01(Shape{1, 3, 8, 8}, 2)),
+               CheckError);
+  EXPECT_THROW(model.train_step(random01(Shape{2, 2, 16, 16}, 1),
+                                random01(Shape{1, 3, 16, 16}, 2)),
+               CheckError);
+  EXPECT_THROW(model.train_step(random01(Shape{1, 3, 16, 16}, 1),
+                                random01(Shape{1, 3, 16, 16}, 2)),
+               CheckError);
+}
+
+TEST(Pix2Pix, BatchedTrainStepReturnsFiniteLosses) {
+  Pix2Pix model(tiny_config());
+  const GanLosses losses =
+      model.train_step(random01(Shape{4, 2, 16, 16}, 3), random01(Shape{4, 3, 16, 16}, 4));
+  EXPECT_TRUE(std::isfinite(losses.d_loss));
+  EXPECT_TRUE(std::isfinite(losses.g_gan));
+  EXPECT_TRUE(std::isfinite(losses.g_l1));
+}
+
+TEST(Pix2Pix, BatchStepBitExactVsAccumulatedSteps) {
+  // The training pipeline's core equivalence: one batch-B step must produce
+  // the exact update of B accumulated single-sample steps. Requires a
+  // deterministic generator (no dropout z) and per-sample normalisation
+  // (instance norm) — see docs/training.md.
+  Pix2PixConfig cfg = tiny_config();
+  cfg.generator.norm = NormKind::kInstance;
+  cfg.generator.dropout = false;
+  const Index B = 4;  // power of two: the 1/B gradient scaling is exact
+  Pix2Pix batched(cfg), accumulated(cfg);
+
+  for (int step = 0; step < 3; ++step) {
+    const Tensor x = random01(Shape{B, 2, 16, 16}, 100 + static_cast<std::uint64_t>(step));
+    const Tensor t = random01(Shape{B, 3, 16, 16}, 200 + static_cast<std::uint64_t>(step));
+    std::vector<Tensor> xs, ts;
+    std::vector<const Tensor*> xp, tp;
+    for (Index n = 0; n < B; ++n) {
+      xs.push_back(nn::slice_batch(x, n));
+      ts.push_back(nn::slice_batch(t, n));
+    }
+    for (Index n = 0; n < B; ++n) {
+      xp.push_back(&xs[static_cast<std::size_t>(n)]);
+      tp.push_back(&ts[static_cast<std::size_t>(n)]);
+    }
+    const GanLosses lb = batched.train_step(x, t);
+    const GanLosses la = accumulated.train_step_accumulated(xp, tp);
+    EXPECT_NEAR(lb.d_loss, la.d_loss, 1e-6);
+    EXPECT_NEAR(lb.g_gan, la.g_gan, 1e-6);
+    EXPECT_NEAR(lb.g_l1, la.g_l1, 1e-6);
+
+    const auto pb_g = batched.generator().parameters();
+    const auto pa_g = accumulated.generator().parameters();
+    ASSERT_EQ(pb_g.size(), pa_g.size());
+    for (std::size_t i = 0; i < pb_g.size(); ++i) {
+      ASSERT_EQ(pb_g[i]->value.max_abs_diff(pa_g[i]->value), 0.0f)
+          << "step " << step << ": generator " << pb_g[i]->name << " diverged";
+    }
+    const auto pb_d = batched.discriminator().parameters();
+    const auto pa_d = accumulated.discriminator().parameters();
+    ASSERT_EQ(pb_d.size(), pa_d.size());
+    for (std::size_t i = 0; i < pb_d.size(); ++i) {
+      ASSERT_EQ(pb_d[i]->value.max_abs_diff(pa_d[i]->value), 0.0f)
+          << "step " << step << ": discriminator " << pb_d[i]->name << " diverged";
+    }
+  }
+}
+
+TEST(Pix2Pix, AccumulatedStepRequiresPowerOfTwoBatch) {
+  Pix2Pix model(tiny_config());
+  const Tensor x = random01(Shape{1, 2, 16, 16}, 5);
+  const Tensor t = random01(Shape{1, 3, 16, 16}, 6);
+  std::vector<const Tensor*> xp{&x, &x, &x}, tp{&t, &t, &t};
+  EXPECT_THROW(model.train_step_accumulated(xp, tp), CheckError);
 }
 
 TEST(Pix2Pix, SaveLoadRoundTripsPrediction) {

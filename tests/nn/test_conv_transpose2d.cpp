@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "nn/conv2d.h"
 #include "nn/gradcheck.h"
@@ -75,6 +77,51 @@ TEST(ConvTranspose2d, GradCheckNoBiasBatch2) {
   const auto result = grad_check(deconv, random_tensor(Shape{2, 2, 3, 3}, 14));
   EXPECT_LT(result.max_input_grad_error, 2e-2f);
   EXPECT_LT(result.max_param_grad_error, 2e-2f);
+}
+
+TEST(ConvTranspose2d, GradCheckBatch3OddShape) {
+  // Batched backward lowering at odd, non-square spatial extents.
+  Rng rng(21);
+  ConvTranspose2d deconv("d", 3, 2, 3, 2, 1, rng);
+  const auto result = grad_check(deconv, random_tensor(Shape{3, 3, 5, 3}, 22));
+  EXPECT_LT(result.max_input_grad_error, 2e-2f);
+  EXPECT_LT(result.max_param_grad_error, 2e-2f);
+}
+
+TEST(ConvTranspose2d, BatchedBackwardBitExactVsPerSample) {
+  // Mirror of Conv2d.BatchedBackwardBitExactVsPerSample for the decoder path.
+  const Index B = 3;
+  Rng rng_a(31), rng_b(31);
+  ConvTranspose2d batched("d", 4, 3, 4, 2, 1, rng_a);
+  ConvTranspose2d sequential("d", 4, 3, 4, 2, 1, rng_b);
+  const Tensor x = random_tensor(Shape{B, 4, 5, 3}, 32);
+  const Tensor out_b = batched.forward(x);
+  const Tensor go = random_tensor(out_b.shape(), 33);
+  const Tensor gin_b = batched.backward(go);
+
+  Tensor gin_s(x.shape());
+  const Index x_floats = x.numel() / B, go_floats = go.numel() / B, out_floats = out_b.numel() / B;
+  for (Index n = 0; n < B; ++n) {
+    Tensor xn(Shape{1, 4, 5, 3});
+    std::copy_n(x.data() + n * x_floats, x_floats, xn.data());
+    Tensor gon(Shape{1, out_b.dim(1), out_b.dim(2), out_b.dim(3)});
+    std::copy_n(go.data() + n * go_floats, go_floats, gon.data());
+    const Tensor outn = sequential.forward(xn);
+    for (Index i = 0; i < out_floats; ++i) {
+      ASSERT_EQ(outn[i], out_b[n * out_floats + i]) << "forward diverged at sample " << n;
+    }
+    const Tensor ginn = sequential.backward(gon);
+    std::copy_n(ginn.data(), x_floats, gin_s.data() + n * x_floats);
+  }
+  EXPECT_EQ(gin_b.max_abs_diff(gin_s), 0.0f) << "input gradient not bit-exact";
+
+  const auto params_b = batched.parameters();
+  const auto params_s = sequential.parameters();
+  ASSERT_EQ(params_b.size(), params_s.size());
+  for (std::size_t p = 0; p < params_b.size(); ++p) {
+    EXPECT_EQ(params_b[p]->grad.max_abs_diff(params_s[p]->grad), 0.0f)
+        << params_b[p]->name << " gradient not bit-exact";
+  }
 }
 
 TEST(ConvTranspose2d, RejectsWrongChannels) {

@@ -1,0 +1,169 @@
+#include "train/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "tests/core/test_fixtures.h"
+
+namespace paintplace::train {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TrainWorld {
+  core::testfix::TinyWorld world;
+  std::vector<const data::Sample*> train_set, val_set;
+
+  TrainWorld() : world("trainer", /*num_placements=*/12, /*image_width=*/16, /*seed=*/3) {
+    const auto all = world.sample_ptrs();
+    train_set.assign(all.begin(), all.begin() + 8);
+    val_set.assign(all.begin() + 8, all.end());
+  }
+};
+
+TrainerConfig quick_config(Index epochs, const std::string& dir = {}) {
+  TrainerConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = 4;
+  cfg.seed = 11;
+  cfg.checkpoint_dir = dir;
+  return cfg;
+}
+
+TEST(Trainer, RunsEpochsAndReportsStats) {
+  TrainWorld tw;
+  core::CongestionForecaster forecaster(core::testfix::tiny_model_config());
+  Trainer trainer(forecaster, quick_config(2));
+  const auto history = trainer.run(tw.train_set, tw.val_set);
+  ASSERT_EQ(history.size(), 2u);
+  for (const EpochStats& e : history) {
+    EXPECT_EQ(e.steps, 2);  // 8 samples / batch 4
+    EXPECT_TRUE(std::isfinite(e.train.d_loss));
+    EXPECT_TRUE(std::isfinite(e.train.g_l1));
+    EXPECT_TRUE(e.has_validation);
+    EXPECT_GT(e.val_l1, 0.0);
+    EXPECT_GE(e.val_pixel_accuracy, 0.0);
+    EXPECT_LE(e.val_pixel_accuracy, 1.0);
+    EXPECT_GE(e.epoch_seconds, 0.0);
+  }
+  EXPECT_TRUE(history.front().is_best);  // first epoch always sets the mark
+  EXPECT_EQ(trainer.total_steps(), 4);
+}
+
+TEST(Trainer, TrainingWithoutValidationSkipsMetrics) {
+  TrainWorld tw;
+  core::CongestionForecaster forecaster(core::testfix::tiny_model_config());
+  Trainer trainer(forecaster, quick_config(1));
+  const auto history = trainer.run(tw.train_set, {});
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_FALSE(history[0].has_validation);
+  EXPECT_FALSE(history[0].is_best);
+}
+
+TEST(Trainer, WritesCheckpointsAndResumes) {
+  TrainWorld tw;
+  const std::string dir = ::testing::TempDir() + "/pp_trainer_ckpt";
+  fs::remove_all(dir);
+
+  {
+    core::CongestionForecaster forecaster(core::testfix::tiny_model_config());
+    Trainer trainer(forecaster, quick_config(2, dir));
+    trainer.run(tw.train_set, tw.val_set);
+  }
+  EXPECT_TRUE(fs::exists(fs::path(dir) / Trainer::kLastCheckpoint));
+  EXPECT_TRUE(fs::exists(fs::path(dir) / Trainer::kBestCheckpoint));
+  EXPECT_TRUE(fs::exists(fs::path(dir) / Trainer::kStateCheckpoint));
+
+  // Resuming with the same epoch budget: nothing left to do.
+  {
+    core::CongestionForecaster forecaster(core::testfix::tiny_model_config());
+    TrainerConfig cfg = quick_config(2, dir);
+    cfg.resume = true;
+    Trainer trainer(forecaster, cfg);
+    EXPECT_EQ(trainer.start_epoch(), 2);
+    EXPECT_GT(trainer.best_val_l1(), 0.0);
+    EXPECT_TRUE(trainer.run(tw.train_set, tw.val_set).empty());
+  }
+
+  // Raising the budget continues from where the run stopped.
+  {
+    core::CongestionForecaster forecaster(core::testfix::tiny_model_config());
+    TrainerConfig cfg = quick_config(3, dir);
+    cfg.resume = true;
+    Trainer trainer(forecaster, cfg);
+    const auto history = trainer.run(tw.train_set, tw.val_set);
+    ASSERT_EQ(history.size(), 1u);
+    EXPECT_EQ(history[0].epoch, 2);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Trainer, BestCheckpointTracksLowestValL1) {
+  TrainWorld tw;
+  const std::string dir = ::testing::TempDir() + "/pp_trainer_best";
+  fs::remove_all(dir);
+  core::CongestionForecaster forecaster(core::testfix::tiny_model_config());
+  Trainer trainer(forecaster, quick_config(3, dir));
+  const auto history = trainer.run(tw.train_set, tw.val_set);
+  double best = history[0].val_l1;
+  for (const EpochStats& e : history) {
+    if (e.is_best) {
+      EXPECT_LE(e.val_l1, best);
+      best = e.val_l1;
+    } else {
+      EXPECT_GE(e.val_l1, best);
+    }
+  }
+  EXPECT_DOUBLE_EQ(trainer.best_val_l1(), best);
+  fs::remove_all(dir);
+}
+
+TEST(Trainer, CheckpointServesThroughForecaster) {
+  // The Trainer's checkpoints are self-describing Pix2Pix files: a fresh
+  // forecaster reconstructed from one must predict at the trained size.
+  TrainWorld tw;
+  const std::string dir = ::testing::TempDir() + "/pp_trainer_serve";
+  fs::remove_all(dir);
+  core::CongestionForecaster forecaster(core::testfix::tiny_model_config());
+  Trainer trainer(forecaster, quick_config(1, dir));
+  trainer.run(tw.train_set, tw.val_set);
+
+  const std::string best = (fs::path(dir) / Trainer::kBestCheckpoint).string();
+  core::CongestionForecaster restored(core::Pix2Pix::peek_config(best));
+  restored.load(best);
+  const nn::Tensor pred = restored.predict(tw.val_set.front()->input);
+  EXPECT_EQ(pred.shape(), (nn::Shape{1, 3, 16, 16}));
+  EXPECT_GE(pred.min(), 0.0f);
+  EXPECT_LE(pred.max(), 1.0f);
+  fs::remove_all(dir);
+}
+
+TEST(Trainer, ValidateComputesMetricsWithoutTraining) {
+  TrainWorld tw;
+  core::CongestionForecaster forecaster(core::testfix::tiny_model_config());
+  Trainer trainer(forecaster, quick_config(1));
+  const EpochStats stats = trainer.validate(tw.val_set);
+  EXPECT_TRUE(stats.has_validation);
+  EXPECT_GT(stats.val_l1, 0.0);
+  EXPECT_GE(stats.val_topk, 0.0);
+  EXPECT_LE(stats.val_topk, 1.0);
+  EXPECT_EQ(trainer.total_steps(), 0);
+}
+
+TEST(Trainer, RejectsBadConfig) {
+  core::CongestionForecaster forecaster(core::testfix::tiny_model_config());
+  TrainerConfig cfg;
+  cfg.epochs = 0;
+  EXPECT_THROW(Trainer(forecaster, cfg), CheckError);
+  cfg.epochs = 1;
+  cfg.batch_size = 0;
+  EXPECT_THROW(Trainer(forecaster, cfg), CheckError);
+  cfg.batch_size = 1;
+  cfg.resume = true;  // resume without a checkpoint_dir
+  EXPECT_THROW(Trainer(forecaster, cfg), CheckError);
+}
+
+}  // namespace
+}  // namespace paintplace::train

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Checks that markdown cross-references in README.md and docs/ resolve.
+
+For every relative link [text](target) in the scanned files:
+  * the target file must exist (resolved against the linking file), and
+  * if the link carries a #fragment, the target file must contain a heading
+    whose GitHub-style slug matches it.
+External links (http/https/mailto) are not fetched. Exits non-zero with one
+line per broken link, so CI can gate on it.
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor algorithm: lowercase, drop punctuation, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    return {slugify(m.group(1)) for m in HEADING_RE.finditer(path.read_text(encoding="utf-8"))}
+
+
+def check_file(md: Path, repo_root: Path) -> list:
+    errors = []
+    for match in LINK_RE.finditer(md.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        ref, _, fragment = target.partition("#")
+        resolved = (md.parent / ref).resolve() if ref else md.resolve()
+        if not resolved.exists():
+            errors.append(f"{md.relative_to(repo_root)}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md" and slugify(fragment) not in anchors_of(resolved):
+            errors.append(f"{md.relative_to(repo_root)}: missing anchor -> {target}")
+    return errors
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    files = sorted([repo_root / "README.md", *(repo_root / "docs").glob("*.md")])
+    errors = []
+    for md in files:
+        if md.exists():
+            errors.extend(check_file(md, repo_root))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(files)} files: {'FAIL' if errors else 'ok'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,397 @@
+// train_cgan — the training pipeline as a command line tool.
+//
+// Generates (or loads from a cache) a routed design suite with the synthetic
+// FPGA toolchain, trains the cGAN with the mini-batched Trainer, and leaves
+// last/best checkpoints that ForecastServer hot-swaps directly. See
+// docs/training.md for the full flag reference and recipes.
+//
+// --smoke is the CI entry point: a seconds-scale end-to-end run that asserts
+// the train L1 actually decreased and that the produced checkpoint loads
+// into a ForecastServer and serves a prediction.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "backend/backend.h"
+#include "common/timer.h"
+#include "data/dataset_io.h"
+#include "data/splits.h"
+#include "fpga/design_suite.h"
+#include "serve/forecast_server.h"
+#include "train/trainer.h"
+
+namespace {
+
+using paintplace::Index;
+namespace nn = paintplace::nn;
+namespace core = paintplace::core;
+namespace data = paintplace::data;
+namespace fpga = paintplace::fpga;
+namespace serve = paintplace::serve;
+namespace train = paintplace::train;
+
+struct Options {
+  std::vector<std::string> designs = {"diffeq1", "diffeq2"};
+  double scale = 0.04;
+  Index width = 64;
+  Index placements = 20;
+  Index epochs = 10;
+  Index batch = 4;
+  float lr = 1e-3f;
+  Index base_channels = 8;
+  Index max_channels = 64;
+  core::NormKind norm = core::NormKind::kBatch;
+  bool dropout = true;
+  float lambda_l1 = 50.0f;
+  double val_fraction = 0.15;
+  std::uint64_t seed = 1;
+  std::string out = "train_out";
+  bool resume = false;
+  std::string cache;
+  std::string backend;
+  std::string fine_tune;
+  float fine_tune_lr_scale = 0.5f;
+  bool smoke = false;
+
+  bool lambda_set = false;  ///< --lambda given explicitly (applies under --fine-tune)
+  std::string arch_flag;    ///< first architecture flag seen (conflicts with --fine-tune)
+};
+
+void usage() {
+  std::printf(
+      "train_cgan — mini-batched cGAN training over a synthetic design suite\n\n"
+      "usage: train_cgan [options]\n"
+      "  --designs a,b,..       Table 2 design names (default diffeq1,diffeq2)\n"
+      "  --scale F              design size factor (default 0.04)\n"
+      "  --width N              image/model resolution, power of two (default 64)\n"
+      "  --placements N         placements per design (default 20)\n"
+      "  --epochs N             training epochs (default 10)\n"
+      "  --batch N              mini-batch size (default 4)\n"
+      "  --lr F                 Adam learning rate (default 1e-3)\n"
+      "  --base-channels N      first encoder width (default 8)\n"
+      "  --max-channels N       channel cap (default 64)\n"
+      "  --norm batch|instance  normalisation family (default batch)\n"
+      "  --no-dropout           disable the noise z (deterministic generator)\n"
+      "  --lambda F             L1 weight of Eq. 2 (default 50)\n"
+      "  --val-fraction F       held-out fraction for validation (default 0.15)\n"
+      "  --seed N               master seed (default 1)\n"
+      "  --out DIR              checkpoint directory (default train_out)\n"
+      "  --resume               continue from DIR's last.ckpt\n"
+      "  --cache DIR            dataset cache: reuse routed suites across runs\n"
+      "  --backend NAME         compute backend (reference|cpu_opt)\n"
+      "  --fine-tune CKPT       strategy 2: start from CKPT, optimizers reset\n"
+      "                         (architecture flags are rejected: the width/\n"
+      "                         channel/norm/dropout setup comes from CKPT)\n"
+      "  --fine-tune-lr-scale F learning-rate scale for --fine-tune (default 0.5)\n"
+      "  --smoke                tiny CI preset + end-to-end self-checks\n");
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const char* v = nullptr;
+    if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
+      usage();
+      std::exit(0);
+    } else if (!std::strcmp(a, "--designs")) {
+      if (!(v = need_value(i))) return false;
+      opt.designs = split_csv(v);
+    } else if (!std::strcmp(a, "--scale")) {
+      if (!(v = need_value(i))) return false;
+      opt.scale = std::atof(v);
+    } else if (!std::strcmp(a, "--width")) {
+      if (!(v = need_value(i))) return false;
+      opt.width = std::atoll(v);
+      if (opt.arch_flag.empty()) opt.arch_flag = "--width";
+    } else if (!std::strcmp(a, "--placements")) {
+      if (!(v = need_value(i))) return false;
+      opt.placements = std::atoll(v);
+    } else if (!std::strcmp(a, "--epochs")) {
+      if (!(v = need_value(i))) return false;
+      opt.epochs = std::atoll(v);
+    } else if (!std::strcmp(a, "--batch")) {
+      if (!(v = need_value(i))) return false;
+      opt.batch = std::atoll(v);
+    } else if (!std::strcmp(a, "--lr")) {
+      if (!(v = need_value(i))) return false;
+      opt.lr = static_cast<float>(std::atof(v));
+    } else if (!std::strcmp(a, "--base-channels")) {
+      if (!(v = need_value(i))) return false;
+      opt.base_channels = std::atoll(v);
+      if (opt.arch_flag.empty()) opt.arch_flag = "--base-channels";
+    } else if (!std::strcmp(a, "--max-channels")) {
+      if (!(v = need_value(i))) return false;
+      opt.max_channels = std::atoll(v);
+      if (opt.arch_flag.empty()) opt.arch_flag = "--max-channels";
+    } else if (!std::strcmp(a, "--norm")) {
+      if (!(v = need_value(i))) return false;
+      if (!std::strcmp(v, "batch")) {
+        opt.norm = core::NormKind::kBatch;
+      } else if (!std::strcmp(v, "instance")) {
+        opt.norm = core::NormKind::kInstance;
+      } else {
+        std::fprintf(stderr, "unknown norm '%s' (batch|instance)\n", v);
+        return false;
+      }
+      if (opt.arch_flag.empty()) opt.arch_flag = "--norm";
+    } else if (!std::strcmp(a, "--no-dropout")) {
+      opt.dropout = false;
+      if (opt.arch_flag.empty()) opt.arch_flag = "--no-dropout";
+    } else if (!std::strcmp(a, "--lambda")) {
+      if (!(v = need_value(i))) return false;
+      opt.lambda_l1 = static_cast<float>(std::atof(v));
+      opt.lambda_set = true;
+    } else if (!std::strcmp(a, "--val-fraction")) {
+      if (!(v = need_value(i))) return false;
+      opt.val_fraction = std::atof(v);
+    } else if (!std::strcmp(a, "--seed")) {
+      if (!(v = need_value(i))) return false;
+      opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (!std::strcmp(a, "--out")) {
+      if (!(v = need_value(i))) return false;
+      opt.out = v;
+    } else if (!std::strcmp(a, "--resume")) {
+      opt.resume = true;
+    } else if (!std::strcmp(a, "--cache")) {
+      if (!(v = need_value(i))) return false;
+      opt.cache = v;
+    } else if (!std::strcmp(a, "--backend")) {
+      if (!(v = need_value(i))) return false;
+      opt.backend = v;
+    } else if (!std::strcmp(a, "--fine-tune")) {
+      if (!(v = need_value(i))) return false;
+      opt.fine_tune = v;
+    } else if (!std::strcmp(a, "--fine-tune-lr-scale")) {
+      if (!(v = need_value(i))) return false;
+      opt.fine_tune_lr_scale = static_cast<float>(std::atof(v));
+    } else if (!std::strcmp(a, "--smoke")) {
+      opt.smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s' (see --help)\n", a);
+      return false;
+    }
+  }
+  return true;
+}
+
+void apply_smoke_preset(Options& opt) {
+  opt.designs = {"diffeq1"};
+  opt.scale = 0.02;
+  opt.width = 16;
+  opt.placements = 16;
+  opt.epochs = 2;
+  opt.batch = 2;
+  opt.lr = 2e-3f;
+  opt.base_channels = 4;
+  opt.max_channels = 8;
+  opt.val_fraction = 0.25;
+  if (opt.out == "train_out") opt.out = "train_out_smoke";
+}
+
+/// One routed dataset per design, from the cache when possible.
+std::vector<data::Dataset> build_suite(const Options& opt) {
+  std::vector<data::Dataset> suite;
+  for (std::size_t d = 0; d < opt.designs.size(); ++d) {
+    const std::string& name = opt.designs[d];
+    // The generation seed depends on the design's position in --designs, so
+    // it must be part of the cache key — otherwise a cached suite could
+    // silently differ from what the same flags would generate fresh.
+    const std::uint64_t design_seed = opt.seed + static_cast<std::uint64_t>(d);
+    std::string cache_path;
+    if (!opt.cache.empty()) {
+      std::ostringstream key;
+      key << name << "_s" << opt.scale << "_w" << opt.width << "_p" << opt.placements << "_r"
+          << design_seed << ".ppds";
+      cache_path = (std::filesystem::path(opt.cache) / key.str()).string();
+      if (std::filesystem::exists(cache_path)) {
+        std::printf("[data] %s: cached (%s)\n", name.c_str(), cache_path.c_str());
+        suite.push_back(data::load_dataset(cache_path));
+        continue;
+      }
+    }
+    paintplace::Timer t;
+    const fpga::DesignSpec spec = fpga::scale_spec(fpga::design_by_name(name), opt.scale);
+    fpga::Netlist nl = fpga::generate_packed(spec, fpga::NetgenParams{}, design_seed);
+    const fpga::NetlistStats stats = nl.stats();
+    fpga::Arch arch = fpga::Arch::auto_sized(
+        {stats.num_clbs, stats.num_inputs + stats.num_outputs, stats.num_mems, stats.num_mults});
+    data::DatasetConfig cfg;
+    cfg.image_width = opt.width;
+    cfg.sweep.num_placements = opt.placements;
+    cfg.sweep.base_seed = design_seed * 1000 + 1;
+    suite.push_back(data::build_dataset(nl, arch, cfg));
+    std::printf("[data] %s: placed+routed %zu samples in %.1fs\n", name.c_str(),
+                suite.back().samples.size(), t.seconds());
+    if (!cache_path.empty()) {
+      std::filesystem::create_directories(opt.cache);
+      data::save_dataset(suite.back(), cache_path);
+      std::printf("[data] %s: cached to %s\n", name.c_str(), cache_path.c_str());
+    }
+  }
+  return suite;
+}
+
+/// Loads a checkpoint into a fresh ForecastServer and serves one request —
+/// the "the checkpoint actually deploys" half of the smoke check.
+serve::ForecastResult serve_round_trip(const std::string& ckpt, const nn::Tensor& input) {
+  auto model = std::make_shared<core::CongestionForecaster>(core::Pix2Pix::peek_config(ckpt));
+  model->load(ckpt);
+  serve::ServeConfig cfg;
+  serve::ForecastServer server(cfg, std::move(model), ckpt);
+  return server.submit(input).get();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+  if (!opt.fine_tune.empty() && !opt.arch_flag.empty()) {
+    std::fprintf(stderr,
+                 "%s cannot be combined with --fine-tune: the architecture comes from the "
+                 "checkpoint\n",
+                 opt.arch_flag.c_str());
+    return 2;
+  }
+  if (opt.smoke) apply_smoke_preset(opt);
+  std::setvbuf(stdout, nullptr, _IOLBF, 1 << 16);
+
+  try {
+    if (!opt.backend.empty()) paintplace::backend::set_active_backend(opt.backend);
+    std::printf("== train_cgan ==\nbackend: %s, designs:",
+                paintplace::backend::active_backend().name());
+    for (const std::string& d : opt.designs) std::printf(" %s", d.c_str());
+    std::printf(", width %lld, %lld placements/design, %lld epochs, batch %lld\n\n",
+                static_cast<long long>(opt.width), static_cast<long long>(opt.placements),
+                static_cast<long long>(opt.epochs), static_cast<long long>(opt.batch));
+
+    // ---- Data: synthetic designs -> SA placements -> routed ground truth.
+    const std::vector<data::Dataset> suite = build_suite(opt);
+    std::vector<const data::Sample*> all;
+    for (const data::Dataset& ds : suite) {
+      for (const data::Sample& s : ds.samples) all.push_back(&s);
+    }
+    auto [train_samples, val_samples] =
+        data::train_val_split(all, opt.val_fraction, opt.seed * 7919 + 13);
+    std::printf("[data] %zu train / %zu val samples\n\n", train_samples.size(),
+                val_samples.size());
+
+    // ---- Model: fresh, or a checkpoint to fine-tune (strategy 2).
+    core::Pix2PixConfig model_cfg;
+    if (!opt.fine_tune.empty()) {
+      model_cfg = core::Pix2Pix::peek_config(opt.fine_tune);
+      model_cfg.adam.lr = opt.lr;
+      // Tunable hyperparameters still apply; only the architecture is pinned
+      // to the checkpoint (explicit architecture flags were rejected above).
+      if (opt.lambda_set) model_cfg.lambda_l1 = opt.lambda_l1;
+    } else {
+      model_cfg.generator.in_channels = 4;
+      model_cfg.generator.out_channels = 3;
+      model_cfg.generator.image_size = opt.width;
+      model_cfg.generator.base_channels = opt.base_channels;
+      model_cfg.generator.max_channels = opt.max_channels;
+      model_cfg.generator.norm = opt.norm;
+      model_cfg.generator.dropout = opt.dropout;
+      model_cfg.lambda_l1 = opt.lambda_l1;
+      model_cfg.disc_base_channels = opt.base_channels;
+      model_cfg.adam.lr = opt.lr;
+      model_cfg.seed = opt.seed;
+    }
+    core::CongestionForecaster forecaster(model_cfg);
+    if (!opt.fine_tune.empty()) {
+      forecaster.load(opt.fine_tune);
+      forecaster.model().reset_optimizers(opt.lr * opt.fine_tune_lr_scale);
+      std::printf("[model] fine-tuning %s at lr %.2g\n", opt.fine_tune.c_str(),
+                  static_cast<double>(opt.lr * opt.fine_tune_lr_scale));
+    }
+
+    // ---- Train.
+    train::TrainerConfig tc;
+    tc.epochs = opt.epochs;
+    tc.batch_size = opt.batch;
+    tc.seed = opt.seed * 31 + 7;
+    tc.checkpoint_dir = opt.out;
+    tc.resume = opt.resume;
+    tc.on_epoch = [](const train::EpochStats& e) {
+      std::printf("[epoch %3lld] %4lld steps  d %.4f  g_gan %.4f  g_l1 %.4f",
+                  static_cast<long long>(e.epoch), static_cast<long long>(e.steps),
+                  e.train.d_loss, e.train.g_gan, e.train.g_l1);
+      if (e.has_validation) {
+        std::printf("  | val l1 %.4f acc %.3f rank %.3f%s", e.val_l1, e.val_pixel_accuracy,
+                    e.val_rank_correlation, e.is_best ? "  *best*" : "");
+      }
+      std::printf("  (%.1fs: data %.2f, G-fwd %.2f, D %.2f, G-bwd %.2f)\n", e.epoch_seconds,
+                  e.data_seconds, e.phases.g_forward_s, e.phases.d_step_s, e.phases.g_step_s);
+    };
+    train::Trainer trainer(forecaster, tc);
+    if (opt.resume && trainer.start_epoch() > 0) {
+      std::printf("[resume] continuing at epoch %lld (best val l1 %.4f)\n",
+                  static_cast<long long>(trainer.start_epoch()), trainer.best_val_l1());
+    }
+    const std::vector<train::EpochStats> history = trainer.run(train_samples, val_samples);
+    if (history.empty()) {
+      std::printf("nothing to do (already trained to epoch %lld)\n",
+                  static_cast<long long>(trainer.start_epoch()));
+      return 0;
+    }
+
+    const std::string best_path =
+        (std::filesystem::path(opt.out) / train::Trainer::kBestCheckpoint).string();
+    const std::string last_path =
+        (std::filesystem::path(opt.out) / train::Trainer::kLastCheckpoint).string();
+    const std::string deploy = std::filesystem::exists(best_path) ? best_path : last_path;
+    std::printf("\ncheckpoints in %s (deployable: %s)\n", opt.out.c_str(), deploy.c_str());
+
+    // ---- Deploy check: the checkpoint must serve through a ForecastServer.
+    const nn::Tensor& probe = val_samples.empty() ? train_samples.front()->input
+                                                  : val_samples.front()->input;
+    const serve::ForecastResult result = serve_round_trip(deploy, probe);
+    std::printf("[serve] round trip ok: heat map %s, score %.4f, model v%llu\n",
+                result.heatmap.shape().str().c_str(), result.congestion_score,
+                static_cast<unsigned long long>(result.model_version));
+
+    if (opt.smoke) {
+      const double first = history.front().train.g_l1;
+      const double last = history.back().train.g_l1;
+      std::printf("[smoke] train L1 %.4f -> %.4f\n", first, last);
+      if (!(last < first)) {
+        std::fprintf(stderr, "[smoke] FAIL: train L1 did not decrease (%.4f -> %.4f)\n", first,
+                     last);
+        return 1;
+      }
+      if (result.heatmap.rank() != 4 || result.heatmap.dim(1) != 3 ||
+          !std::isfinite(result.congestion_score)) {
+        std::fprintf(stderr, "[smoke] FAIL: served prediction malformed\n");
+        return 1;
+      }
+      std::printf("[smoke] PASS\n");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "train_cgan: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
