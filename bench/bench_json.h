@@ -1,0 +1,123 @@
+// Machine-readable bench output: the BENCH_*.json perf trajectory files.
+//
+// Every bench that wants a trackable record builds a BenchReport — a flat
+// meta block (model shape, backend, thread count) plus one object per
+// measured sample — and writes it next to the working directory as
+// BENCH_<name>.json. CI archives these; successive PRs diff them. The
+// format is deliberately dumb: no nesting beyond meta/samples, numbers and
+// strings only, so any plotting script can consume it with ten lines.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace paintplace::bench {
+
+/// One key plus an already-JSON-encoded value literal.
+struct JsonField {
+  std::string key;
+  std::string literal;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline JsonField jnum(const std::string& key, double value) {
+  if (!std::isfinite(value)) return {key, "null"};
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return {key, buf};
+}
+
+inline JsonField jint(const std::string& key, long long value) {
+  return {key, std::to_string(value)};
+}
+
+inline JsonField jstr(const std::string& key, const std::string& value) {
+  std::string literal = "\"";
+  literal += json_escape(value);
+  literal += '"';
+  return {key, literal};
+}
+
+inline JsonField jbool(const std::string& key, bool value) {
+  return {key, value ? "true" : "false"};
+}
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  void meta(JsonField field) { meta_.push_back(std::move(field)); }
+  void sample(std::vector<JsonField> fields) { samples_.push_back(std::move(fields)); }
+  std::size_t samples() const { return samples_.size(); }
+
+  std::string str() const {
+    std::string out = "{\n  \"bench\": \"" + json_escape(name_) + "\",\n  \"meta\": {";
+    out += join(meta_, "\n    ", ",");
+    out += meta_.empty() ? "},\n" : "\n  },\n";
+    out += "  \"samples\": [";
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+      out += i == 0 ? "\n    {" : ",\n    {";
+      out += join(samples_[i], "", ", ");
+      out += "}";
+    }
+    out += samples_.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+  }
+
+  /// Writes BENCH_<name>.json into `dir` (default: current directory) and
+  /// prints the path. Returns false (with a warning) when unwritable.
+  bool write(const std::string& dir = ".") const {
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = str();
+    const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    std::fclose(f);
+    if (ok) std::printf("wrote %s (%zu samples)\n", path.c_str(), samples_.size());
+    return ok;
+  }
+
+ private:
+  static std::string join(const std::vector<JsonField>& fields, const std::string& indent,
+                          const std::string& sep) {
+    std::string out;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out += sep;
+      out += indent + "\"" + json_escape(fields[i].key) + "\": " + fields[i].literal;
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<JsonField> meta_;
+  std::vector<std::vector<JsonField>> samples_;
+};
+
+}  // namespace paintplace::bench

@@ -6,12 +6,14 @@
 // per-sample GEMMs degenerate to a handful of columns and batching recovers
 // SIMD width and instruction-level parallelism — see Conv2d::forward).
 // Override with PAINT_SERVE_WIDTH / PAINT_SERVE_BASE / PAINT_SERVE_REQS.
+// Emits BENCH_serve.json (see bench_json.h) alongside the stdout report.
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
 #include <vector>
 
 #include "backend/backend.h"
+#include "bench/bench_json.h"
 #include "bench/gemm_shapes.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -53,6 +55,13 @@ int main() {
   // forward passes dispatch to and how many pool workers it fans out over.
   std::printf("compute backend: %s; pool workers: %d\n\n", backend::active_backend().name(),
               parallel_workers());
+
+  bench::BenchReport report("serve");
+  report.meta(bench::jint("width", width));
+  report.meta(bench::jint("base_channels", base));
+  report.meta(bench::jint("requests", reps));
+  report.meta(bench::jstr("backend", backend::active_backend().name()));
+  report.meta(bench::jint("pool_workers", parallel_workers()));
 
   // GEMM context for the serving numbers — same U-Net shape sweep as
   // bench_gemm, batch 4, aggregated per backend.
@@ -101,6 +110,8 @@ int main() {
   const double seq_rps = static_cast<double>(reps) / seq_s;
   std::printf("%-28s %10.1f ms/req %10.2f req/s   (baseline)\n", "sequential predict()",
               1e3 * seq_s / static_cast<double>(reps), seq_rps);
+  report.sample({bench::jstr("section", "sequential"), bench::jnum("req_per_s", seq_rps),
+                 bench::jnum("ms_per_req", 1e3 * seq_s / static_cast<double>(reps))});
 
   double speedup_at_4 = 0.0;
   for (Index b : {2, 4, 8, 16}) {
@@ -116,6 +127,9 @@ int main() {
     std::printf("predict_batch(%-2lld)           %10.1f ms/req %10.2f req/s   (%.2fx)\n",
                 static_cast<long long>(b), 1e3 * bat_s / static_cast<double>(reps),
                 static_cast<double>(reps) / bat_s, speedup);
+    report.sample({bench::jstr("section", "batched"), bench::jint("batch", b),
+                   bench::jnum("req_per_s", static_cast<double>(reps) / bat_s),
+                   bench::jnum("speedup", speedup)});
   }
   std::printf("\nbatched speedup at batch 4: %.2fx (acceptance floor: 2x)\n\n", speedup_at_4);
 
@@ -147,6 +161,9 @@ int main() {
     const serve::ServeStats stats = server.stats();
     std::printf("%-12d %-12.2f %-12.2f %-12llu %-12.2f\n", clients, rps, stats.mean_batch(),
                 static_cast<unsigned long long>(stats.max_batch), rps / one_client_rps);
+    report.sample({bench::jstr("section", "server"), bench::jint("clients", clients),
+                   bench::jnum("req_per_s", rps), bench::jnum("mean_batch", stats.mean_batch()),
+                   bench::jnum("speedup", rps / one_client_rps)});
   }
 
   // ---- 3. Repeat-heavy workload: the result cache ---------------------------
@@ -182,6 +199,12 @@ int main() {
                     static_cast<double>(stats.requests),
                 static_cast<unsigned long long>(stats.coalesced),
                 static_cast<unsigned long long>(stats.model_samples), rps / one_client_rps);
+    report.sample(
+        {bench::jstr("section", "cache"), bench::jnum("req_per_s", rps),
+         bench::jnum("hit_rate", static_cast<double>(stats.cache_hits) /
+                                     static_cast<double>(stats.requests)),
+         bench::jnum("speedup", rps / one_client_rps)});
   }
+  report.write();
   return 0;
 }

@@ -222,6 +222,18 @@ void Pix2Pix::reset_optimizers(float lr) {
   opt_d_ = std::make_unique<nn::Adam>(discriminator_->parameters(), cfg);
 }
 
+void Pix2Pix::save_optimizer_state(nn::TensorMap& out) const {
+  opt_g_->export_state(out, "opt_g/");
+  opt_d_->export_state(out, "opt_d/");
+}
+
+bool Pix2Pix::load_optimizer_state(const nn::TensorMap& map) {
+  if (!nn::Adam::has_state(map, "opt_g/") || !nn::Adam::has_state(map, "opt_d/")) return false;
+  opt_g_->import_state(map, "opt_g/");
+  opt_d_->import_state(map, "opt_d/");
+  return true;
+}
+
 nn::Tensor Pix2Pix::encode_config(const Pix2PixConfig& config) {
   const GeneratorConfig& g = config.generator;
   return nn::Tensor(nn::Shape{12},

@@ -105,6 +105,17 @@ class Pix2Pix {
   /// used when fine-tuning a trained model (strategy 2).
   void reset_optimizers(float lr);
 
+  /// Snapshots both optimizers' moment/step state into `out` (keys under
+  /// "opt_g/" and "opt_d/"). With the weights this is everything a
+  /// bitwise-identical training resume needs; the Trainer stores it in
+  /// trainer_state.ckpt.
+  void save_optimizer_state(nn::TensorMap& out) const;
+
+  /// Restores optimizer state written by save_optimizer_state. Returns
+  /// false (leaving the freshly-initialized optimizers alone) when `map`
+  /// has none — e.g. a checkpoint from before moments were persisted.
+  bool load_optimizer_state(const nn::TensorMap& map);
+
   /// Checkpoints are self-describing: weights, batch-norm statistics and
   /// the architecture configuration are stored together, so load() can
   /// verify compatibility and load_file() can reconstruct the model.

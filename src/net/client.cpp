@@ -1,0 +1,124 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace paintplace::net {
+
+Client::Client(const std::string& host, std::uint16_t port, std::size_t max_payload)
+    : reader_(max_payload) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  PP_CHECK_MSG(fd_ >= 0, "socket() failed: " << std::strerror(errno));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    close();
+    PP_CHECK_MSG(false, "bad host address " << host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close();
+    PP_CHECK_MSG(false, "connect(" << host << ":" << port << ") failed: " << err);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::send_bytes(const std::vector<std::uint8_t>& bytes) {
+  PP_CHECK_MSG(fd_ >= 0, "send on a closed client");
+  const std::uint8_t* data = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd_, data, left, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    PP_CHECK_MSG(n > 0, "send failed: " << (n < 0 ? std::strerror(errno) : "connection closed"));
+    data += static_cast<std::size_t>(n);
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void Client::send_forecast(std::uint64_t request_id, const nn::Tensor& input01,
+                           bool want_heatmap) {
+  ForecastRequest req;
+  req.request_id = request_id;
+  req.want_heatmap = want_heatmap;
+  req.input = input01;
+  send_bytes(encode_forecast_request(req));
+}
+
+void Client::send_metrics_request(std::uint64_t request_id) {
+  send_bytes(encode_metrics_request(request_id));
+}
+
+void Client::send_swap_request(std::uint64_t request_id, const std::string& checkpoint_path) {
+  send_bytes(encode_swap_request(request_id, checkpoint_path));
+}
+
+Frame Client::read_frame() {
+  for (;;) {
+    if (std::optional<Frame> frame = reader_.next()) return std::move(*frame);
+    std::uint8_t buf[std::size_t{64} << 10];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    PP_CHECK_MSG(n > 0, "connection closed while waiting for a frame ("
+                            << reader_.buffered() << " bytes buffered)");
+    reader_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+ForecastResponse Client::read_forecast_response() {
+  const Frame frame = read_frame();
+  if (frame.type == FrameType::kError) {
+    throw WireError("server error: " + decode_text(frame));
+  }
+  return decode_forecast_response(frame);
+}
+
+ForecastResponse Client::forecast(const nn::Tensor& input01, bool want_heatmap) {
+  send_forecast(next_id_++, input01, want_heatmap);
+  return read_forecast_response();
+}
+
+std::string Client::metrics_text() {
+  send_metrics_request(next_id_++);
+  const Frame frame = read_frame();
+  if (frame.type == FrameType::kError) {
+    throw WireError("server error: " + decode_text(frame));
+  }
+  if (frame.type != FrameType::kMetricsResponse) {
+    throw WireError("expected a metrics response, got frame type " +
+                    std::to_string(static_cast<int>(frame.type)));
+  }
+  return decode_text(frame);
+}
+
+SwapResponse Client::swap(const std::string& checkpoint_path) {
+  send_swap_request(next_id_++, checkpoint_path);
+  const Frame frame = read_frame();
+  if (frame.type == FrameType::kError) {
+    throw WireError("server error: " + decode_text(frame));
+  }
+  return decode_swap_response(frame);
+}
+
+}  // namespace paintplace::net

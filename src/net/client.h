@@ -1,0 +1,60 @@
+// Blocking client for the PPN1 forecast wire protocol.
+//
+// One TCP connection with a send side and a framed receive side. Two usage
+// styles:
+//   * synchronous — forecast()/metrics_text()/swap() send one request and
+//     wait for its response (simple callers, tests);
+//   * pipelined — send_* to queue many requests on the socket, then
+//     read_frame()/read_forecast_response() to collect responses in order
+//     (swarm clients, benches; this is what fills server micro-batches).
+// The client is not thread-safe; give each swarm worker its own connection —
+// that is also what the server's per-client fairness cap meters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/wire.h"
+
+namespace paintplace::net {
+
+class Client {
+ public:
+  /// Connects (IPv4 dotted quad or "localhost"). Throws CheckError on
+  /// connection failure.
+  Client(const std::string& host, std::uint16_t port,
+         std::size_t max_payload = kDefaultMaxPayload);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // ---- Pipelined API --------------------------------------------------------
+  void send_forecast(std::uint64_t request_id, const nn::Tensor& input01,
+                     bool want_heatmap = false);
+  void send_metrics_request(std::uint64_t request_id);
+  void send_swap_request(std::uint64_t request_id, const std::string& checkpoint_path);
+
+  /// Next frame from the server. Throws WireError on a malformed stream and
+  /// CheckError when the connection closed mid-frame.
+  Frame read_frame();
+  /// read_frame() + decode, rejecting non-forecast frames.
+  ForecastResponse read_forecast_response();
+
+  // ---- Synchronous conveniences ---------------------------------------------
+  ForecastResponse forecast(const nn::Tensor& input01, bool want_heatmap = false);
+  std::string metrics_text();
+  SwapResponse swap(const std::string& checkpoint_path);
+
+  void close();
+  bool closed() const { return fd_ < 0; }
+
+ private:
+  void send_bytes(const std::vector<std::uint8_t>& bytes);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  FrameReader reader_;
+};
+
+}  // namespace paintplace::net

@@ -1,0 +1,138 @@
+#include "net/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace paintplace::net {
+
+namespace {
+
+/// Bucket b covers [2^b, 2^(b+1)) microseconds; bucket 0 also absorbs
+/// sub-microsecond samples, the last bucket absorbs overflow.
+int bucket_of(double seconds) {
+  const double micros = seconds * 1e6;
+  if (micros < 1.0) return 0;
+  const int b = static_cast<int>(std::log2(micros));
+  return std::min(b, LatencyHistogram::kBuckets - 1);
+}
+
+double bucket_lower_micros(int b) { return b == 0 ? 0.0 : std::exp2(b); }
+double bucket_upper_micros(int b) { return std::exp2(b + 1); }
+
+}  // namespace
+
+void LatencyHistogram::record(double seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  buckets_[static_cast<std::size_t>(bucket_of(seconds))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_micros_.fetch_add(static_cast<std::uint64_t>(seconds * 1e6),
+                          std::memory_order_relaxed);
+}
+
+double LatencyHistogram::total_seconds() const {
+  return static_cast<double>(total_micros_.load(std::memory_order_relaxed)) * 1e-6;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double target = q * static_cast<double>(n);
+  double seen = 0.0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const double in_bucket =
+        static_cast<double>(buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed));
+    if (in_bucket == 0.0) continue;
+    if (seen + in_bucket >= target) {
+      const double frac = in_bucket == 0.0 ? 0.0 : (target - seen) / in_bucket;
+      const double lo = bucket_lower_micros(b), hi = bucket_upper_micros(b);
+      return (lo + frac * (hi - lo)) * 1e-6;
+    }
+    seen += in_bucket;
+  }
+  return bucket_upper_micros(kBuckets - 1) * 1e-6;
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_micros_.store(0, std::memory_order_relaxed);
+}
+
+std::string render_text(const Metrics& m, const PoolGauges& pool) {
+  const std::uint64_t n = m.latency.count();
+  const double mean_ms = n == 0 ? 0.0 : m.latency.total_seconds() / static_cast<double>(n) * 1e3;
+  const double hit_rate = pool.cache_requests == 0
+                              ? 0.0
+                              : static_cast<double>(pool.cache_hits) /
+                                    static_cast<double>(pool.cache_requests);
+  char buf[1536];
+  std::snprintf(
+      buf, sizeof(buf),
+      "net_connections_opened %llu\n"
+      "net_connections_closed %llu\n"
+      "net_requests_accepted %llu\n"
+      "net_requests_completed %llu\n"
+      "net_requests_failed %llu\n"
+      "net_shed_queue_full %llu\n"
+      "net_shed_client_cap %llu\n"
+      "net_protocol_errors %llu\n"
+      "net_metrics_requests %llu\n"
+      "net_hot_swaps %llu\n"
+      "net_latency_count %llu\n"
+      "net_latency_mean_ms %.3f\n"
+      "net_latency_p50_ms %.3f\n"
+      "net_latency_p99_ms %.3f\n"
+      "pool_replicas %d\n"
+      "pool_queue_depth %llu\n"
+      "pool_max_replica_depth %llu\n"
+      "pool_cache_hit_rate %.4f\n"
+      "pool_cache_hits %llu\n"
+      "pool_batches %llu\n"
+      "pool_model_samples %llu\n"
+      "pool_model_version %llu\n",
+      static_cast<unsigned long long>(m.connections_opened.load()),
+      static_cast<unsigned long long>(m.connections_closed.load()),
+      static_cast<unsigned long long>(m.requests_accepted.load()),
+      static_cast<unsigned long long>(m.requests_completed.load()),
+      static_cast<unsigned long long>(m.requests_failed.load()),
+      static_cast<unsigned long long>(m.shed_queue_full.load()),
+      static_cast<unsigned long long>(m.shed_client_cap.load()),
+      static_cast<unsigned long long>(m.protocol_errors.load()),
+      static_cast<unsigned long long>(m.metrics_requests.load()),
+      static_cast<unsigned long long>(m.hot_swaps.load()),
+      static_cast<unsigned long long>(n), mean_ms, m.latency.quantile(0.50) * 1e3,
+      m.latency.quantile(0.99) * 1e3, pool.replicas,
+      static_cast<unsigned long long>(pool.queue_depth),
+      static_cast<unsigned long long>(pool.max_queue_depth), hit_rate,
+      static_cast<unsigned long long>(pool.cache_hits),
+      static_cast<unsigned long long>(pool.batches),
+      static_cast<unsigned long long>(pool.model_samples),
+      static_cast<unsigned long long>(pool.model_version));
+  return buf;
+}
+
+std::string render_log_line(const Metrics& m, const PoolGauges& pool) {
+  const double hit_rate = pool.cache_requests == 0
+                              ? 0.0
+                              : static_cast<double>(pool.cache_hits) /
+                                    static_cast<double>(pool.cache_requests);
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "[net] v%llu conns=%llu done=%llu shed=%llu perr=%llu depth=%llu "
+                "p50=%.2fms p99=%.2fms hit=%.0f%%",
+                static_cast<unsigned long long>(pool.model_version),
+                static_cast<unsigned long long>(m.connections_opened.load() -
+                                                m.connections_closed.load()),
+                static_cast<unsigned long long>(m.requests_completed.load()),
+                static_cast<unsigned long long>(m.shed_total()),
+                static_cast<unsigned long long>(m.protocol_errors.load()),
+                static_cast<unsigned long long>(pool.queue_depth),
+                m.latency.quantile(0.50) * 1e3, m.latency.quantile(0.99) * 1e3,
+                100.0 * hit_rate);
+  return buf;
+}
+
+}  // namespace paintplace::net

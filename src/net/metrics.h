@@ -1,0 +1,83 @@
+// Counters and latency histograms for the networked serving front-end.
+//
+// Everything is cheap enough to sit on the request path: counters are
+// relaxed atomics, and the histogram records into log-spaced atomic buckets
+// (record() is one increment, quantiles are computed at read time). The
+// text exposition is a flat `name value` listing — trivially scrapeable and
+// greppable, no format dependencies.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace paintplace::net {
+
+/// Log-spaced latency histogram, 1µs..~34s in quarter-decade-ish steps
+/// (x2 per bucket). Thread-safe; record() never blocks.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 26;  // 2^25 µs ≈ 33.5 s, then overflow
+
+  void record(double seconds);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double total_seconds() const;
+
+  /// Latency below which fraction `q` (0..1] of recorded samples fall,
+  /// linearly interpolated inside the winning bucket. 0 with no samples.
+  double quantile(double q) const;
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_micros_{0};
+};
+
+/// Monotonic counters for the front-end. The replica pool and server bump
+/// these; snapshot() gives a consistent-enough view for logs and the
+/// metrics endpoint (individual counters are exact, cross-counter skew is
+/// bounded by in-flight requests).
+class Metrics {
+ public:
+  std::atomic<std::uint64_t> connections_opened{0};
+  std::atomic<std::uint64_t> connections_closed{0};
+  std::atomic<std::uint64_t> requests_accepted{0};   ///< admitted to a replica
+  std::atomic<std::uint64_t> requests_completed{0};  ///< response written, any status
+  std::atomic<std::uint64_t> requests_failed{0};     ///< completed with kFailed
+  std::atomic<std::uint64_t> shed_queue_full{0};
+  std::atomic<std::uint64_t> shed_client_cap{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> metrics_requests{0};
+  std::atomic<std::uint64_t> hot_swaps{0};
+
+  LatencyHistogram latency;  ///< admission -> response-written, seconds
+
+  std::uint64_t shed_total() const {
+    return shed_queue_full.load(std::memory_order_relaxed) +
+           shed_client_cap.load(std::memory_order_relaxed);
+  }
+};
+
+/// Point-in-time pool state merged into the exposition by the server.
+struct PoolGauges {
+  int replicas = 0;
+  std::uint64_t queue_depth = 0;     ///< admitted-but-unanswered, all replicas
+  std::uint64_t max_queue_depth = 0; ///< deepest single replica right now
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_requests = 0;  ///< total submits seen by the replicas
+  std::uint64_t batches = 0;
+  std::uint64_t model_samples = 0;
+  std::uint64_t model_version = 0;
+};
+
+/// `name value` lines, one metric per line (latencies in milliseconds).
+std::string render_text(const Metrics& metrics, const PoolGauges& pool);
+
+/// Single-line summary for the periodic server log.
+std::string render_log_line(const Metrics& metrics, const PoolGauges& pool);
+
+}  // namespace paintplace::net

@@ -1,0 +1,415 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+
+#include "core/pix2pix.h"
+
+namespace paintplace::net {
+
+namespace {
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// send() the whole buffer, tolerating partial writes. False = peer gone.
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(n);
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+// One accepted socket: a reader thread that decodes and dispatches frames,
+// and a writer thread that delivers responses in request order. The writer
+// is what keeps slow forwards from blocking frame intake — the reader can
+// keep admitting (up to the admission caps) while earlier requests compute.
+struct NetServer::Connection {
+  // One queued response. Immediate entries carry pre-encoded bytes; forecast
+  // entries carry the admission whose future the writer resolves.
+  struct Outgoing {
+    std::vector<std::uint8_t> encoded;  ///< used when !pending
+    bool pending = false;
+    std::uint64_t request_id = 0;
+    bool want_heatmap = false;
+    Admission admission;
+    std::chrono::steady_clock::time_point accepted_at;
+  };
+
+  NetServer& server;
+  int fd;
+  std::uint64_t client_id;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Outgoing> outbox;
+  bool intake_closed = false;
+  std::atomic<bool> dead{false};  ///< peer unreachable; drain without writing
+
+  std::thread reader;
+  std::thread writer;
+  std::atomic<bool> finished{false};  ///< both threads have returned
+
+  Connection(NetServer& srv, int sock, std::uint64_t id)
+      : server(srv), fd(sock), client_id(id) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    reader = std::thread([this] {
+      read_loop();
+      // Reader is done (EOF, error, or protocol violation): no more entries
+      // will arrive; let the writer drain and exit.
+      close_intake();
+      writer.join();
+      ::shutdown(fd, SHUT_RDWR);
+      server.metrics_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+      finished.store(true, std::memory_order_release);
+    });
+    writer = std::thread([this] { write_loop(); });
+  }
+
+  ~Connection() {
+    if (reader.joinable()) reader.join();
+    close_fd(fd);
+  }
+
+  /// Half-close from the server side: the reader unblocks with EOF and winds
+  /// the connection down through the normal drain path.
+  void stop() { ::shutdown(fd, SHUT_RD); }
+
+  void close_intake() {
+    std::lock_guard<std::mutex> lock(mu);
+    intake_closed = true;
+    cv.notify_all();
+  }
+
+  void enqueue(Outgoing entry) {
+    std::lock_guard<std::mutex> lock(mu);
+    outbox.push_back(std::move(entry));
+    cv.notify_all();
+  }
+
+  void enqueue_encoded(std::vector<std::uint8_t> bytes) {
+    Outgoing out;
+    out.encoded = std::move(bytes);
+    enqueue(std::move(out));
+  }
+
+  void read_loop() {
+    FrameReader frames(server.config_.max_payload);
+    std::vector<std::uint8_t> buf(std::size_t{64} << 10);
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;  // EOF or error — peer is done sending
+      try {
+        frames.feed(buf.data(), static_cast<std::size_t>(n));
+        while (std::optional<Frame> frame = frames.next()) {
+          if (!handle_frame(*frame)) return;
+        }
+      } catch (const WireError& e) {
+        // Framing is unrecoverable: answer with the reason and stop reading.
+        server.metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        enqueue_encoded(encode_error(0, e.what()));
+        return;
+      }
+    }
+  }
+
+  /// Dispatches one well-framed message. False = stop reading (the frame
+  /// was a semantic protocol violation).
+  bool handle_frame(const Frame& frame) {
+    switch (frame.type) {
+      case FrameType::kForecastRequest:
+        handle_forecast(frame);
+        return true;
+      case FrameType::kMetricsRequest:
+        server.metrics_.metrics_requests.fetch_add(1, std::memory_order_relaxed);
+        enqueue_encoded(encode_metrics_response(frame.request_id, server.metrics_text()));
+        return true;
+      case FrameType::kSwapRequest:
+        handle_swap(frame);
+        return true;
+      default:
+        // Clients must not send server-to-client frame types.
+        server.metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        enqueue_encoded(encode_error(
+            frame.request_id,
+            "unexpected client frame type " + std::to_string(static_cast<int>(frame.type))));
+        return false;
+    }
+  }
+
+  void handle_forecast(const Frame& frame) {
+    ForecastRequest req;
+    try {
+      req = decode_forecast_request(frame);
+    } catch (const WireError& e) {
+      server.metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      enqueue_encoded(encode_error(frame.request_id, e.what()));
+      return;
+    }
+
+    Outgoing out;
+    out.request_id = req.request_id;
+    out.want_heatmap = req.want_heatmap;
+    out.accepted_at = std::chrono::steady_clock::now();
+    try {
+      out.admission = server.pool_->submit(client_id, req.input);
+    } catch (const std::exception& e) {
+      // Well-framed but unservable (wrong tensor shape for the model, or
+      // intake already closed): a failed response, not a dropped connection.
+      ForecastResponse resp;
+      resp.request_id = req.request_id;
+      resp.status = Status::kFailed;
+      resp.error = e.what();
+      server.metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+      enqueue_encoded(encode_forecast_response(resp));
+      return;
+    }
+
+    if (!out.admission.admitted()) {
+      if (out.admission.shed == ShedReason::kReplicaQueueFull) {
+        server.metrics_.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        server.metrics_.shed_client_cap.fetch_add(1, std::memory_order_relaxed);
+      }
+      ForecastResponse resp;
+      resp.request_id = req.request_id;
+      resp.status = Status::kShed;
+      resp.shed_reason = out.admission.shed;
+      enqueue_encoded(encode_forecast_response(resp));
+      return;
+    }
+
+    server.metrics_.requests_accepted.fetch_add(1, std::memory_order_relaxed);
+    out.pending = true;
+    enqueue(std::move(out));
+  }
+
+  void handle_swap(const Frame& frame) {
+    SwapResponse resp;
+    resp.request_id = frame.request_id;
+    if (!server.config_.allow_swap) {
+      resp.status = Status::kFailed;
+      resp.error = "hot swap over the wire is disabled (start the server with allow_swap)";
+    } else {
+      try {
+        resp.new_version = server.swap_checkpoint(decode_text(frame));
+      } catch (const std::exception& e) {
+        resp.status = Status::kFailed;
+        resp.error = e.what();
+      }
+    }
+    enqueue_encoded(encode_swap_response(resp));
+  }
+
+  void write_loop() {
+    for (;;) {
+      Outgoing out;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] { return !outbox.empty() || intake_closed; });
+        if (outbox.empty()) return;  // intake closed and drained
+        out = std::move(outbox.front());
+        outbox.pop_front();
+      }
+      if (!out.pending) {
+        if (!dead.load(std::memory_order_relaxed) &&
+            !send_all(fd, out.encoded.data(), out.encoded.size())) {
+          dead.store(true, std::memory_order_relaxed);
+        }
+        continue;
+      }
+
+      // An admitted forecast: resolve, respond, then release the admission
+      // slot — the release point is what admission depth meters.
+      ForecastResponse resp;
+      resp.request_id = out.request_id;
+      try {
+        const serve::ForecastResult result = out.admission.future.get();
+        resp.congestion_score = result.congestion_score;
+        resp.model_version = result.model_version;
+        resp.from_cache = result.from_cache;
+        if (out.want_heatmap) resp.heatmap = result.heatmap;
+      } catch (const std::exception& e) {
+        resp.status = Status::kFailed;
+        resp.error = e.what();
+        server.metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!dead.load(std::memory_order_relaxed)) {
+        const std::vector<std::uint8_t> encoded = encode_forecast_response(resp);
+        if (send_all(fd, encoded.data(), encoded.size())) {
+          server.metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+          server.metrics_.latency.record(
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - out.accepted_at)
+                  .count());
+        } else {
+          dead.store(true, std::memory_order_relaxed);
+        }
+      }
+      out.admission.slot.reset();
+    }
+  }
+};
+
+NetServer::NetServer(const NetServerConfig& config, const ModelFactory& make_model)
+    : config_(config), pool_(std::make_unique<ReplicaPool>(config.pool, make_model)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  PP_CHECK_MSG(listen_fd_ >= 0, "socket() failed: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  PP_CHECK_MSG(::inet_pton(AF_INET, config.bind_address.c_str(), &addr.sin_addr) == 1,
+               "bad bind address " << config.bind_address);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close_fd(listen_fd_);
+    PP_CHECK_MSG(false, "bind(" << config.bind_address << ":" << config.port
+                                << ") failed: " << err);
+  }
+  PP_CHECK_MSG(::listen(listen_fd_, config.backlog) == 0,
+               "listen() failed: " << std::strerror(errno));
+
+  socklen_t len = sizeof(addr);
+  PP_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
+  port_ = ntohs(addr.sin_port);
+
+  acceptor_ = std::thread([this] { accept_loop(); });
+  if (config_.metrics_log_period.count() > 0) {
+    logger_ = std::thread([this] { log_loop(); });
+  }
+}
+
+NetServer::~NetServer() { shutdown(); }
+
+void NetServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed — shutting down
+    }
+    if (shut_down_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      return;
+    }
+    metrics_.connections_opened.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    reap_finished_connections();
+    connections_.push_back(std::make_unique<Connection>(*this, fd, next_client_id_++));
+  }
+}
+
+void NetServer::reap_finished_connections() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      it = connections_.erase(it);  // ~Connection joins the reader
+    } else {
+      ++it;
+    }
+  }
+}
+
+void NetServer::log_loop() {
+  std::unique_lock<std::mutex> lock(log_mu_);
+  while (!shut_down_.load(std::memory_order_relaxed)) {
+    if (log_cv_.wait_for(lock, config_.metrics_log_period) == std::cv_status::no_timeout) {
+      continue;  // woken for shutdown — loop re-checks the flag
+    }
+    std::printf("%s\n", render_log_line(metrics_, pool_gauges()).c_str());
+    std::fflush(stdout);
+  }
+}
+
+PoolGauges NetServer::pool_gauges() const {
+  const PoolStats stats = pool_->stats();
+  PoolGauges g;
+  g.replicas = pool_->replicas();
+  g.queue_depth = stats.queue_depth;
+  g.max_queue_depth = stats.max_replica_depth;
+  g.cache_hits = stats.cache_hits;
+  g.cache_requests = stats.cache_requests;
+  g.batches = stats.serve.batches;
+  g.model_samples = stats.serve.model_samples;
+  g.model_version = stats.model_version;
+  return g;
+}
+
+std::string NetServer::metrics_text() { return render_text(metrics_, pool_gauges()); }
+
+std::uint64_t NetServer::swap_checkpoint(const std::string& path) {
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  const core::Pix2PixConfig incoming = core::Pix2Pix::peek_config(path);
+  const core::Pix2PixConfig& serving =
+      pool_->replica(0).registry().current().model->config();
+  PP_CHECK_MSG(incoming.generator.image_size == serving.generator.image_size &&
+                   incoming.generator.in_channels == serving.generator.in_channels &&
+                   incoming.generator.out_channels == serving.generator.out_channels,
+               "checkpoint " << path << " architecture does not match the serving model ("
+                             << incoming.generator.image_size << "px "
+                             << incoming.generator.in_channels << "->"
+                             << incoming.generator.out_channels << " vs "
+                             << serving.generator.image_size << "px "
+                             << serving.generator.in_channels << "->"
+                             << serving.generator.out_channels << ")");
+  const std::uint64_t version = pool_->hot_swap(
+      [&] {
+        auto model = std::make_shared<core::CongestionForecaster>(incoming);
+        model->load(path);
+        return model;
+      },
+      path);
+  metrics_.hot_swaps.fetch_add(1, std::memory_order_relaxed);
+  return version;
+}
+
+void NetServer::shutdown() {
+  if (shut_down_.exchange(true)) return;
+
+  // 1. Stop intake: close the listener (unblocks accept) and wake the logger.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  close_fd(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    log_cv_.notify_all();
+  }
+  if (logger_.joinable()) logger_.join();
+
+  // 2. Half-close every connection: readers see EOF, writers drain what was
+  // accepted. Destroying the Connection joins its threads.
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (auto& conn : connections_) conn->stop();
+    connections_.clear();
+  }
+
+  // 3. Drain the replicas (everything admitted has already resolved — the
+  // writers waited on their futures — so this mostly joins workers).
+  pool_->shutdown();
+}
+
+}  // namespace paintplace::net

@@ -1,0 +1,312 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace paintplace::net {
+
+namespace {
+
+// Little-endian scalar put/get over a byte vector. memcpy keeps it
+// alignment-safe; the host is assumed little-endian (see nn/serialize.h).
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &value, sizeof(T));
+}
+
+void put_bytes(std::vector<std::uint8_t>& out, const void* data, std::size_t size) {
+  const std::size_t at = out.size();
+  out.resize(at + size);
+  if (size > 0) std::memcpy(out.data() + at, data, size);
+}
+
+/// Sequential payload reader that throws WireError past the end — every
+/// decode failure funnels through here with a frame-type context string.
+class PayloadReader {
+ public:
+  PayloadReader(const std::vector<std::uint8_t>& payload, const char* context)
+      : payload_(payload), context_(context) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (at_ + sizeof(T) > payload_.size()) {
+      throw WireError(std::string(context_) + ": payload truncated");
+    }
+    T value;
+    std::memcpy(&value, payload_.data() + at_, sizeof(T));
+    at_ += sizeof(T);
+    return value;
+  }
+
+  std::vector<float> get_floats(std::size_t count) {
+    if (at_ + count * sizeof(float) > payload_.size()) {
+      throw WireError(std::string(context_) + ": payload truncated");
+    }
+    std::vector<float> out(count);
+    if (count > 0) std::memcpy(out.data(), payload_.data() + at_, count * sizeof(float));
+    at_ += count * sizeof(float);
+    return out;
+  }
+
+  std::string rest() {
+    std::string out(reinterpret_cast<const char*>(payload_.data()) + at_,
+                    payload_.size() - at_);
+    at_ = payload_.size();
+    return out;
+  }
+
+  void expect_end() const {
+    if (at_ != payload_.size()) {
+      throw WireError(std::string(context_) + ": " +
+                      std::to_string(payload_.size() - at_) + " trailing payload bytes");
+    }
+  }
+
+ private:
+  const std::vector<std::uint8_t>& payload_;
+  const char* context_;
+  std::size_t at_ = 0;
+};
+
+std::vector<std::uint8_t> encode_frame(FrameType type, std::uint8_t flags, std::uint16_t detail,
+                                       std::uint64_t request_id,
+                                       const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put<std::uint32_t>(out, kWireMagic);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(type));
+  put<std::uint8_t>(out, flags);
+  put<std::uint16_t>(out, detail);
+  put<std::uint64_t>(out, request_id);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(payload.size()));
+  put_bytes(out, payload.data(), payload.size());
+  return out;
+}
+
+void require_type(const Frame& frame, FrameType expected, const char* context) {
+  if (frame.type != expected) {
+    throw WireError(std::string(context) + ": unexpected frame type " +
+                    std::to_string(static_cast<int>(frame.type)));
+  }
+}
+
+/// Shared by request and response: u32 C | u32 H | u32 W | f32 data. All-zero
+/// dims encode "no tensor" (score-only responses).
+void put_tensor(std::vector<std::uint8_t>& payload, const nn::Tensor& t) {
+  if (t.numel() == 0) {
+    put<std::uint32_t>(payload, 0);
+    put<std::uint32_t>(payload, 0);
+    put<std::uint32_t>(payload, 0);
+    return;
+  }
+  PP_CHECK_MSG(t.rank() == 4 && t.dim(0) == 1,
+               "wire tensors are single-sample (1,C,H,W); got " << t.shape().str());
+  put<std::uint32_t>(payload, static_cast<std::uint32_t>(t.dim(1)));
+  put<std::uint32_t>(payload, static_cast<std::uint32_t>(t.dim(2)));
+  put<std::uint32_t>(payload, static_cast<std::uint32_t>(t.dim(3)));
+  put_bytes(payload, t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+}
+
+nn::Tensor get_tensor(PayloadReader& in, const char* context) {
+  const std::uint32_t c = in.get<std::uint32_t>();
+  const std::uint32_t h = in.get<std::uint32_t>();
+  const std::uint32_t w = in.get<std::uint32_t>();
+  if (c == 0 && h == 0 && w == 0) return nn::Tensor();
+  if (c == 0 || h == 0 || w == 0) {
+    throw WireError(std::string(context) + ": degenerate tensor dims");
+  }
+  // The per-dimension bound keeps c*h*w far from u64 overflow; the total is
+  // already bounded by the frame reader's max_payload.
+  constexpr std::uint32_t kMaxDim = 1u << 16;
+  if (c > kMaxDim || h > kMaxDim || w > kMaxDim) {
+    throw WireError(std::string(context) + ": tensor dim exceeds " + std::to_string(kMaxDim));
+  }
+  const std::size_t numel = std::size_t{c} * h * w;
+  std::vector<float> data = in.get_floats(numel);
+  return nn::Tensor(nn::Shape{1, static_cast<Index>(c), static_cast<Index>(h),
+                              static_cast<Index>(w)},
+                    std::move(data));
+}
+
+}  // namespace
+
+const char* to_string(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kNone: return "none";
+    case ShedReason::kReplicaQueueFull: return "replica_queue_full";
+    case ShedReason::kClientCapExceeded: return "client_cap_exceeded";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_forecast_request(const ForecastRequest& req) {
+  PP_CHECK_MSG(req.input.numel() > 0, "forecast request needs a placement tensor");
+  std::vector<std::uint8_t> payload;
+  put_tensor(payload, req.input);
+  return encode_frame(FrameType::kForecastRequest, req.want_heatmap ? kFlagWantHeatmap : 0, 0,
+                      req.request_id, payload);
+}
+
+std::vector<std::uint8_t> encode_forecast_response(const ForecastResponse& resp) {
+  std::vector<std::uint8_t> payload;
+  put<double>(payload, resp.congestion_score);
+  put<std::uint64_t>(payload, resp.model_version);
+  put<std::uint8_t>(payload, resp.from_cache ? 1 : 0);
+  put<std::uint8_t>(payload, 0);
+  put<std::uint8_t>(payload, 0);
+  put<std::uint8_t>(payload, 0);
+  if (resp.status == Status::kFailed) {
+    put<std::uint32_t>(payload, 0);
+    put<std::uint32_t>(payload, 0);
+    put<std::uint32_t>(payload, 0);
+    put_bytes(payload, resp.error.data(), resp.error.size());
+  } else {
+    put_tensor(payload, resp.status == Status::kOk ? resp.heatmap : nn::Tensor());
+  }
+  return encode_frame(FrameType::kForecastResponse, static_cast<std::uint8_t>(resp.status),
+                      static_cast<std::uint16_t>(resp.shed_reason), resp.request_id, payload);
+}
+
+std::vector<std::uint8_t> encode_metrics_request(std::uint64_t request_id) {
+  return encode_frame(FrameType::kMetricsRequest, 0, 0, request_id, {});
+}
+
+std::vector<std::uint8_t> encode_metrics_response(std::uint64_t request_id,
+                                                  const std::string& text) {
+  std::vector<std::uint8_t> payload;
+  put_bytes(payload, text.data(), text.size());
+  return encode_frame(FrameType::kMetricsResponse, 0, 0, request_id, payload);
+}
+
+std::vector<std::uint8_t> encode_swap_request(std::uint64_t request_id,
+                                              const std::string& checkpoint_path) {
+  std::vector<std::uint8_t> payload;
+  put_bytes(payload, checkpoint_path.data(), checkpoint_path.size());
+  return encode_frame(FrameType::kSwapRequest, 0, 0, request_id, payload);
+}
+
+std::vector<std::uint8_t> encode_swap_response(const SwapResponse& resp) {
+  std::vector<std::uint8_t> payload;
+  put<std::uint64_t>(payload, resp.new_version);
+  put_bytes(payload, resp.error.data(), resp.error.size());
+  return encode_frame(FrameType::kSwapResponse, static_cast<std::uint8_t>(resp.status), 0,
+                      resp.request_id, payload);
+}
+
+std::vector<std::uint8_t> encode_error(std::uint64_t request_id, const std::string& message) {
+  std::vector<std::uint8_t> payload;
+  put_bytes(payload, message.data(), message.size());
+  return encode_frame(FrameType::kError, 0, 0, request_id, payload);
+}
+
+ForecastRequest decode_forecast_request(const Frame& frame) {
+  require_type(frame, FrameType::kForecastRequest, "forecast request");
+  PayloadReader in(frame.payload, "forecast request");
+  ForecastRequest req;
+  req.request_id = frame.request_id;
+  req.want_heatmap = (frame.flags & kFlagWantHeatmap) != 0;
+  req.input = get_tensor(in, "forecast request");
+  if (req.input.numel() == 0) throw WireError("forecast request: empty placement tensor");
+  in.expect_end();
+  return req;
+}
+
+ForecastResponse decode_forecast_response(const Frame& frame) {
+  require_type(frame, FrameType::kForecastResponse, "forecast response");
+  if (frame.flags > static_cast<std::uint8_t>(Status::kFailed)) {
+    throw WireError("forecast response: unknown status " + std::to_string(frame.flags));
+  }
+  PayloadReader in(frame.payload, "forecast response");
+  ForecastResponse resp;
+  resp.request_id = frame.request_id;
+  resp.status = static_cast<Status>(frame.flags);
+  resp.shed_reason = static_cast<ShedReason>(frame.detail);
+  resp.congestion_score = in.get<double>();
+  resp.model_version = in.get<std::uint64_t>();
+  resp.from_cache = in.get<std::uint8_t>() != 0;
+  in.get<std::uint8_t>();
+  in.get<std::uint8_t>();
+  in.get<std::uint8_t>();
+  if (resp.status == Status::kFailed) {
+    in.get<std::uint32_t>();
+    in.get<std::uint32_t>();
+    in.get<std::uint32_t>();
+    resp.error = in.rest();
+  } else {
+    resp.heatmap = get_tensor(in, "forecast response");
+    in.expect_end();
+  }
+  return resp;
+}
+
+SwapResponse decode_swap_response(const Frame& frame) {
+  require_type(frame, FrameType::kSwapResponse, "swap response");
+  if (frame.flags > static_cast<std::uint8_t>(Status::kFailed)) {
+    throw WireError("swap response: unknown status " + std::to_string(frame.flags));
+  }
+  PayloadReader in(frame.payload, "swap response");
+  SwapResponse resp;
+  resp.request_id = frame.request_id;
+  resp.status = static_cast<Status>(frame.flags);
+  resp.new_version = in.get<std::uint64_t>();
+  resp.error = in.rest();
+  return resp;
+}
+
+std::string decode_text(const Frame& frame) {
+  if (frame.type != FrameType::kSwapRequest && frame.type != FrameType::kMetricsResponse &&
+      frame.type != FrameType::kError) {
+    throw WireError("text payload requested from non-text frame type " +
+                    std::to_string(static_cast<int>(frame.type)));
+  }
+  return std::string(reinterpret_cast<const char*>(frame.payload.data()),
+                     frame.payload.size());
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t size) {
+  // Drop the consumed prefix before growing, so a long-lived connection's
+  // buffer stays at ~one frame instead of the whole session history.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > (std::size_t{1} << 16)) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (buffered() < kFrameHeaderBytes) return std::nullopt;
+  const std::uint8_t* head = buffer_.data() + consumed_;
+  std::uint32_t magic, payload_len;
+  std::memcpy(&magic, head, sizeof(magic));
+  if (magic != kWireMagic) throw WireError("bad frame magic — stream is not PPN1 framed");
+  const std::uint8_t raw_type = head[4];
+  if (raw_type < static_cast<std::uint8_t>(FrameType::kForecastRequest) ||
+      raw_type > static_cast<std::uint8_t>(FrameType::kError)) {
+    throw WireError("unknown frame type " + std::to_string(raw_type));
+  }
+  std::memcpy(&payload_len, head + 16, sizeof(payload_len));
+  if (payload_len > max_payload_) {
+    throw WireError("frame payload " + std::to_string(payload_len) + " exceeds limit " +
+                    std::to_string(max_payload_));
+  }
+  if (buffered() < kFrameHeaderBytes + payload_len) return std::nullopt;
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(raw_type);
+  frame.flags = head[5];
+  std::memcpy(&frame.detail, head + 6, sizeof(frame.detail));
+  std::memcpy(&frame.request_id, head + 8, sizeof(frame.request_id));
+  frame.payload.assign(head + kFrameHeaderBytes, head + kFrameHeaderBytes + payload_len);
+  consumed_ += kFrameHeaderBytes + payload_len;
+  return frame;
+}
+
+}  // namespace paintplace::net

@@ -1,0 +1,169 @@
+// Wire protocol for the networked forecast front-end.
+//
+// Length-prefixed binary frames, little-endian host byte order (the same
+// assumption nn/serialize.h makes). Every frame is
+//
+//   u32 magic 'P''P''N''1' | u8 type | u8 flags | u16 detail |
+//   u64 request_id | u32 payload_len | payload bytes
+//
+// so a reader always knows how many bytes the current frame still needs —
+// partial reads reassemble trivially and a corrupt stream is detected at
+// the next header. Payload layouts per type are documented on the encode
+// functions below; docs/serving.md has the client-facing reference.
+//
+// The codec is pure in-memory (byte vectors in, byte vectors out): the
+// socket layer, the tests, and any future transport share exactly the same
+// framing code.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace paintplace::net {
+
+using paintplace::Index;
+
+/// Malformed frame or payload. Distinct from CheckError: a WireError is the
+/// remote peer's fault (or line noise), never a local invariant violation,
+/// so servers respond/close instead of failing an assertion.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+constexpr std::uint32_t kWireMagic = 0x314E5050u;  // "PPN1" little-endian
+constexpr std::size_t kFrameHeaderBytes = 20;
+/// Hard ceiling a reader enforces on payload_len before buffering a frame —
+/// large enough for a 512x512x8-channel fp32 placement tensor, small enough
+/// that a garbage length cannot balloon memory.
+constexpr std::size_t kDefaultMaxPayload = std::size_t{16} << 20;
+
+enum class FrameType : std::uint8_t {
+  kForecastRequest = 1,   ///< placement tensor -> forecast
+  kForecastResponse = 2,  ///< status + score (+ heat map when requested)
+  kMetricsRequest = 3,    ///< empty payload
+  kMetricsResponse = 4,   ///< text exposition of net::Metrics
+  kSwapRequest = 5,       ///< checkpoint path to hot-swap (if server allows)
+  kSwapResponse = 6,      ///< status + new model version
+  kError = 7,             ///< human-readable protocol error, connection closes
+};
+
+/// ForecastRequest flag bits.
+constexpr std::uint8_t kFlagWantHeatmap = 0x1;  ///< else the response is score-only
+
+/// ForecastResponse / SwapResponse status byte.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kShed = 1,    ///< admission control refused the request (detail = ShedReason)
+  kFailed = 2,  ///< accepted but the forecast failed; payload carries the message
+};
+
+/// ForecastResponse `detail` values when status == kShed.
+enum class ShedReason : std::uint16_t {
+  kNone = 0,
+  kReplicaQueueFull = 1,  ///< the target replica's in-flight bound was hit
+  kClientCapExceeded = 2, ///< this client exceeded its in-flight fairness cap
+};
+
+const char* to_string(ShedReason reason);
+
+/// One decoded frame: header fields plus the raw payload bytes.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::uint8_t flags = 0;
+  std::uint16_t detail = 0;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// ---- Typed payloads ---------------------------------------------------------
+
+/// kForecastRequest payload: u32 channels | u32 height | u32 width |
+/// f32 data[channels*height*width]. The tensor is the (1,C,H,W) input in
+/// [0,1] the in-process ForecastServer::submit takes.
+struct ForecastRequest {
+  std::uint64_t request_id = 0;
+  bool want_heatmap = false;
+  nn::Tensor input;  ///< (1,C,H,W)
+};
+
+/// kForecastResponse payload: f64 congestion_score | u64 model_version |
+/// u8 from_cache | u8 reserved x3 | u32 channels | u32 height | u32 width |
+/// f32 data (dims all zero when the heat map was not requested or on
+/// non-kOk status; on kFailed the dims are zero and the trailing bytes are
+/// the error message instead).
+struct ForecastResponse {
+  std::uint64_t request_id = 0;
+  Status status = Status::kOk;
+  ShedReason shed_reason = ShedReason::kNone;
+  double congestion_score = 0.0;
+  std::uint64_t model_version = 0;
+  bool from_cache = false;
+  nn::Tensor heatmap;  ///< empty unless requested and status == kOk
+  std::string error;   ///< set when status == kFailed
+};
+
+/// kSwapResponse payload: u64 new_version | error text (empty on success).
+struct SwapResponse {
+  std::uint64_t request_id = 0;
+  Status status = Status::kOk;
+  std::uint64_t new_version = 0;
+  std::string error;
+};
+
+// ---- Encoding ---------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_forecast_request(const ForecastRequest& req);
+std::vector<std::uint8_t> encode_forecast_response(const ForecastResponse& resp);
+std::vector<std::uint8_t> encode_metrics_request(std::uint64_t request_id);
+std::vector<std::uint8_t> encode_metrics_response(std::uint64_t request_id,
+                                                  const std::string& text);
+std::vector<std::uint8_t> encode_swap_request(std::uint64_t request_id,
+                                              const std::string& checkpoint_path);
+std::vector<std::uint8_t> encode_swap_response(const SwapResponse& resp);
+std::vector<std::uint8_t> encode_error(std::uint64_t request_id, const std::string& message);
+
+// ---- Decoding ---------------------------------------------------------------
+
+/// Throw WireError unless the payload layout matches the frame type exactly
+/// (undersized, oversized, or dimension-inconsistent payloads all reject).
+ForecastRequest decode_forecast_request(const Frame& frame);
+ForecastResponse decode_forecast_response(const Frame& frame);
+SwapResponse decode_swap_response(const Frame& frame);
+/// kSwapRequest / kMetricsResponse / kError payloads are plain text.
+std::string decode_text(const Frame& frame);
+
+/// Incremental frame reassembler for a byte stream. Feed whatever the
+/// transport produced — single bytes, half frames, three frames at once —
+/// and poll next() for completed frames. Header validation (magic, type,
+/// payload bound) happens as soon as the header is complete, so garbage is
+/// rejected after 20 bytes, not after a max-payload-sized buffer fills.
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw transport bytes (never throws; validation happens in next).
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// Returns the next completed frame, or nullopt until more bytes arrive.
+  /// Throws WireError on a malformed header (bad magic, unknown type, or an
+  /// over-limit payload length); after a throw the stream is unusable —
+  /// framing is lost for good and the connection should close.
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet returned as frames.
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  // prefix of buffer_ already handed out
+};
+
+}  // namespace paintplace::net

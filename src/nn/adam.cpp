@@ -42,4 +42,48 @@ void Adam::zero_grad() {
   for (Parameter* p : params_) p->grad.fill(0.0f);
 }
 
+namespace {
+
+// The step count is an integer stored in float tensors; 20-bit limbs keep
+// it exact far past any realistic training length (same idiom as the
+// trainer's loop-state checkpoint).
+constexpr Index kStepLimb = Index{1} << 20;
+
+std::string step_key(const std::string& prefix) { return prefix + "__step__"; }
+
+}  // namespace
+
+void Adam::export_state(TensorMap& out, const std::string& prefix) const {
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    out.emplace(prefix + params_[pi]->name + ".m", m_[pi]);
+    out.emplace(prefix + params_[pi]->name + ".v", v_[pi]);
+  }
+  out.emplace(step_key(prefix),
+              Tensor(Shape{2}, {static_cast<float>(t_ / kStepLimb),
+                                static_cast<float>(t_ % kStepLimb)}));
+}
+
+void Adam::import_state(const TensorMap& map, const std::string& prefix) {
+  const auto step_it = map.find(step_key(prefix));
+  PP_CHECK_MSG(step_it != map.end() && step_it->second.shape() == Shape{2},
+               "no Adam state under prefix '" << prefix << "'");
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    for (const char* moment : {".m", ".v"}) {
+      const std::string key = prefix + params_[pi]->name + moment;
+      const auto it = map.find(key);
+      PP_CHECK_MSG(it != map.end(), "Adam state is missing '" << key << "'");
+      PP_CHECK_MSG(it->second.shape() == params_[pi]->value.shape(),
+                   "Adam state '" << key << "' has shape " << it->second.shape().str()
+                                  << ", parameter has " << params_[pi]->value.shape().str());
+      (moment[1] == 'm' ? m_ : v_)[pi] = it->second;
+    }
+  }
+  t_ = static_cast<Index>(step_it->second[0]) * kStepLimb +
+       static_cast<Index>(step_it->second[1]);
+}
+
+bool Adam::has_state(const TensorMap& map, const std::string& prefix) {
+  return map.find(step_key(prefix)) != map.end();
+}
+
 }  // namespace paintplace::nn

@@ -2,9 +2,11 @@
 // lr = 2e-4, beta1 = 0.5, beta2 = 0.999, eps = 1e-8 (Section 5).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "nn/module.h"
+#include "nn/serialize.h"
 
 namespace paintplace::nn {
 
@@ -30,6 +32,20 @@ class Adam {
   Index step_count() const { return t_; }
   const AdamConfig& config() const { return config_; }
   void set_lr(float lr) { config_.lr = lr; }
+
+  /// Snapshots the optimizer state — per-parameter first/second moments and
+  /// the step count — into `out` under `prefix` (e.g. "opt_g/"). Together
+  /// with the parameter values this makes a resumed run bitwise-identical
+  /// to an uninterrupted one.
+  void export_state(TensorMap& out, const std::string& prefix) const;
+
+  /// Restores state written by export_state with the same prefix. Every
+  /// parameter must be present with a matching shape (the optimizer must be
+  /// constructed over the same module). Throws CheckError otherwise.
+  void import_state(const TensorMap& map, const std::string& prefix);
+
+  /// True when `map` holds a state exported under `prefix`.
+  static bool has_state(const TensorMap& map, const std::string& prefix);
 
  private:
   std::vector<Parameter*> params_;

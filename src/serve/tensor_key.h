@@ -30,7 +30,19 @@ struct TensorKey {
 
 struct TensorKeyHash {
   std::size_t operator()(const TensorKey& k) const {
-    return static_cast<std::size_t>(k.h1 ^ (k.h2 * 0x9e3779b97f4a7c15ULL));
+    // FNV-1a's low bit is the XOR of the basis's low bit and every input
+    // byte's low bit — and h1/h2 digest the same bytes, so any pure
+    // XOR/multiply combine leaves bit 0 constant across all keys. Anything
+    // taking this hash modulo a power of two (the replica shard function,
+    // hash-table buckets) needs the splitmix64 finalizer to fold the
+    // high-entropy bits back down.
+    std::uint64_t x = k.h1 + 0x9e3779b97f4a7c15ULL * k.h2;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
   }
 };
 

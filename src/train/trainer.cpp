@@ -67,6 +67,11 @@ void Trainer::try_resume() {
   has_best_ = t[2] != 0.0f;
   best_val_l1_ = join_double(t[3], t[4]);
   total_steps_ = join_index(t[5], t[6]);
+  // Adam moments ride in the same state file; restoring them makes the
+  // resumed run bitwise-identical to an uninterrupted one. State files from
+  // before moments were persisted simply restart the estimates (the old,
+  // documented behaviour).
+  forecaster_.model().load_optimizer_state(map);
 }
 
 void Trainer::save_checkpoints(bool is_best) {
@@ -81,6 +86,7 @@ void Trainer::save_checkpoints(bool is_best) {
   state.emplace(kStateKey,
                 nn::Tensor(nn::Shape{7}, {epoch_hi, epoch_lo, has_best_ ? 1.0f : 0.0f, best_hi,
                                           best_lo, steps_hi, steps_lo}));
+  forecaster_.model().save_optimizer_state(state);
   nn::save_tensors_file(state, join(config_.checkpoint_dir, kStateCheckpoint));
 }
 

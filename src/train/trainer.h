@@ -12,8 +12,11 @@
 //   last.ckpt           — model after the most recent epoch
 //   best.ckpt           — model with the lowest validation L1 so far
 //   trainer_state.ckpt  — loop state (next epoch, best metric, step count)
-// Adam moments are not persisted: a resumed run restarts the optimizer's
-// moment estimates (documented in docs/training.md).
+//                         plus both Adam optimizers' moments and step count
+// With the moments restored, resuming replays exactly the run that was
+// interrupted: under a deterministic model configuration (no dropout) the
+// checkpoints of a resumed run are bitwise-identical to an uninterrupted
+// one (see docs/training.md).
 #pragma once
 
 #include <functional>

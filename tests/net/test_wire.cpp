@@ -1,0 +1,218 @@
+// Wire-codec tests: framing round-trips for every frame type, rejection of
+// truncated / oversized / garbage frames with clean WireErrors, and
+// incremental reassembly from arbitrarily chopped byte streams.
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "tests/serve/serve_fixtures.h"
+
+namespace paintplace::net {
+namespace {
+
+nn::Tensor small_input(std::uint64_t seed = 3) {
+  return serve::testfix::random_input(seed, /*image_size=*/8);
+}
+
+/// Feeds `bytes` in chunks of `chunk` and drains all completed frames.
+std::vector<Frame> reassemble(const std::vector<std::uint8_t>& bytes, std::size_t chunk) {
+  FrameReader reader;
+  std::vector<Frame> frames;
+  for (std::size_t at = 0; at < bytes.size(); at += chunk) {
+    reader.feed(bytes.data() + at, std::min(chunk, bytes.size() - at));
+    while (auto f = reader.next()) frames.push_back(std::move(*f));
+  }
+  EXPECT_EQ(reader.buffered(), 0u);
+  return frames;
+}
+
+TEST(Wire, ForecastRequestRoundTrip) {
+  ForecastRequest req;
+  req.request_id = 42;
+  req.want_heatmap = true;
+  req.input = small_input();
+
+  const std::vector<Frame> frames = reassemble(encode_forecast_request(req), 1 << 10);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, FrameType::kForecastRequest);
+
+  const ForecastRequest back = decode_forecast_request(frames[0]);
+  EXPECT_EQ(back.request_id, 42u);
+  EXPECT_TRUE(back.want_heatmap);
+  ASSERT_EQ(back.input.shape(), req.input.shape());
+  EXPECT_EQ(back.input.max_abs_diff(req.input), 0.0f);
+}
+
+TEST(Wire, ForecastResponseRoundTripAllStatuses) {
+  ForecastResponse ok;
+  ok.request_id = 7;
+  ok.status = Status::kOk;
+  ok.congestion_score = 0.625;
+  ok.model_version = 3;
+  ok.from_cache = true;
+  ok.heatmap = small_input(11);
+  ForecastResponse ok_back = decode_forecast_response(reassemble(
+      encode_forecast_response(ok), 64)[0]);
+  EXPECT_EQ(ok_back.request_id, 7u);
+  EXPECT_EQ(ok_back.status, Status::kOk);
+  EXPECT_DOUBLE_EQ(ok_back.congestion_score, 0.625);
+  EXPECT_EQ(ok_back.model_version, 3u);
+  EXPECT_TRUE(ok_back.from_cache);
+  EXPECT_EQ(ok_back.heatmap.max_abs_diff(ok.heatmap), 0.0f);
+
+  ForecastResponse shed;
+  shed.request_id = 8;
+  shed.status = Status::kShed;
+  shed.shed_reason = ShedReason::kClientCapExceeded;
+  ForecastResponse shed_back = decode_forecast_response(reassemble(
+      encode_forecast_response(shed), 64)[0]);
+  EXPECT_EQ(shed_back.status, Status::kShed);
+  EXPECT_EQ(shed_back.shed_reason, ShedReason::kClientCapExceeded);
+  EXPECT_EQ(shed_back.heatmap.numel(), 0);
+
+  ForecastResponse failed;
+  failed.request_id = 9;
+  failed.status = Status::kFailed;
+  failed.error = "input must be (1,C,H,W)";
+  ForecastResponse failed_back = decode_forecast_response(reassemble(
+      encode_forecast_response(failed), 64)[0]);
+  EXPECT_EQ(failed_back.status, Status::kFailed);
+  EXPECT_EQ(failed_back.error, "input must be (1,C,H,W)");
+}
+
+TEST(Wire, TextFramesRoundTrip) {
+  const Frame metrics = reassemble(encode_metrics_response(5, "net_requests 12\n"), 7)[0];
+  EXPECT_EQ(metrics.type, FrameType::kMetricsResponse);
+  EXPECT_EQ(decode_text(metrics), "net_requests 12\n");
+
+  const Frame swap = reassemble(encode_swap_request(6, "/ckpt/best.ckpt"), 3)[0];
+  EXPECT_EQ(swap.type, FrameType::kSwapRequest);
+  EXPECT_EQ(decode_text(swap), "/ckpt/best.ckpt");
+
+  const Frame error = reassemble(encode_error(7, "bad frame"), 2)[0];
+  EXPECT_EQ(error.type, FrameType::kError);
+  EXPECT_EQ(decode_text(error), "bad frame");
+
+  SwapResponse sresp;
+  sresp.request_id = 6;
+  sresp.status = Status::kOk;
+  sresp.new_version = 4;
+  const SwapResponse sback = decode_swap_response(reassemble(encode_swap_response(sresp), 5)[0]);
+  EXPECT_EQ(sback.new_version, 4u);
+  EXPECT_EQ(sback.status, Status::kOk);
+  EXPECT_TRUE(sback.error.empty());
+
+  const Frame mreq = reassemble(encode_metrics_request(9), 1)[0];
+  EXPECT_EQ(mreq.type, FrameType::kMetricsRequest);
+  EXPECT_TRUE(mreq.payload.empty());
+}
+
+TEST(Wire, PartialReadsReassembleAtEveryChunkSize) {
+  ForecastRequest req;
+  req.request_id = 1;
+  req.input = small_input();
+  std::vector<std::uint8_t> stream = encode_forecast_request(req);
+  const std::vector<std::uint8_t> metrics = encode_metrics_request(2);
+  stream.insert(stream.end(), metrics.begin(), metrics.end());
+  const std::vector<std::uint8_t> error = encode_error(3, "x");
+  stream.insert(stream.end(), error.begin(), error.end());
+
+  // Odd chunk sizes split headers and payloads at every possible boundary.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{19},
+                                  std::size_t{257}, stream.size()}) {
+    const std::vector<Frame> frames = reassemble(stream, chunk);
+    ASSERT_EQ(frames.size(), 3u) << "chunk " << chunk;
+    EXPECT_EQ(frames[0].request_id, 1u);
+    EXPECT_EQ(frames[1].request_id, 2u);
+    EXPECT_EQ(frames[2].request_id, 3u);
+    EXPECT_EQ(decode_forecast_request(frames[0]).input.max_abs_diff(req.input), 0.0f);
+  }
+}
+
+TEST(Wire, GarbageMagicRejectsAfterHeader) {
+  FrameReader reader;
+  const std::uint8_t garbage[kFrameHeaderBytes] = {'G', 'E', 'T', ' ', '/', ' ', 'H'};
+  reader.feed(garbage, sizeof(garbage));
+  EXPECT_THROW(reader.next(), WireError);
+}
+
+TEST(Wire, UnknownFrameTypeRejects) {
+  std::vector<std::uint8_t> bytes = encode_metrics_request(1);
+  bytes[4] = 99;  // type byte
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size());
+  EXPECT_THROW(reader.next(), WireError);
+}
+
+TEST(Wire, OversizedPayloadRejectsBeforeBuffering) {
+  ForecastRequest req;
+  req.request_id = 1;
+  req.input = small_input();
+  const std::vector<std::uint8_t> bytes = encode_forecast_request(req);
+  // A reader with a max payload below this frame's size must reject at the
+  // header, without waiting for the payload bytes.
+  FrameReader reader(/*max_payload=*/64);
+  reader.feed(bytes.data(), kFrameHeaderBytes);
+  EXPECT_THROW(reader.next(), WireError);
+}
+
+TEST(Wire, IncompleteFrameIsNotAFrame) {
+  ForecastRequest req;
+  req.request_id = 1;
+  req.input = small_input();
+  const std::vector<std::uint8_t> bytes = encode_forecast_request(req);
+  FrameReader reader;
+  reader.feed(bytes.data(), bytes.size() - 1);  // one byte short
+  EXPECT_FALSE(reader.next().has_value());
+  reader.feed(bytes.data() + bytes.size() - 1, 1);
+  EXPECT_TRUE(reader.next().has_value());
+}
+
+TEST(Wire, TruncatedPayloadRejectsInDecode) {
+  ForecastRequest req;
+  req.request_id = 1;
+  req.input = small_input();
+  Frame frame = reassemble(encode_forecast_request(req), 1 << 10)[0];
+  frame.payload.pop_back();
+  EXPECT_THROW(decode_forecast_request(frame), WireError);
+}
+
+TEST(Wire, TrailingPayloadBytesReject) {
+  ForecastRequest req;
+  req.request_id = 1;
+  req.input = small_input();
+  Frame frame = reassemble(encode_forecast_request(req), 1 << 10)[0];
+  frame.payload.push_back(0);
+  EXPECT_THROW(decode_forecast_request(frame), WireError);
+}
+
+TEST(Wire, AbsurdTensorDimsReject) {
+  ForecastRequest req;
+  req.request_id = 1;
+  req.input = small_input();
+  Frame frame = reassemble(encode_forecast_request(req), 1 << 10)[0];
+  const std::uint32_t huge = 1u << 20;  // > kMaxDim but header-size consistent
+  std::memcpy(frame.payload.data(), &huge, sizeof(huge));
+  EXPECT_THROW(decode_forecast_request(frame), WireError);
+}
+
+TEST(Wire, EmptyPlacementTensorRejects) {
+  std::vector<std::uint8_t> payload(12, 0);  // dims 0,0,0 = "no tensor"
+  Frame frame;
+  frame.type = FrameType::kForecastRequest;
+  frame.request_id = 1;
+  frame.payload = payload;
+  EXPECT_THROW(decode_forecast_request(frame), WireError);
+}
+
+TEST(Wire, WrongFrameTypeForDecoderRejects) {
+  const Frame metrics = reassemble(encode_metrics_request(1), 20)[0];
+  EXPECT_THROW(decode_forecast_request(metrics), WireError);
+  EXPECT_THROW(decode_forecast_response(metrics), WireError);
+  EXPECT_THROW(decode_text(metrics), WireError);  // kMetricsRequest is not a text frame
+}
+
+}  // namespace
+}  // namespace paintplace::net

@@ -88,6 +88,70 @@ TEST(Adam, RejectsBadConfig) {
   EXPECT_THROW(Adam({&p}, AdamConfig{1e-3f, 0.5f, 0.999f, 0.0f}), CheckError);
 }
 
+TEST(Adam, StateRoundTripReplaysTrajectoryBitwise) {
+  // Interrupt-and-restore at step 5 must replay steps 6..10 exactly: same
+  // moments + same step count (bias correction) => identical parameters.
+  Quadratic straight, resumed;
+  Adam opt_straight({&straight.w}, AdamConfig{0.1f, 0.9f, 0.999f, 1e-8f});
+  for (int i = 0; i < 5; ++i) {
+    straight.compute_grad();
+    opt_straight.step();
+  }
+
+  TensorMap state;
+  opt_straight.export_state(state, "opt/");
+  resumed.w.value = straight.w.value;  // checkpointed weights
+  Adam opt_resumed({&resumed.w}, AdamConfig{0.1f, 0.9f, 0.999f, 1e-8f});
+  opt_resumed.import_state(state, "opt/");
+  EXPECT_EQ(opt_resumed.step_count(), 5);
+
+  for (int i = 0; i < 5; ++i) {
+    straight.compute_grad();
+    opt_straight.step();
+    resumed.compute_grad();
+    opt_resumed.step();
+  }
+  EXPECT_EQ(resumed.w.value[0], straight.w.value[0]);  // bitwise, no tolerance
+  EXPECT_EQ(resumed.w.value[1], straight.w.value[1]);
+}
+
+TEST(Adam, StepCountSurvivesLimbEncodingPastTwentyBits) {
+  // The step count rides in float tensors as 20-bit limbs; counts past 2^20
+  // must round-trip exactly.
+  Parameter p("p", Shape{1});
+  Adam opt({&p});
+  for (Index i = 0; i < (Index{1} << 20) + 3; ++i) opt.step();
+
+  TensorMap state;
+  opt.export_state(state, "opt/");
+  Parameter q("p", Shape{1});
+  Adam restored({&q});
+  restored.import_state(state, "opt/");
+  EXPECT_EQ(restored.step_count(), (Index{1} << 20) + 3);
+}
+
+TEST(Adam, HasStateKeysOffThePrefix) {
+  Parameter p("p", Shape{1});
+  Adam opt({&p});
+  TensorMap state;
+  EXPECT_FALSE(Adam::has_state(state, "opt_g/"));
+  opt.export_state(state, "opt_g/");
+  EXPECT_TRUE(Adam::has_state(state, "opt_g/"));
+  EXPECT_FALSE(Adam::has_state(state, "opt_d/"));
+}
+
+TEST(Adam, ImportRejectsMissingOrMismatchedState) {
+  Parameter p("p", Shape{2});
+  Adam opt({&p});
+  TensorMap state;
+  EXPECT_THROW(opt.import_state(state, "opt/"), CheckError);  // no state at all
+
+  opt.export_state(state, "opt/");
+  Parameter wrong("p", Shape{3});
+  Adam other({&wrong});
+  EXPECT_THROW(other.import_state(state, "opt/"), CheckError);  // shape mismatch
+}
+
 TEST(Adam, MultipleParametersIndependent) {
   Parameter a("a", Shape{1}), b("b", Shape{1});
   Adam opt({&a, &b}, AdamConfig{0.1f, 0.9f, 0.999f, 1e-8f});

@@ -4,13 +4,22 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 
+#include "nn/serialize.h"
 #include "tests/core/test_fixtures.h"
 
 namespace paintplace::train {
 namespace {
 
 namespace fs = std::filesystem;
+
+std::vector<char> file_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
 
 struct TrainWorld {
   core::testfix::TinyWorld world;
@@ -97,6 +106,79 @@ TEST(Trainer, WritesCheckpointsAndResumes) {
     ASSERT_EQ(history.size(), 1u);
     EXPECT_EQ(history[0].epoch, 2);
   }
+  fs::remove_all(dir);
+}
+
+TEST(Trainer, ResumedRunIsBitwiseIdenticalToUninterrupted) {
+  // The trainer_state checkpoint carries both Adam optimizers' first/second
+  // moments and step count, so a resumed run replays the exact optimizer
+  // trajectory of an uninterrupted one. Dropout is disabled: its noise
+  // stream is a persistent per-process Rng a restart cannot replay.
+  TrainWorld tw;
+  core::Pix2PixConfig mcfg = core::testfix::tiny_model_config();
+  mcfg.generator.dropout = false;
+
+  const std::string dir_a = ::testing::TempDir() + "/pp_trainer_bitwise_a";
+  const std::string dir_b = ::testing::TempDir() + "/pp_trainer_bitwise_b";
+  fs::remove_all(dir_a);
+  fs::remove_all(dir_b);
+
+  {
+    core::CongestionForecaster forecaster(mcfg);
+    Trainer trainer(forecaster, quick_config(3, dir_a));
+    trainer.run(tw.train_set, tw.val_set);
+  }
+  {
+    core::CongestionForecaster forecaster(mcfg);
+    Trainer trainer(forecaster, quick_config(2, dir_b));
+    trainer.run(tw.train_set, tw.val_set);
+  }
+  {
+    core::CongestionForecaster forecaster(mcfg);
+    TrainerConfig cfg = quick_config(3, dir_b);
+    cfg.resume = true;
+    Trainer trainer(forecaster, cfg);
+    ASSERT_EQ(trainer.start_epoch(), 2);
+    trainer.run(tw.train_set, tw.val_set);
+  }
+
+  EXPECT_EQ(file_bytes(fs::path(dir_a) / Trainer::kLastCheckpoint),
+            file_bytes(fs::path(dir_b) / Trainer::kLastCheckpoint));
+  EXPECT_EQ(file_bytes(fs::path(dir_a) / Trainer::kStateCheckpoint),
+            file_bytes(fs::path(dir_b) / Trainer::kStateCheckpoint));
+  fs::remove_all(dir_a);
+  fs::remove_all(dir_b);
+}
+
+TEST(Trainer, ResumeToleratesPreMomentStateCheckpoints) {
+  // Checkpoints written before optimizer moments were persisted still resume
+  // (with reset moments) instead of failing.
+  TrainWorld tw;
+  const std::string dir = ::testing::TempDir() + "/pp_trainer_old_state";
+  fs::remove_all(dir);
+  {
+    core::CongestionForecaster forecaster(core::testfix::tiny_model_config());
+    Trainer trainer(forecaster, quick_config(1, dir));
+    trainer.run(tw.train_set, tw.val_set);
+  }
+  // Strip the optimizer entries, leaving only the loop-state tensors.
+  const std::string state_path = (fs::path(dir) / Trainer::kStateCheckpoint).string();
+  nn::TensorMap state = nn::load_tensors_file(state_path);
+  for (auto it = state.begin(); it != state.end();) {
+    if (it->first.rfind("opt_g/", 0) == 0 || it->first.rfind("opt_d/", 0) == 0) {
+      it = state.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  nn::save_tensors_file(state, state_path);
+
+  core::CongestionForecaster forecaster(core::testfix::tiny_model_config());
+  TrainerConfig cfg = quick_config(2, dir);
+  cfg.resume = true;
+  Trainer trainer(forecaster, cfg);
+  EXPECT_EQ(trainer.start_epoch(), 1);
+  EXPECT_EQ(trainer.run(tw.train_set, tw.val_set).size(), 1u);
   fs::remove_all(dir);
 }
 

@@ -1,0 +1,245 @@
+// forecast_serve — the networked congestion-forecast server.
+//
+// Puts a NetServer (TCP, PPN1 wire protocol — see docs/serving.md) in front
+// of a replica pool of ForecastServers. Serves either a train_cgan
+// checkpoint (--checkpoint) or a seeded stand-in model (--width/--channels)
+// whose forecasts are untrained but whose serving mechanics — sharding,
+// batching, caching, admission control, hot swap — are fully real; the
+// stand-in is what the CI smoke and local protocol experiments use.
+//
+//   forecast_serve --port 7433 --replicas 2 --checkpoint run1/best.ckpt
+//   forecast_serve --port 0 --replicas 2 --snapshot /tmp/serving.ckpt --allow-swap
+//
+// Prints "LISTENING <port>" once accepting (machine-readable for harnesses)
+// and runs until SIGINT/SIGTERM, then drains: accepted requests are
+// answered before exit.
+#include <semaphore.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "backend/backend.h"
+#include "common/parallel.h"
+#include "core/forecaster.h"
+#include "net/server.h"
+
+namespace {
+
+using paintplace::Index;
+namespace core = paintplace::core;
+namespace net = paintplace::net;
+
+struct Options {
+  std::string bind = "127.0.0.1";
+  int port = 7433;
+  int replicas = 2;
+  std::string checkpoint;        ///< serve this train_cgan checkpoint
+  Index width = 32;              ///< stand-in model resolution (no --checkpoint)
+  Index in_channels = 4;
+  Index base_channels = 8;
+  Index max_batch = 8;
+  Index max_wait_us = 2000;
+  std::size_t cache_capacity = 1024;
+  Index max_replica_depth = 64;
+  Index max_client_inflight = 16;
+  bool allow_swap = false;
+  std::string snapshot;          ///< save the serving model here at startup
+  Index log_period_ms = 2000;
+  std::string backend;
+  std::uint64_t seed = 1;
+};
+
+void usage() {
+  std::printf(
+      "forecast_serve — TCP front-end for the congestion forecaster\n\n"
+      "usage: forecast_serve [options]\n"
+      "  --bind A               address to bind (default 127.0.0.1)\n"
+      "  --port N               TCP port; 0 picks an ephemeral one (default 7433)\n"
+      "  --replicas N           ForecastServer replicas, content-hash sharded (default 2)\n"
+      "  --checkpoint PATH      serve a train_cgan checkpoint (else a stand-in model)\n"
+      "  --width N              stand-in model resolution (default 32)\n"
+      "  --channels N           stand-in model input channels (default 4)\n"
+      "  --base-channels N      stand-in model first encoder width (default 8)\n"
+      "  --max-batch N          micro-batch flush size per replica (default 8)\n"
+      "  --max-wait-us N        micro-batch wait bound per replica (default 2000)\n"
+      "  --cache N              result-cache entries per replica; 0 disables (default 1024)\n"
+      "  --max-depth N          per-replica admitted-request bound; 0 = unbounded (default 64)\n"
+      "  --max-inflight N       per-client in-flight fairness cap; 0 = none (default 16)\n"
+      "  --allow-swap           accept in-band checkpoint hot-swap requests\n"
+      "  --snapshot PATH        save the serving model to PATH at startup\n"
+      "  --log-ms N             metrics log-line period; 0 silences it (default 2000)\n"
+      "  --backend NAME         compute backend (reference|cpu_opt)\n"
+      "  --seed N               stand-in model seed (default 1)\n");
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const char* v = nullptr;
+    if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) {
+      usage();
+      std::exit(0);
+    } else if (!std::strcmp(a, "--bind")) {
+      if (!(v = need_value(i))) return false;
+      opt.bind = v;
+    } else if (!std::strcmp(a, "--port")) {
+      if (!(v = need_value(i))) return false;
+      opt.port = std::atoi(v);
+    } else if (!std::strcmp(a, "--replicas")) {
+      if (!(v = need_value(i))) return false;
+      opt.replicas = std::atoi(v);
+    } else if (!std::strcmp(a, "--checkpoint")) {
+      if (!(v = need_value(i))) return false;
+      opt.checkpoint = v;
+    } else if (!std::strcmp(a, "--width")) {
+      if (!(v = need_value(i))) return false;
+      opt.width = std::atoll(v);
+    } else if (!std::strcmp(a, "--channels")) {
+      if (!(v = need_value(i))) return false;
+      opt.in_channels = std::atoll(v);
+    } else if (!std::strcmp(a, "--base-channels")) {
+      if (!(v = need_value(i))) return false;
+      opt.base_channels = std::atoll(v);
+    } else if (!std::strcmp(a, "--max-batch")) {
+      if (!(v = need_value(i))) return false;
+      opt.max_batch = std::atoll(v);
+    } else if (!std::strcmp(a, "--max-wait-us")) {
+      if (!(v = need_value(i))) return false;
+      opt.max_wait_us = std::atoll(v);
+    } else if (!std::strcmp(a, "--cache")) {
+      if (!(v = need_value(i))) return false;
+      opt.cache_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (!std::strcmp(a, "--max-depth")) {
+      if (!(v = need_value(i))) return false;
+      opt.max_replica_depth = std::atoll(v);
+    } else if (!std::strcmp(a, "--max-inflight")) {
+      if (!(v = need_value(i))) return false;
+      opt.max_client_inflight = std::atoll(v);
+    } else if (!std::strcmp(a, "--allow-swap")) {
+      opt.allow_swap = true;
+    } else if (!std::strcmp(a, "--snapshot")) {
+      if (!(v = need_value(i))) return false;
+      opt.snapshot = v;
+    } else if (!std::strcmp(a, "--log-ms")) {
+      if (!(v = need_value(i))) return false;
+      opt.log_period_ms = std::atoll(v);
+    } else if (!std::strcmp(a, "--backend")) {
+      if (!(v = need_value(i))) return false;
+      opt.backend = v;
+    } else if (!std::strcmp(a, "--seed")) {
+      if (!(v = need_value(i))) return false;
+      opt.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", a);
+      return false;
+    }
+  }
+  return true;
+}
+
+// Signal handling: a semaphore is one of the few things a handler may
+// legally poke; main blocks on it and runs the orderly drain.
+sem_t g_stop_sem;
+
+void handle_stop(int) { sem_post(&g_stop_sem); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 1 << 16);
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  core::Pix2PixConfig mcfg;
+  if (!opt.checkpoint.empty()) {
+    try {
+      mcfg = core::Pix2Pix::peek_config(opt.checkpoint);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot read checkpoint %s: %s\n", opt.checkpoint.c_str(), e.what());
+      return 1;
+    }
+    std::printf("serving checkpoint %s (%lldpx, %lld->%lld channels)\n", opt.checkpoint.c_str(),
+                static_cast<long long>(mcfg.generator.image_size),
+                static_cast<long long>(mcfg.generator.in_channels),
+                static_cast<long long>(mcfg.generator.out_channels));
+  } else {
+    mcfg.generator.image_size = opt.width;
+    mcfg.generator.in_channels = opt.in_channels;
+    mcfg.generator.base_channels = opt.base_channels;
+    mcfg.generator.max_channels = opt.base_channels * 8;
+    mcfg.disc_base_channels = opt.base_channels;
+    mcfg.seed = opt.seed;
+    std::printf("serving a seeded stand-in model (%lldpx, %lld channels, seed %llu) — "
+                "forecasts are untrained\n",
+                static_cast<long long>(opt.width), static_cast<long long>(opt.in_channels),
+                static_cast<unsigned long long>(opt.seed));
+  }
+
+  net::ModelFactory make_model = [&]() {
+    auto model = std::make_shared<core::CongestionForecaster>(mcfg);
+    if (!opt.checkpoint.empty()) model->load(opt.checkpoint);
+    return model;
+  };
+
+  if (!opt.snapshot.empty()) {
+    make_model()->save(opt.snapshot);
+    std::printf("serving model saved to %s\n", opt.snapshot.c_str());
+  }
+
+  net::NetServerConfig cfg;
+  cfg.bind_address = opt.bind;
+  cfg.port = static_cast<std::uint16_t>(opt.port);
+  cfg.allow_swap = opt.allow_swap;
+  cfg.metrics_log_period = std::chrono::milliseconds(opt.log_period_ms);
+  cfg.pool.replicas = opt.replicas;
+  cfg.pool.max_replica_depth = opt.max_replica_depth;
+  cfg.pool.max_client_inflight = opt.max_client_inflight;
+  cfg.pool.serve.max_batch = opt.max_batch;
+  cfg.pool.serve.max_wait = std::chrono::microseconds(opt.max_wait_us);
+  cfg.pool.serve.cache_capacity = opt.cache_capacity;
+  cfg.pool.serve.backend = opt.backend;
+
+  sem_init(&g_stop_sem, 0, 0);
+  std::signal(SIGINT, handle_stop);
+  std::signal(SIGTERM, handle_stop);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    net::NetServer server(cfg, make_model);
+    std::printf("%d replica(s), shard by content hash; max depth %lld/replica, "
+                "client cap %lld; backend %s, pool workers %d\n",
+                opt.replicas, static_cast<long long>(opt.max_replica_depth),
+                static_cast<long long>(opt.max_client_inflight),
+                paintplace::backend::active_backend().name(), paintplace::parallel_workers());
+    // Harnesses poll for this line; flush so it is visible even when stdout
+    // is a pipe or file (block-buffered) rather than a tty.
+    std::printf("LISTENING %u\n", static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    while (sem_wait(&g_stop_sem) != 0 && errno == EINTR) {
+    }
+    std::printf("draining ...\n");
+    server.shutdown();
+    const net::Metrics& m = server.metrics();
+    std::printf("served %llu requests (%llu shed, %llu protocol errors); bye\n",
+                static_cast<unsigned long long>(m.requests_completed.load()),
+                static_cast<unsigned long long>(m.shed_total()),
+                static_cast<unsigned long long>(m.protocol_errors.load()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "forecast_serve: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
