@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/gemm_shapes.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -54,7 +55,8 @@ struct SweepTotals {
   double speedup() const { return (ref_secs / ref_flops) * (opt_flops / opt_secs); }
 };
 
-void run_sweep(const core::GeneratorConfig& gen, Index batch, SweepTotals& totals) {
+void run_sweep(const core::GeneratorConfig& gen, Index batch, SweepTotals& totals,
+               bench::BenchReport* report, int workers) {
   const backend::ComputeBackend* ref = backend::find_backend("reference");
   const backend::ComputeBackend* opt = backend::find_backend("cpu_opt");
   std::printf("batch %lld:\n", static_cast<long long>(batch));
@@ -81,13 +83,21 @@ void run_sweep(const core::GeneratorConfig& gen, Index batch, SweepTotals& total
                 static_cast<long long>(s.M), static_cast<long long>(s.N),
                 static_cast<long long>(s.K), ref_gfs, opt_gfs, opt_gfs / ref_gfs, rel,
                 rel > 1e-4f ? "  MISMATCH" : "");
+    if (report != nullptr) {
+      report->sample({bench::jstr("layer", s.label), bench::jint("batch", batch),
+                      bench::jint("workers", workers), bench::jint("M", s.M),
+                      bench::jint("N", s.N), bench::jint("K", s.K),
+                      bench::jnum("ref_gflop_s", ref_gfs), bench::jnum("opt_gflop_s", opt_gfs),
+                      bench::jnum("speedup", opt_gfs / ref_gfs), bench::jnum("rel_diff", rel)});
+    }
   }
 }
 
-SweepTotals sweep_over(const core::GeneratorConfig& gen, const char* heading) {
+SweepTotals sweep_over(const core::GeneratorConfig& gen, const char* heading,
+                       bench::BenchReport* report, int workers) {
   std::printf("%s\n", heading);
   SweepTotals totals;
-  for (Index batch : {Index{1}, Index{4}}) run_sweep(gen, batch, totals);
+  for (Index batch : {Index{1}, Index{4}}) run_sweep(gen, batch, totals, report, workers);
   std::printf("  aggregate: reference %.2f GF/s, cpu_opt %.2f GF/s — %.2fx; worst rel diff %.2e\n\n",
               totals.ref_flops / totals.ref_secs / 1e9, totals.opt_flops / totals.opt_secs / 1e9,
               totals.speedup(), totals.worst_rel);
@@ -120,17 +130,23 @@ int main() {
               static_cast<long long>(gen.base_channels), static_cast<long long>(gen.max_channels),
               parallel_workers());
 
+  bench::BenchReport report("gemm");
+  report.meta(bench::jint("image_size", gen.image_size));
+  report.meta(bench::jint("base_channels", gen.base_channels));
+  report.meta(bench::jint("max_channels", gen.max_channels));
+  report.meta(bench::jint("hardware_workers", parallel_workers()));
+
   const int hw_workers = parallel_workers();
   set_parallel_workers(1);
-  const SweepTotals st =
-      sweep_over(gen, "-- single-threaded (acceptance: cpu_opt >= 3x reference) --");
+  const SweepTotals st = sweep_over(
+      gen, "-- single-threaded (acceptance: cpu_opt >= 3x reference) --", &report, 1);
 
   SweepTotals mt = st;
   if (hw_workers > 1) {
     set_parallel_workers(0);  // restore the hardware default
     char heading[64];
     std::snprintf(heading, sizeof(heading), "-- %d workers --", hw_workers);
-    mt = sweep_over(gen, heading);
+    mt = sweep_over(gen, heading, &report, hw_workers);
   }
   set_parallel_workers(0);
 
@@ -141,6 +157,10 @@ int main() {
   double hard_floor = 2.0;
   if (const char* v = std::getenv("PAINT_GEMM_FLOOR")) hard_floor = std::atof(v);
   const float worst_rel = std::max(st.worst_rel, mt.worst_rel);
+
+  report.meta(bench::jnum("single_thread_speedup", st.speedup()));
+  report.meta(bench::jnum("threaded_speedup", mt.speedup()));
+  report.write();
 
   std::printf("single-thread aggregate speedup: %.2fx (acceptance: 3x, hard floor: %.1fx)%s\n",
               st.speedup(), hard_floor, st.speedup() >= 3.0 ? "" : "  BELOW ACCEPTANCE");

@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "nn/tensor_ops.h"
+#include "obs/trace.h"
 #include "serve/forecast_server.h"
 
 using namespace paintplace;
@@ -205,6 +206,38 @@ int main() {
                                      static_cast<double>(stats.requests)),
          bench::jnum("speedup", rps / one_client_rps)});
   }
+  // ---- 4. Tracing overhead guard --------------------------------------------
+  // The request path is instrumented with obs::Span at every layer (net,
+  // pool, serve, core, per-layer, per-GEMM). With the tracer disabled — the
+  // production default — a Span must cost one relaxed atomic load. Measure
+  // that cost directly and bound the implied fraction of a request's budget:
+  // even at a generous 64 spans/request, it must stay under 2% of the
+  // single-client request time measured above.
+  {
+    obs::Tracer::instance().disable();
+    constexpr int kSpanReps = 2'000'000;
+    Timer t_span;
+    for (int i = 0; i < kSpanReps; ++i) {
+      obs::Span span("bench.disabled", "bench");
+    }
+    const double ns_per_span = t_span.seconds() * 1e9 / kSpanReps;
+    const double spans_per_req = 64.0;
+    const double req_ns = 1e9 / one_client_rps;
+    const double overhead = spans_per_req * ns_per_span / req_ns;
+    std::printf("\ndisabled-tracing span cost: %.1f ns/span — %.4f%% of a request at %.0f "
+                "spans/req (budget: 2%%)\n",
+                ns_per_span, 100.0 * overhead, spans_per_req);
+    report.sample({bench::jstr("section", "trace_overhead"),
+                   bench::jnum("ns_per_disabled_span", ns_per_span),
+                   bench::jnum("overhead_fraction", overhead)});
+    if (overhead >= 0.02) {
+      std::printf("FAIL: disabled tracing costs %.2f%% of request time (>= 2%%)\n",
+                  100.0 * overhead);
+      report.write();
+      return 1;
+    }
+  }
+
   report.write();
   return 0;
 }

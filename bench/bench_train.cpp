@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "backend/backend.h"
+#include "bench/bench_json.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -124,6 +125,12 @@ int main() {
               static_cast<long long>(steps));
   std::printf("pool workers: %d\n\n", parallel_workers());
 
+  bench::BenchReport report("train");
+  report.meta(bench::jint("image_size", width));
+  report.meta(bench::jint("base_channels", base));
+  report.meta(bench::jint("steps_per_run", steps));
+  report.meta(bench::jint("workers", parallel_workers()));
+
   std::printf("%-10s %6s %10s %12s | %8s %8s %8s %8s\n", "backend", "batch", "steps/s",
               "samples/s", "data", "G-fwd", "D-step", "G-bwd");
   double ref_b4 = 0.0, opt_b4 = 0.0;
@@ -136,12 +143,21 @@ int main() {
                   100.0 * r.phases.g_forward_s * r.steps_per_sec / static_cast<double>(steps),
                   100.0 * r.phases.d_step_s * r.steps_per_sec / static_cast<double>(steps),
                   100.0 * r.phases.g_step_s * r.steps_per_sec / static_cast<double>(steps));
+      report.sample({bench::jstr("backend", name), bench::jint("batch", batch),
+                     bench::jnum("steps_per_sec", r.steps_per_sec),
+                     bench::jnum("samples_per_sec", r.samples_per_sec),
+                     bench::jnum("data_seconds", r.data_s),
+                     bench::jnum("g_forward_seconds", r.phases.g_forward_s),
+                     bench::jnum("d_step_seconds", r.phases.d_step_s),
+                     bench::jnum("g_step_seconds", r.phases.g_step_s)});
       if (batch == 4 && name == "reference") ref_b4 = r.steps_per_sec;
       if (batch == 4 && name == "cpu_opt") opt_b4 = r.steps_per_sec;
     }
   }
   if (ref_b4 > 0.0 && opt_b4 > 0.0) {
     std::printf("\ncpu_opt vs reference at batch 4: %.2fx steps/sec\n", opt_b4 / ref_b4);
+    report.meta(bench::jnum("speedup_batch4", opt_b4 / ref_b4));
   }
+  report.write();
   return 0;
 }

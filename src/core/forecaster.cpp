@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "img/color.h"
 #include "img/image.h"
+#include "obs/trace.h"
 
 namespace paintplace::core {
 
@@ -64,11 +65,14 @@ void CongestionForecaster::validate_input(const nn::Tensor& input01, bool batche
 
 nn::Tensor CongestionForecaster::predict(const nn::Tensor& input01) {
   validate_input(input01, /*batched=*/false);
+  obs::Span span("core.predict", "core");
   return model_.predict(input01);
 }
 
 nn::Tensor CongestionForecaster::predict_batch(const nn::Tensor& batch01) {
   validate_input(batch01, /*batched=*/true);
+  obs::Span span("core.predict_batch", "core");
+  if (span.active()) span.arg("batch", batch01.dim(0));
   return model_.predict(batch01);
 }
 

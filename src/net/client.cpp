@@ -6,33 +6,88 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <random>
+#include <thread>
 
 #include "common/check.h"
 
 namespace paintplace::net {
 
-Client::Client(const std::string& host, std::uint16_t port, std::size_t max_payload)
-    : reader_(max_payload) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  PP_CHECK_MSG(fd_ >= 0, "socket() failed: " << std::strerror(errno));
+namespace {
 
+/// One connect attempt. Returns the connected fd, or -1 with `error` set.
+int try_connect(const std::string& host, std::uint16_t port, std::string& error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket() failed: ") + std::strerror(errno);
+    return -1;
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
   if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
-    close();
-    PP_CHECK_MSG(false, "bad host address " << host);
+    ::close(fd);
+    error = "bad host address " + host;
+    return -1;
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string err = std::strerror(errno);
-    close();
-    PP_CHECK_MSG(false, "connect(" << host << ":" << port << ") failed: " << err);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error = "connect(" + host + ":" + std::to_string(port) + ") failed: " + std::strerror(errno);
+    ::close(fd);
+    return -1;
   }
   const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+std::chrono::milliseconds jittered(std::chrono::milliseconds delay, double jitter) {
+  if (jitter <= 0.0 || delay.count() <= 0) return delay;
+  thread_local std::minstd_rand rng(std::random_device{}());
+  std::uniform_real_distribution<double> uni(-jitter, jitter);
+  const double scaled = static_cast<double>(delay.count()) * (1.0 + uni(rng));
+  return std::chrono::milliseconds(
+      scaled < 1.0 ? 1 : static_cast<std::chrono::milliseconds::rep>(scaled));
+}
+
+}  // namespace
+
+void Client::connect_with_retry() {
+  std::string error;
+  std::chrono::milliseconds delay = retry_.initial_backoff;
+  const int attempts = retry_.max_retries + 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(jittered(delay, retry_.jitter));
+      const double next = static_cast<double>(delay.count()) * retry_.multiplier;
+      delay = std::min(
+          retry_.max_backoff,
+          std::chrono::milliseconds(static_cast<std::chrono::milliseconds::rep>(next)));
+    }
+    fd_ = try_connect(host_, port_, error);
+    if (fd_ >= 0) return;
+  }
+  throw ConnectError(error + " (after " + std::to_string(attempts) + " attempts)", attempts);
+}
+
+Client::Client(const std::string& host, std::uint16_t port, std::size_t max_payload,
+               RetryPolicy retry)
+    : host_(host), port_(port), max_payload_(max_payload), retry_(retry),
+      reader_(max_payload) {
+  PP_CHECK_MSG(retry_.max_retries >= 0 && retry_.multiplier >= 1.0 && retry_.jitter >= 0.0 &&
+                   retry_.jitter <= 1.0,
+               "bad RetryPolicy: max_retries >= 0, multiplier >= 1, jitter in [0,1]");
+  connect_with_retry();
+}
+
+void Client::reconnect() {
+  close();
+  next_id_ = 1;
+  reader_ = FrameReader(max_payload_);  // a new stream starts at a frame boundary
+  connect_with_retry();
 }
 
 Client::~Client() { close(); }

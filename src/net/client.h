@@ -9,25 +9,62 @@
 //     (swarm clients, benches; this is what fills server micro-batches).
 // The client is not thread-safe; give each swarm worker its own connection —
 // that is also what the server's per-client fairness cap meters.
+//
+// Connection establishment retries with bounded exponential backoff (see
+// RetryPolicy) — placement tools outlive server restarts, so the client
+// rides over a brief kill/restart instead of failing its run. reconnect()
+// re-runs the same loop on an established client whose peer went away.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "net/wire.h"
 
 namespace paintplace::net {
 
+/// Bounded exponential backoff for connect()/reconnect(). Attempt k sleeps
+/// initial_backoff * multiplier^k, capped at max_backoff, each delay
+/// uniformly jittered by ±jitter so a swarm restarting against one server
+/// does not reconnect in lockstep. max_retries = 0 means a single attempt.
+struct RetryPolicy {
+  int max_retries = 0;
+  std::chrono::milliseconds initial_backoff{50};
+  std::chrono::milliseconds max_backoff{2000};
+  double multiplier = 2.0;
+  double jitter = 0.2;  ///< fraction of the delay, in [0,1]
+};
+
+/// Connection establishment failed after every allowed attempt.
+class ConnectError : public std::runtime_error {
+ public:
+  ConnectError(const std::string& what, int attempts)
+      : std::runtime_error(what), attempts_(attempts) {}
+
+  /// Connect attempts made (retries + 1).
+  int attempts() const { return attempts_; }
+
+ private:
+  int attempts_;
+};
+
 class Client {
  public:
-  /// Connects (IPv4 dotted quad or "localhost"). Throws CheckError on
-  /// connection failure.
+  /// Connects (IPv4 dotted quad or "localhost"), retrying per `retry`.
+  /// Throws ConnectError when every attempt fails.
   Client(const std::string& host, std::uint16_t port,
-         std::size_t max_payload = kDefaultMaxPayload);
+         std::size_t max_payload = kDefaultMaxPayload, RetryPolicy retry = RetryPolicy{});
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
+
+  /// Drops the current socket (if any) and re-runs the connect loop with the
+  /// construction-time policy. Pending pipelined responses are lost; the
+  /// frame reassembly buffer is reset. Throws ConnectError on failure.
+  void reconnect();
 
   // ---- Pipelined API --------------------------------------------------------
   void send_forecast(std::uint64_t request_id, const nn::Tensor& input01,
@@ -50,8 +87,13 @@ class Client {
   bool closed() const { return fd_ < 0; }
 
  private:
+  void connect_with_retry();
   void send_bytes(const std::vector<std::uint8_t>& bytes);
 
+  std::string host_;
+  std::uint16_t port_ = 0;
+  std::size_t max_payload_ = kDefaultMaxPayload;
+  RetryPolicy retry_;
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
   FrameReader reader_;

@@ -1,78 +1,64 @@
 #include "net/metrics.h"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 
 namespace paintplace::net {
 
-namespace {
-
-/// Bucket b covers [2^b, 2^(b+1)) microseconds; bucket 0 also absorbs
-/// sub-microsecond samples, the last bucket absorbs overflow.
-int bucket_of(double seconds) {
-  const double micros = seconds * 1e6;
-  if (micros < 1.0) return 0;
-  const int b = static_cast<int>(std::log2(micros));
-  return std::min(b, LatencyHistogram::kBuckets - 1);
+Metrics::Metrics(obs::MetricsRegistry& registry)
+    : connections_opened(registry.counter("net_connections_opened",
+                                          "TCP connections accepted")),
+      connections_closed(registry.counter("net_connections_closed",
+                                          "TCP connections torn down")),
+      idle_closed(registry.counter("net_idle_closed",
+                                   "connections closed by the idle deadline")),
+      requests_accepted(registry.counter("net_requests_accepted",
+                                         "forecast requests admitted to a replica")),
+      requests_completed(registry.counter("net_requests_completed",
+                                          "responses written, any status")),
+      requests_failed(registry.counter("net_requests_failed",
+                                       "responses written with kFailed")),
+      shed_queue_full(registry.counter("net_shed_queue_full",
+                                       "requests shed: replica in-flight bound")),
+      shed_client_cap(registry.counter("net_shed_client_cap",
+                                       "requests shed: per-client fairness cap")),
+      protocol_errors(registry.counter("net_protocol_errors",
+                                       "malformed or out-of-place frames")),
+      metrics_requests(registry.counter("net_metrics_requests",
+                                        "kMetricsRequest frames served")),
+      hot_swaps(registry.counter("net_hot_swaps", "checkpoint hot swaps published")),
+      latency(registry.histogram("net_request_latency_seconds",
+                                 "admission to response-written")) {
+  reset();
 }
 
-double bucket_lower_micros(int b) { return b == 0 ? 0.0 : std::exp2(b); }
-double bucket_upper_micros(int b) { return std::exp2(b + 1); }
-
-}  // namespace
-
-void LatencyHistogram::record(double seconds) {
-  if (seconds < 0.0) seconds = 0.0;
-  buckets_[static_cast<std::size_t>(bucket_of(seconds))].fetch_add(
-      1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  total_micros_.fetch_add(static_cast<std::uint64_t>(seconds * 1e6),
-                          std::memory_order_relaxed);
-}
-
-double LatencyHistogram::total_seconds() const {
-  return static_cast<double>(total_micros_.load(std::memory_order_relaxed)) * 1e-6;
-}
-
-double LatencyHistogram::quantile(double q) const {
-  q = std::clamp(q, 0.0, 1.0);
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
-  const double target = q * static_cast<double>(n);
-  double seen = 0.0;
-  for (int b = 0; b < kBuckets; ++b) {
-    const double in_bucket =
-        static_cast<double>(buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed));
-    if (in_bucket == 0.0) continue;
-    if (seen + in_bucket >= target) {
-      const double frac = in_bucket == 0.0 ? 0.0 : (target - seen) / in_bucket;
-      const double lo = bucket_lower_micros(b), hi = bucket_upper_micros(b);
-      return (lo + frac * (hi - lo)) * 1e-6;
-    }
-    seen += in_bucket;
-  }
-  return bucket_upper_micros(kBuckets - 1) * 1e-6;
-}
-
-void LatencyHistogram::reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  total_micros_.store(0, std::memory_order_relaxed);
+void Metrics::reset() {
+  connections_opened.store(0);
+  connections_closed.store(0);
+  idle_closed.store(0);
+  requests_accepted.store(0);
+  requests_completed.store(0);
+  requests_failed.store(0);
+  shed_queue_full.store(0);
+  shed_client_cap.store(0);
+  protocol_errors.store(0);
+  metrics_requests.store(0);
+  hot_swaps.store(0);
+  latency.reset();
 }
 
 std::string render_text(const Metrics& m, const PoolGauges& pool) {
   const std::uint64_t n = m.latency.count();
-  const double mean_ms = n == 0 ? 0.0 : m.latency.total_seconds() / static_cast<double>(n) * 1e3;
+  const double mean_ms = n == 0 ? 0.0 : m.latency.sum() / static_cast<double>(n) * 1e3;
   const double hit_rate = pool.cache_requests == 0
                               ? 0.0
                               : static_cast<double>(pool.cache_hits) /
                                     static_cast<double>(pool.cache_requests);
-  char buf[1536];
+  char buf[1600];
   std::snprintf(
       buf, sizeof(buf),
       "net_connections_opened %llu\n"
       "net_connections_closed %llu\n"
+      "net_idle_closed %llu\n"
       "net_requests_accepted %llu\n"
       "net_requests_completed %llu\n"
       "net_requests_failed %llu\n"
@@ -95,6 +81,7 @@ std::string render_text(const Metrics& m, const PoolGauges& pool) {
       "pool_model_version %llu\n",
       static_cast<unsigned long long>(m.connections_opened.load()),
       static_cast<unsigned long long>(m.connections_closed.load()),
+      static_cast<unsigned long long>(m.idle_closed.load()),
       static_cast<unsigned long long>(m.requests_accepted.load()),
       static_cast<unsigned long long>(m.requests_completed.load()),
       static_cast<unsigned long long>(m.requests_failed.load()),

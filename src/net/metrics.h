@@ -1,65 +1,65 @@
 // Counters and latency histograms for the networked serving front-end.
 //
+// Since the obs subsystem landed, this is a typed *view* over the
+// process-wide obs::MetricsRegistry rather than a private silo: every
+// counter below is registered under its exposition name (net_*), so the
+// same instruments appear in the registry's Prometheus exposition alongside
+// the serving/GEMM/training metrics. Construction binds (and resets) the
+// named instruments — counters read "since this server instance started",
+// matching the old semantics; run one NetServer per process if you scrape
+// exact counts.
+//
 // Everything is cheap enough to sit on the request path: counters are
 // relaxed atomics, and the histogram records into log-spaced atomic buckets
 // (record() is one increment, quantiles are computed at read time). The
-// text exposition is a flat `name value` listing — trivially scrapeable and
-// greppable, no format dependencies.
+// flat `name value` listing in render_text() is the stable scrape surface;
+// NetServer::metrics_text() appends the full Prometheus exposition of the
+// registry after it.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics_registry.h"
+
 namespace paintplace::net {
 
-/// Log-spaced latency histogram, 1µs..~34s in quarter-decade-ish steps
-/// (x2 per bucket). Thread-safe; record() never blocks.
-class LatencyHistogram {
- public:
-  static constexpr int kBuckets = 26;  // 2^25 µs ≈ 33.5 s, then overflow
+/// Log-spaced latency histogram, 1µs..~34s (x2 per bucket). The math moved
+/// to obs::Histogram verbatim; the alias keeps the net-layer name.
+using LatencyHistogram = obs::Histogram;
 
-  void record(double seconds);
-
-  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  double total_seconds() const;
-
-  /// Latency below which fraction `q` (0..1] of recorded samples fall,
-  /// linearly interpolated inside the winning bucket. 0 with no samples.
-  double quantile(double q) const;
-
-  void reset();
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> total_micros_{0};
-};
-
-/// Monotonic counters for the front-end. The replica pool and server bump
-/// these; snapshot() gives a consistent-enough view for logs and the
-/// metrics endpoint (individual counters are exact, cross-counter skew is
-/// bounded by in-flight requests).
+/// Monotonic counters for the front-end, bound to (and resetting) the named
+/// net_* instruments of a MetricsRegistry. The replica pool and server bump
+/// these; individual counters are exact, cross-counter skew is bounded by
+/// in-flight requests.
 class Metrics {
  public:
-  std::atomic<std::uint64_t> connections_opened{0};
-  std::atomic<std::uint64_t> connections_closed{0};
-  std::atomic<std::uint64_t> requests_accepted{0};   ///< admitted to a replica
-  std::atomic<std::uint64_t> requests_completed{0};  ///< response written, any status
-  std::atomic<std::uint64_t> requests_failed{0};     ///< completed with kFailed
-  std::atomic<std::uint64_t> shed_queue_full{0};
-  std::atomic<std::uint64_t> shed_client_cap{0};
-  std::atomic<std::uint64_t> protocol_errors{0};
-  std::atomic<std::uint64_t> metrics_requests{0};
-  std::atomic<std::uint64_t> hot_swaps{0};
+  explicit Metrics(obs::MetricsRegistry& registry = obs::MetricsRegistry::global());
 
-  LatencyHistogram latency;  ///< admission -> response-written, seconds
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  obs::Counter& connections_opened;
+  obs::Counter& connections_closed;
+  obs::Counter& idle_closed;         ///< closed by the server's idle deadline
+  obs::Counter& requests_accepted;   ///< admitted to a replica
+  obs::Counter& requests_completed;  ///< response written, any status
+  obs::Counter& requests_failed;     ///< completed with kFailed
+  obs::Counter& shed_queue_full;
+  obs::Counter& shed_client_cap;
+  obs::Counter& protocol_errors;
+  obs::Counter& metrics_requests;
+  obs::Counter& hot_swaps;
+
+  LatencyHistogram& latency;  ///< admission -> response-written, seconds
 
   std::uint64_t shed_total() const {
-    return shed_queue_full.load(std::memory_order_relaxed) +
-           shed_client_cap.load(std::memory_order_relaxed);
+    return shed_queue_full.load() + shed_client_cap.load();
   }
+
+  /// Zeroes every instrument (runs at construction: a new server instance
+  /// starts its counts fresh even though the registry persists).
+  void reset();
 };
 
 /// Point-in-time pool state merged into the exposition by the server.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace paintplace::net {
 
 ReplicaPool::ReplicaPool(const ReplicaPoolConfig& config, const ModelFactory& make_model)
@@ -26,8 +28,10 @@ int ReplicaPool::replica_of(const serve::TensorKey& key) const {
 }
 
 Admission ReplicaPool::submit(std::uint64_t client_id, const nn::Tensor& input01) {
+  obs::Span span("pool.dispatch", "pool");
   Admission adm;
   adm.replica = replica_of(serve::TensorKey::of(input01));
+  if (span.active()) span.arg("replica", static_cast<std::int64_t>(adm.replica));
 
   {
     std::lock_guard<std::mutex> lock(admission_mu_);
@@ -35,11 +39,13 @@ Admission ReplicaPool::submit(std::uint64_t client_id, const nn::Tensor& input01
     if (config_.max_replica_depth > 0 &&
         replica_depth_[static_cast<std::size_t>(adm.replica)] >= config_.max_replica_depth) {
       adm.shed = ShedReason::kReplicaQueueFull;
+      if (span.active()) span.arg("shed", to_string(adm.shed));
       return adm;
     }
     Index& inflight = client_inflight_[client_id];
     if (config_.max_client_inflight > 0 && inflight >= config_.max_client_inflight) {
       adm.shed = ShedReason::kClientCapExceeded;
+      if (span.active()) span.arg("shed", to_string(adm.shed));
       return adm;
     }
     replica_depth_[static_cast<std::size_t>(adm.replica)] += 1;

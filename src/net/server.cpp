@@ -12,6 +12,7 @@
 #include <deque>
 
 #include "core/pix2pix.h"
+#include "obs/trace.h"
 
 namespace paintplace::net {
 
@@ -51,6 +52,7 @@ struct NetServer::Connection {
     std::vector<std::uint8_t> encoded;  ///< used when !pending
     bool pending = false;
     std::uint64_t request_id = 0;
+    std::uint64_t trace_id = 0;  ///< stitches the writer's span to the request
     bool want_heatmap = false;
     Admission admission;
     std::chrono::steady_clock::time_point accepted_at;
@@ -74,6 +76,16 @@ struct NetServer::Connection {
       : server(srv), fd(sock), client_id(id) {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (server.config_.idle_timeout.count() > 0) {
+      // SO_RCVTIMEO turns a silent peer into a recv() timeout in read_loop;
+      // no separate reaper thread needed for thread-per-connection.
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+          server.config_.idle_timeout);
+      timeval tv{};
+      tv.tv_sec = static_cast<time_t>(us.count() / 1000000);
+      tv.tv_usec = static_cast<suseconds_t>(us.count() % 1000000);
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
     reader = std::thread([this] {
       read_loop();
       // Reader is done (EOF, error, or protocol violation): no more entries
@@ -120,8 +132,15 @@ struct NetServer::Connection {
     for (;;) {
       const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
       if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // The idle deadline (SO_RCVTIMEO) elapsed with nothing to read.
+        server.metrics_.idle_closed.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
       if (n <= 0) return;  // EOF or error — peer is done sending
       try {
+        obs::Span span("net.frame_decode", "net");
+        if (span.active()) span.arg("bytes", static_cast<std::int64_t>(n));
         frames.feed(buf.data(), static_cast<std::size_t>(n));
         while (std::optional<Frame> frame = frames.next()) {
           if (!handle_frame(*frame)) return;
@@ -160,6 +179,14 @@ struct NetServer::Connection {
   }
 
   void handle_forecast(const Frame& frame) {
+    // Every forecast request gets a process-unique trace id here, at the
+    // first point where it exists as a request. The id rides the
+    // thread-local TraceContext through submit (pool dispatch, cache
+    // lookup), is carried by PendingRequest into the batch worker, and by
+    // Outgoing into the writer — every span along the way records it.
+    const obs::ScopedTraceId trace_scope(obs::TraceContext::next_id());
+    obs::Span span("net.handle_forecast", "net");
+
     ForecastRequest req;
     try {
       req = decode_forecast_request(frame);
@@ -171,6 +198,7 @@ struct NetServer::Connection {
 
     Outgoing out;
     out.request_id = req.request_id;
+    out.trace_id = obs::TraceContext::current();
     out.want_heatmap = req.want_heatmap;
     out.accepted_at = std::chrono::steady_clock::now();
     try {
@@ -193,6 +221,7 @@ struct NetServer::Connection {
       } else {
         server.metrics_.shed_client_cap.fetch_add(1, std::memory_order_relaxed);
       }
+      if (span.active()) span.arg("shed", to_string(out.admission.shed));
       ForecastResponse resp;
       resp.request_id = req.request_id;
       resp.status = Status::kShed;
@@ -243,6 +272,8 @@ struct NetServer::Connection {
 
       // An admitted forecast: resolve, respond, then release the admission
       // slot — the release point is what admission depth meters.
+      const obs::ScopedTraceId trace_scope(out.trace_id);
+      obs::Span span("net.write_response", "net");
       ForecastResponse resp;
       resp.request_id = out.request_id;
       try {
@@ -358,7 +389,16 @@ PoolGauges NetServer::pool_gauges() const {
   return g;
 }
 
-std::string NetServer::metrics_text() { return render_text(metrics_, pool_gauges()); }
+std::string NetServer::metrics_text() {
+  // Legacy flat listing first (the stable scrape surface clients grep), then
+  // the registry's Prometheus exposition for everything the rest of the
+  // process recorded (gemm_*, serve_*, train_*). The net_* instruments are
+  // filtered out of the second block — they already appear above.
+  std::string text = render_text(metrics_, pool_gauges());
+  text += obs::MetricsRegistry::global().render_prometheus(
+      [](const std::string& name) { return name.rfind("net_", 0) != 0; });
+  return text;
+}
 
 std::uint64_t NetServer::swap_checkpoint(const std::string& path) {
   std::lock_guard<std::mutex> lock(swap_mu_);

@@ -43,6 +43,10 @@ struct NetServerConfig {
   bool allow_swap = false;
   /// Print a one-line metrics summary this often (0 = never).
   std::chrono::milliseconds metrics_log_period{0};
+  /// Close a connection whose socket has been silent this long (0 = never).
+  /// Each close increments net_idle_closed and drains through the normal
+  /// half-close path, so admitted requests are still answered first.
+  std::chrono::milliseconds idle_timeout{0};
   ReplicaPoolConfig pool;
 };
 

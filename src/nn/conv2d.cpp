@@ -6,6 +6,7 @@
 #include "common/parallel.h"
 #include "nn/gemm.h"
 #include "nn/init.h"
+#include "obs/trace.h"
 
 namespace paintplace::nn {
 
@@ -37,6 +38,15 @@ Tensor Conv2d::forward(const Tensor& input) {
     cached_input_ = Tensor();  // inference: no backward, skip the activation copy
   }
   const Index N = input.dim(0), H = input.dim(2), W = input.dim(3);
+  // Per-layer span named after the parameter ("g.enc3.weight" -> that level
+  // of the U-Net). The GEMMs it issues nest inside as child spans.
+  obs::Span span(weight_.name, "layer");
+  if (span.active()) {
+    span.arg("N", N);
+    span.arg("HxW", H * W);
+    span.arg("Cin", in_channels_);
+    span.arg("Cout", out_channels_);
+  }
   const ConvGeom g = geom_for(H, W);
   const Index Ho = g.out_height(), Wo = g.out_width();
   Tensor output(Shape{N, out_channels_, Ho, Wo});

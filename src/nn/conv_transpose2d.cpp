@@ -6,6 +6,7 @@
 #include "common/parallel.h"
 #include "nn/gemm.h"
 #include "nn/init.h"
+#include "obs/trace.h"
 
 namespace paintplace::nn {
 
@@ -43,6 +44,14 @@ Tensor ConvTranspose2d::forward(const Tensor& input) {
     cached_input_ = Tensor();  // inference: no backward, skip the activation copy
   }
   const Index N = input.dim(0), H = input.dim(2), W = input.dim(3);
+  // Per-layer span, as in Conv2d::forward; GEMM child spans nest inside.
+  obs::Span span(weight_.name, "layer");
+  if (span.active()) {
+    span.arg("N", N);
+    span.arg("HxW", H * W);
+    span.arg("Cin", in_channels_);
+    span.arg("Cout", out_channels_);
+  }
   const Index Ho = out_height(H), Wo = out_width(W);
   PP_CHECK_MSG(Ho > 0 && Wo > 0, "ConvTranspose2d output would be empty");
   const ConvGeom g = geom_for_output(Ho, Wo);

@@ -1,0 +1,156 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace paintplace::obs {
+
+namespace {
+
+/// Bucket b covers [2^b, 2^(b+1)) millionths; bucket 0 also absorbs smaller
+/// samples, the last bucket absorbs overflow.
+int bucket_of(double value) {
+  const double millionths = value * 1e6;
+  if (millionths < 1.0) return 0;
+  const int b = static_cast<int>(std::log2(millionths));
+  return std::min(b, Histogram::kBuckets - 1);
+}
+
+double bucket_lower(int b) { return b == 0 ? 0.0 : std::exp2(b) * 1e-6; }
+
+std::string format_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Histogram::record(double value) {
+  if (value < 0.0) value = 0.0;
+  buckets_[static_cast<std::size_t>(bucket_of(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_millionths_.fetch_add(static_cast<std::uint64_t>(value * 1e6),
+                            std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(sum_millionths_.load(std::memory_order_relaxed)) * 1e-6;
+}
+
+double Histogram::bucket_upper(int b) { return std::exp2(b + 1) * 1e-6; }
+
+double Histogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double target = q * static_cast<double>(n);
+  double seen = 0.0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const double in_bucket = static_cast<double>(bucket_count(b));
+    if (in_bucket == 0.0) continue;
+    if (seen + in_bucket >= target) {
+      const double frac = (target - seen) / in_bucket;
+      const double lo = bucket_lower(b), hi = bucket_upper(b);
+      return lo + frac * (hi - lo);
+    }
+    seen += in_bucket;
+  }
+  return bucket_upper(kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_millionths_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry_of(const std::string& name, Kind kind,
+                                                  const std::string& help) {
+  PP_CHECK_MSG(!name.empty(), "metric name must be non-empty");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    entry.help = help;
+    switch (kind) {
+      case Kind::kCounter: entry.counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: entry.gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram: entry.histogram = std::make_unique<Histogram>(); break;
+    }
+    it = entries_.emplace(name, std::move(entry)).first;
+  } else {
+    PP_CHECK_MSG(it->second.kind == kind,
+                 "metric " << name << " already registered as a different kind");
+    if (it->second.help.empty() && !help.empty()) it->second.help = help;
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help) {
+  return *entry_of(name, Kind::kCounter, help).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  return *entry_of(name, Kind::kGauge, help).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& help) {
+  return *entry_of(name, Kind::kHistogram, help).histogram;
+}
+
+std::string MetricsRegistry::render_prometheus(
+    const std::function<bool(const std::string&)>& keep) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    if (keep && !keep(name)) continue;
+    if (!entry.help.empty()) out += "# HELP " + name + " " + entry.help + "\n";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(entry.counter->load()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + format_value(entry.gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+          const std::uint64_t in_bucket = h.bucket_count(b);
+          if (in_bucket == 0 && b != Histogram::kBuckets - 1) continue;  // keep it short
+          cumulative += in_bucket;
+          const bool last = b == Histogram::kBuckets - 1;
+          out += name + "_bucket{le=\"" +
+                 (last ? std::string("+Inf") : format_value(Histogram::bucket_upper(b))) +
+                 "\"} " + std::to_string(last ? h.count() : cumulative) + "\n";
+        }
+        out += name + "_sum " + format_value(h.sum()) + "\n";
+        out += name + "_count " + std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+}  // namespace paintplace::obs

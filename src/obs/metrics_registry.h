@@ -1,0 +1,145 @@
+// paintplace::obs — unified metrics registry.
+//
+// One process-wide home for every counter, gauge, and histogram the stack
+// emits, replacing the per-subsystem silos (net::Metrics used to own its
+// atomics privately; it is now a typed view over this registry — see
+// net/metrics.h). Metrics are get-or-create by name: the first caller
+// creates the instrument, later callers bind the same one, so the serving
+// path, the training loop, and the GEMM wrappers all land in a single
+// exposition.
+//
+// Everything is cheap enough for hot paths: Counter::fetch_add is one
+// relaxed atomic increment, Histogram::record is two. Name lookup takes a
+// mutex, so call sites cache the returned reference (instrument addresses
+// are stable for the registry's lifetime) instead of re-looking-up per
+// event.
+//
+// Exposition is Prometheus text format: `# TYPE` headers, `name value`
+// samples, histograms as cumulative `_bucket{le="..."}` series plus `_sum`
+// and `_count`. A flat `grep '^name '` keeps working — samples are still
+// one `name value` per line.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace paintplace::obs {
+
+/// Monotonic counter. The atomic-compatible method names (fetch_add, load,
+/// store) keep call sites that used to hold a raw std::atomic unchanged.
+class Counter {
+ public:
+  void fetch_add(std::uint64_t n = 1,
+                 std::memory_order order = std::memory_order_relaxed) {
+    value_.fetch_add(n, order);
+  }
+  std::uint64_t load(std::memory_order order = std::memory_order_relaxed) const {
+    return value_.load(order);
+  }
+  void store(std::uint64_t v,
+             std::memory_order order = std::memory_order_relaxed) {
+    value_.store(v, order);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, versions, rates).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-spaced histogram over positive values, factored out of the former
+/// net::LatencyHistogram and kept bit-compatible with it: bucket b covers
+/// [2^b, 2^(b+1)) millionths of a unit — for latencies in seconds that is
+/// 1µs up to ~33.5s, with bucket 0 absorbing anything smaller and the last
+/// bucket absorbing overflow. record() never blocks; quantiles interpolate
+/// linearly inside the winning bucket at read time.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 26;
+
+  void record(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Sum of recorded values (exact to one millionth of a unit per sample).
+  double sum() const;
+  /// Kept for latency-histogram call sites that read `total_seconds()`.
+  double total_seconds() const { return sum(); }
+
+  /// Value below which fraction `q` (0..1] of samples fall, interpolated
+  /// inside the winning bucket. 0 with no samples.
+  double quantile(double q) const;
+
+  void reset();
+
+  std::uint64_t bucket_count(int b) const {
+    return buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of bucket b in recorded units (2^(b+1) millionths).
+  static double bucket_upper(int b);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_millionths_{0};
+};
+
+/// Get-or-create registry of named instruments. Names follow Prometheus
+/// conventions (snake_case, `_total` for counters, `_seconds` for latency
+/// histograms). Registering one name as two different instrument kinds
+/// throws CheckError.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem defaults to.
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, const std::string& help = "");
+
+  /// Prometheus text exposition of every instrument, in name order. `keep`
+  /// (when set) filters by name — the net front-end uses it to exclude the
+  /// counters its legacy flat block already lists.
+  std::string render_prometheus(
+      const std::function<bool(const std::string&)>& keep = nullptr) const;
+
+  /// Registered instrument names, in name order (tests, debugging).
+  std::vector<std::string> names() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry_of(const std::string& name, Kind kind, const std::string& help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // ordered — exposition is sorted
+};
+
+}  // namespace paintplace::obs

@@ -1,0 +1,348 @@
+#include "obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace paintplace::obs {
+
+namespace {
+
+void copy_str(char* dst, std::size_t cap, const char* src) {
+  std::size_t i = 0;
+  for (; i + 1 < cap && src[i] != '\0'; ++i) dst[i] = src[i];
+  dst[i] = '\0';
+}
+
+void json_escape_into(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+thread_local std::uint64_t t_current_trace_id = 0;
+
+}  // namespace
+
+// ---- Ring buffers -----------------------------------------------------------
+
+/// One thread's fixed-capacity event ring. The mutex is per-ring and only
+/// ever contended by dump/clear (the owning thread is the sole writer), so
+/// record() is effectively an uncontended lock plus a struct copy. Rings of
+/// exited threads return to a freelist and are re-issued to new threads —
+/// thread-per-connection servers churn threads, and tracing must not grow
+/// memory per connection. A reused ring keeps its chrome tid, so one tid
+/// row can show several (non-overlapping-in-time) OS threads.
+struct Tracer::ThreadRing {
+  explicit ThreadRing(int tid_) : tid(tid_) { events.resize(Tracer::kRingCapacity); }
+
+  int tid;
+  std::mutex mu;
+  std::vector<SpanEvent> events;
+  std::size_t size = 0;   ///< valid events (<= capacity)
+  std::size_t head = 0;   ///< next write slot
+  std::uint64_t overwritten = 0;
+
+  void record(const SpanEvent& event) {
+    std::lock_guard<std::mutex> lock(mu);
+    events[head] = event;
+    head = (head + 1) % events.size();
+    if (size < events.size()) {
+      size += 1;
+    } else {
+      overwritten += 1;
+    }
+  }
+};
+
+namespace {
+
+/// Thread-local handle: claims a ring on first use, returns it to the
+/// tracer's freelist when the thread exits.
+struct ThreadRingHandleImpl {
+  Tracer* tracer = nullptr;
+  std::shared_ptr<Tracer::ThreadRing> ring;
+  ~ThreadRingHandleImpl();
+};
+
+}  // namespace
+
+struct ThreadRingHandle {
+  static std::shared_ptr<Tracer::ThreadRing> claim(Tracer& tracer) {
+    std::lock_guard<std::mutex> lock(tracer.rings_mu_);
+    if (!tracer.free_rings_.empty()) {
+      auto ring = tracer.free_rings_.back();
+      tracer.free_rings_.pop_back();
+      return ring;
+    }
+    auto ring = std::make_shared<Tracer::ThreadRing>(static_cast<int>(tracer.rings_.size()) + 1);
+    tracer.rings_.push_back(ring);
+    return ring;
+  }
+
+  static void release(Tracer& tracer, std::shared_ptr<Tracer::ThreadRing> ring) {
+    std::lock_guard<std::mutex> lock(tracer.rings_mu_);
+    tracer.free_rings_.push_back(std::move(ring));
+  }
+};
+
+namespace {
+
+ThreadRingHandleImpl::~ThreadRingHandleImpl() {
+  if (tracer != nullptr && ring != nullptr) {
+    ThreadRingHandle::release(*tracer, std::move(ring));
+  }
+}
+
+}  // namespace
+
+Tracer::ThreadRing& Tracer::ring_for_this_thread() {
+  thread_local ThreadRingHandleImpl handle;
+  if (handle.ring == nullptr) {
+    handle.tracer = this;
+    handle.ring = ThreadRingHandle::claim(*this);
+  }
+  return *handle.ring;
+}
+
+// ---- Tracer -----------------------------------------------------------------
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+  if (const char* path = std::getenv("PAINTPLACE_TRACE"); path != nullptr && path[0] != '\0') {
+    dump_path_ = path;
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::configure(const std::string& dump_path) {
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    dump_path_ = dump_path;
+  }
+  enable();
+}
+
+bool Tracer::dump_configured() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    path = dump_path_;
+  }
+  if (path.empty()) return false;
+  return dump_json(path);
+}
+
+void Tracer::record(const SpanEvent& event) { ring_for_this_thread().record(event); }
+
+std::string Tracer::dump_json() const {
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings = rings_;
+  }
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[128];
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    // Oldest-first: with a full ring, `head` is also the oldest slot.
+    const std::size_t capacity = ring->events.size();
+    const std::size_t start = ring->size < capacity ? 0 : ring->head;
+    for (std::size_t i = 0; i < ring->size; ++i) {
+      const SpanEvent& ev = ring->events[(start + i) % capacity];
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "{\"name\":\"";
+      json_escape_into(out, ev.name);
+      out += "\",\"cat\":\"";
+      json_escape_into(out, ev.category);
+      std::snprintf(buf, sizeof(buf),
+                    "\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%llu,\"dur\":%llu,\"args\":{",
+                    ring->tid, static_cast<unsigned long long>(ev.start_us),
+                    static_cast<unsigned long long>(ev.dur_us));
+      out += buf;
+      bool first_arg = true;
+      if (ev.trace_id != 0) {
+        std::snprintf(buf, sizeof(buf), "\"trace\":%llu",
+                      static_cast<unsigned long long>(ev.trace_id));
+        out += buf;
+        first_arg = false;
+      }
+      for (int a = 0; a < ev.num_args; ++a) {
+        const TraceArg& arg = ev.args[a];
+        if (!first_arg) out += ",";
+        first_arg = false;
+        out += "\"";
+        json_escape_into(out, arg.key);
+        out += "\":";
+        switch (arg.kind) {
+          case TraceArg::Kind::kInt:
+            out += std::to_string(arg.i);
+            break;
+          case TraceArg::Kind::kDouble:
+            std::snprintf(buf, sizeof(buf), "%.6g", arg.d);
+            out += std::isfinite(arg.d) ? buf : "null";
+            break;
+          case TraceArg::Kind::kString:
+            out += "\"";
+            json_escape_into(out, arg.s);
+            out += "\"";
+            break;
+        }
+      }
+      out += "}}";
+    }
+  }
+  out += first ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+bool Tracer::dump_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write trace to %s\n", path.c_str());
+    return false;
+  }
+  const std::string body = dump_json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+void Tracer::clear() {
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings = rings_;
+  }
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    ring->size = 0;
+    ring->head = 0;
+    ring->overwritten = 0;
+  }
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings = rings_;
+  }
+  std::uint64_t total = 0;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    total += ring->overwritten;
+  }
+  return total;
+}
+
+std::size_t Tracer::recorded() const {
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings = rings_;
+  }
+  std::size_t total = 0;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    total += ring->size;
+  }
+  return total;
+}
+
+// ---- TraceContext -----------------------------------------------------------
+
+std::uint64_t TraceContext::current() { return t_current_trace_id; }
+
+void TraceContext::set_current(std::uint64_t id) { t_current_trace_id = id; }
+
+std::uint64_t TraceContext::next_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedTraceId::ScopedTraceId(std::uint64_t id) : prev_(t_current_trace_id) {
+  t_current_trace_id = id;
+}
+
+ScopedTraceId::~ScopedTraceId() { t_current_trace_id = prev_; }
+
+// ---- Span -------------------------------------------------------------------
+
+void Span::start(const char* name, const char* category) {
+  active_ = true;
+  copy_str(event_.name, sizeof(event_.name), name);
+  copy_str(event_.category, sizeof(event_.category), category);
+  event_.trace_id = t_current_trace_id;
+  start_us_ = Tracer::instance().now_us();
+}
+
+Span::Span(const char* name, const char* category) {
+  if (!Tracer::instance().enabled()) return;
+  start(name, category);
+}
+
+Span::Span(const std::string& name, const char* category) {
+  if (!Tracer::instance().enabled()) return;
+  start(name.c_str(), category);
+}
+
+Span::~Span() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::instance();
+  event_.start_us = start_us_;
+  event_.dur_us = tracer.now_us() - start_us_;
+  if (flops_ > 0.0) {
+    const double seconds = static_cast<double>(event_.dur_us) * 1e-6;
+    arg("gflop_per_s", seconds > 0.0 ? flops_ / seconds * 1e-9
+                                     : 0.0);
+  }
+  tracer.record(event_);
+}
+
+void Span::arg(const char* key, std::int64_t value) {
+  if (!active_ || event_.num_args >= SpanEvent::kMaxArgs) return;
+  TraceArg& a = event_.args[event_.num_args++];
+  a.key = key;
+  a.kind = TraceArg::Kind::kInt;
+  a.i = value;
+}
+
+void Span::arg(const char* key, double value) {
+  if (!active_ || event_.num_args >= SpanEvent::kMaxArgs) return;
+  TraceArg& a = event_.args[event_.num_args++];
+  a.key = key;
+  a.kind = TraceArg::Kind::kDouble;
+  a.d = value;
+}
+
+void Span::arg(const char* key, const char* value) {
+  if (!active_ || event_.num_args >= SpanEvent::kMaxArgs) return;
+  TraceArg& a = event_.args[event_.num_args++];
+  a.key = key;
+  a.kind = TraceArg::Kind::kString;
+  copy_str(a.s, sizeof(a.s), value);
+}
+
+}  // namespace paintplace::obs

@@ -27,6 +27,9 @@ struct PendingRequest {
   TensorKey key;
   std::promise<ForecastResult> promise;
   std::chrono::steady_clock::time_point enqueued_at;
+  /// Trace id captured at submit (0 = untraced): the batch worker adopts it
+  /// so the spans of a cross-thread request stitch together in the trace.
+  std::uint64_t trace_id = 0;
 };
 
 class BatchQueue {

@@ -4,8 +4,33 @@
 
 #include "backend/backend.h"
 #include "nn/tensor_ops.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace paintplace::serve {
+
+namespace {
+
+// Serving-side registry instruments, shared across replicas. The coalesce
+// wait histogram meters enqueue -> batch-start: the latency cost a request
+// pays to ride a bigger (cheaper per-sample) batch.
+struct ServeInstruments {
+  obs::Histogram& batch_wait = obs::MetricsRegistry::global().histogram(
+      "serve_batch_wait_seconds", "request enqueue to batch execution start");
+  obs::Histogram& batch_exec = obs::MetricsRegistry::global().histogram(
+      "serve_batch_exec_seconds", "batched forward + scoring wall time");
+  obs::Counter& batches = obs::MetricsRegistry::global().counter(
+      "serve_batches_total", "micro-batches executed");
+  obs::Counter& coalesced = obs::MetricsRegistry::global().counter(
+      "serve_coalesced_total", "duplicate requests folded into one forward");
+};
+
+ServeInstruments& instruments() {
+  static ServeInstruments inst;
+  return inst;
+}
+
+}  // namespace
 
 ForecastServer::ForecastServer(const ServeConfig& config,
                                std::shared_ptr<core::CongestionForecaster> model,
@@ -22,6 +47,7 @@ ForecastServer::ForecastServer(const ServeConfig& config,
   // Throws on unknown names before any worker starts, so a typo in a config
   // fails the server construction instead of silently serving on the default.
   if (!config_.backend.empty()) backend::set_active_backend(config_.backend);
+  if (!config_.trace.empty()) obs::Tracer::instance().configure(config_.trace);
   registry_.publish(std::move(model), std::move(label));
   workers_.reserve(static_cast<std::size_t>(config.workers));
   for (int w = 0; w < config.workers; ++w) {
@@ -32,6 +58,7 @@ ForecastServer::ForecastServer(const ServeConfig& config,
 ForecastServer::~ForecastServer() { shutdown(); }
 
 std::future<ForecastResult> ForecastServer::submit(const nn::Tensor& input01) {
+  obs::Span span("serve.submit", "serve");
   PP_CHECK_MSG(!queue_.closed(), "ForecastServer::submit after shutdown");
   // Validate against the current model configuration up front — the same
   // check predict() would run, but failing in the caller's thread instead
@@ -52,6 +79,7 @@ std::future<ForecastResult> ForecastServer::submit(const nn::Tensor& input01) {
 
   req.input = input01;
   req.enqueued_at = std::chrono::steady_clock::now();
+  req.trace_id = obs::TraceContext::current();
   std::future<ForecastResult> future = req.promise.get_future();
   PP_CHECK_MSG(queue_.push(req), "ForecastServer::submit after shutdown");
   {
@@ -77,6 +105,10 @@ void ForecastServer::shutdown() {
   queue_.close();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
+  // After the drain every span this server will ever record exists, so this
+  // is the safe dump point. Only the server that configured the trace dumps
+  // (idempotent across replicas sharing one path).
+  if (!config_.trace.empty()) obs::Tracer::instance().dump_configured();
 }
 
 ServeStats ForecastServer::stats() const {
@@ -93,6 +125,19 @@ void ForecastServer::worker_loop() {
 }
 
 void ForecastServer::run_batch(std::vector<PendingRequest> batch) {
+  // The batch executes once for many requests; adopt the first traced
+  // request's id so the batch span stitches to at least one request chain
+  // (the others are reachable through the shared span's time range).
+  std::uint64_t batch_trace = 0;
+  const auto batch_start = std::chrono::steady_clock::now();
+  for (const PendingRequest& req : batch) {
+    if (batch_trace == 0) batch_trace = req.trace_id;
+    instruments().batch_wait.record(
+        std::chrono::duration<double>(batch_start - req.enqueued_at).count());
+  }
+  const obs::ScopedTraceId trace_scope(batch_trace);
+  obs::Span span("serve.run_batch", "serve");
+  if (span.active()) span.arg("batch", static_cast<std::int64_t>(batch.size()));
   try {
     const ModelSnapshot snapshot = registry_.current();
 
@@ -125,6 +170,10 @@ void ForecastServer::run_batch(std::vector<PendingRequest> batch) {
       }
     }
     if (unique_inputs.empty()) return;  // everything was already cached
+    if (span.active()) {
+      span.arg("unique", static_cast<std::int64_t>(unique_inputs.size()));
+      span.arg("coalesced", static_cast<std::int64_t>(coalesced));
+    }
 
     nn::Tensor heatmaps;
     {
@@ -134,6 +183,10 @@ void ForecastServer::run_batch(std::vector<PendingRequest> batch) {
     // Scoring is pure per-pixel decoding — no layer state — so it runs
     // outside the lock and overlaps with the next batch's forward pass.
     const std::vector<double> scores = snapshot.model->congestion_scores(heatmaps);
+    instruments().batch_exec.record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - batch_start).count());
+    instruments().batches.fetch_add(1);
+    instruments().coalesced.fetch_add(coalesced);
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.batches += 1;

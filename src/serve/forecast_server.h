@@ -45,6 +45,10 @@ struct ServeConfig {
   /// per-server — both built-in backends agree to ~1e-4, but a swap mid-run
   /// invalidates bit-exact cache guarantees, so pick one at startup.
   std::string backend;
+  /// Chrome-trace dump path. Non-empty enables the process-wide tracer (the
+  /// programmatic twin of PAINTPLACE_TRACE) and writes the trace JSON there
+  /// on shutdown. Like the backend, the tracer is process-wide.
+  std::string trace;
 };
 
 class ForecastServer {

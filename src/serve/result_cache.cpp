@@ -1,15 +1,47 @@
 #include "serve/result_cache.h"
 
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
 namespace paintplace::serve {
 
+namespace {
+
+// Process-wide cache counters: every ResultCache instance (one per replica)
+// feeds the same registry instruments, so the exposition shows fleet totals.
+struct CacheMetrics {
+  obs::Counter& hits = obs::MetricsRegistry::global().counter(
+      "serve_cache_hits_total", "result-cache lookups served without the model");
+  obs::Counter& misses = obs::MetricsRegistry::global().counter(
+      "serve_cache_misses_total", "result-cache lookups that fell through to a batch");
+  obs::Counter& evictions = obs::MetricsRegistry::global().counter(
+      "serve_cache_evictions_total", "entries evicted (LRU pressure or stale version)");
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics m;
+  return m;
+}
+
+void trace_lookup(obs::Span& span, bool hit) {
+  if (span.active()) span.arg("hit", static_cast<std::int64_t>(hit ? 1 : 0));
+}
+
+}  // namespace
+
 std::optional<ForecastResult> ResultCache::get(const TensorKey& key) {
+  obs::Span span("cache.get", "serve");
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     stats_.misses += 1;
+    cache_metrics().misses.fetch_add(1);
+    trace_lookup(span, false);
     return std::nullopt;
   }
   stats_.hits += 1;
+  cache_metrics().hits.fetch_add(1);
+  trace_lookup(span, true);
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   ForecastResult result = it->second->second;
   result.from_cache = true;
@@ -18,10 +50,13 @@ std::optional<ForecastResult> ResultCache::get(const TensorKey& key) {
 
 std::optional<ForecastResult> ResultCache::get(const TensorKey& key,
                                                std::uint64_t required_version) {
+  obs::Span span("cache.get", "serve");
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     stats_.misses += 1;
+    cache_metrics().misses.fetch_add(1);
+    trace_lookup(span, false);
     return std::nullopt;
   }
   if (it->second->second.model_version != required_version) {
@@ -29,9 +64,14 @@ std::optional<ForecastResult> ResultCache::get(const TensorKey& key,
     index_.erase(it);
     stats_.misses += 1;
     stats_.evictions += 1;
+    cache_metrics().misses.fetch_add(1);
+    cache_metrics().evictions.fetch_add(1);
+    trace_lookup(span, false);
     return std::nullopt;
   }
   stats_.hits += 1;
+  cache_metrics().hits.fetch_add(1);
+  trace_lookup(span, true);
   lru_.splice(lru_.begin(), lru_, it->second);
   ForecastResult result = it->second->second;
   result.from_cache = true;
@@ -53,6 +93,7 @@ void ResultCache::put(const TensorKey& key, const ForecastResult& result) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
     stats_.evictions += 1;
+    cache_metrics().evictions.fetch_add(1);
   }
 }
 

@@ -1,16 +1,49 @@
 #include "train/trainer.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 
 #include "common/timer.h"
 #include "data/metrics.h"
 #include "nn/serialize.h"
 #include "nn/tensor_ops.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace paintplace::train {
 
 namespace {
+
+// Training-side registry instruments: per-step phase timings (where a step's
+// wall time goes) and loss gauges holding the latest epoch's mean losses
+// (the full curve lives in train_metrics.json). They share the registry
+// with the serving metrics, so one scrape shows both sides.
+struct TrainInstruments {
+  obs::Histogram& data_phase = obs::MetricsRegistry::global().histogram(
+      "train_data_seconds", "per-step batch assembly (the data phase)");
+  obs::Histogram& g_forward = obs::MetricsRegistry::global().histogram(
+      "train_g_forward_seconds", "per-step generator forward");
+  obs::Histogram& d_step = obs::MetricsRegistry::global().histogram(
+      "train_d_step_seconds", "per-step discriminator forward/backward + Adam");
+  obs::Histogram& g_step = obs::MetricsRegistry::global().histogram(
+      "train_g_step_seconds", "per-step generator backward + Adam");
+  obs::Counter& steps = obs::MetricsRegistry::global().counter(
+      "train_steps_total", "optimizer steps run");
+  obs::Counter& epochs = obs::MetricsRegistry::global().counter(
+      "train_epochs_total", "epochs completed");
+  obs::Gauge& loss_d = obs::MetricsRegistry::global().gauge(
+      "train_loss_d", "latest epoch-mean discriminator loss");
+  obs::Gauge& loss_g_gan = obs::MetricsRegistry::global().gauge(
+      "train_loss_g_gan", "latest epoch-mean generator adversarial loss");
+  obs::Gauge& loss_g_l1 = obs::MetricsRegistry::global().gauge(
+      "train_loss_g_l1", "latest epoch-mean generator L1 loss");
+};
+
+TrainInstruments& instruments() {
+  static TrainInstruments inst;
+  return inst;
+}
 
 constexpr const char* kStateKey = "__trainer_state__";
 
@@ -88,6 +121,7 @@ void Trainer::save_checkpoints(bool is_best) {
                                           best_lo, steps_hi, steps_lo}));
   forecaster_.model().save_optimizer_state(state);
   nn::save_tensors_file(state, join(config_.checkpoint_dir, kStateCheckpoint));
+  write_metrics_json();
 }
 
 EpochStats Trainer::validate(const std::vector<const data::Sample*>& val_samples, Index epoch) {
@@ -149,15 +183,27 @@ std::vector<EpochStats> Trainer::run(const std::vector<const data::Sample*>& tra
   std::vector<EpochStats> history;
   for (Index epoch = start_epoch_; epoch < config_.epochs; ++epoch) {
     Timer epoch_timer;
+    obs::Span epoch_span("train.epoch", "train");
+    if (epoch_span.active()) epoch_span.arg("epoch", epoch);
     EpochStats stats;
     stats.epoch = epoch;
     loader.start_epoch(epoch);
     Batch batch;
     Timer data_timer;
     while (loader.next(batch)) {
-      stats.data_seconds += data_timer.seconds();
+      const double data_s = data_timer.seconds();
+      stats.data_seconds += data_s;
+      instruments().data_phase.record(data_s);
       core::StepTimings step;
-      stats.train += forecaster_.model().train_step(batch.inputs, batch.targets, &step);
+      {
+        obs::Span step_span("train.step", "train");
+        if (step_span.active()) step_span.arg("step", total_steps_);
+        stats.train += forecaster_.model().train_step(batch.inputs, batch.targets, &step);
+      }
+      instruments().g_forward.record(step.g_forward_s);
+      instruments().d_step.record(step.d_step_s);
+      instruments().g_step.record(step.g_step_s);
+      instruments().steps.fetch_add(1);
       stats.phases += step;
       stats.steps += 1;
       total_steps_ += 1;
@@ -177,13 +223,49 @@ std::vector<EpochStats> Trainer::run(const std::vector<const data::Sample*>& tra
       }
     }
 
+    instruments().epochs.fetch_add(1);
+    instruments().loss_d.set(stats.train.d_loss);
+    instruments().loss_g_gan.set(stats.train.g_gan);
+    instruments().loss_g_l1.set(stats.train.g_l1);
+
     start_epoch_ = epoch + 1;  // state records the NEXT epoch to run
-    save_checkpoints(stats.is_best);
     stats.epoch_seconds = epoch_timer.seconds();
+    metrics_history_.push_back(stats);
+    save_checkpoints(stats.is_best);
     history.push_back(stats);
     if (config_.on_epoch) config_.on_epoch(stats);
   }
   return history;
+}
+
+void Trainer::write_metrics_json() const {
+  if (config_.checkpoint_dir.empty()) return;
+  std::FILE* f = std::fopen(join(config_.checkpoint_dir, kMetricsJson).c_str(), "w");
+  if (f == nullptr) return;  // metrics are best-effort; checkpoints already saved
+  std::fprintf(f, "{\n  \"total_steps\": %lld,\n  \"epochs\": [\n",
+               static_cast<long long>(total_steps_));
+  for (std::size_t i = 0; i < metrics_history_.size(); ++i) {
+    const EpochStats& s = metrics_history_[i];
+    std::fprintf(f,
+                 "    {\"epoch\": %lld, \"steps\": %lld, "
+                 "\"d_loss\": %.6f, \"g_gan\": %.6f, \"g_l1\": %.6f, "
+                 "\"data_seconds\": %.6f, \"g_forward_seconds\": %.6f, "
+                 "\"d_step_seconds\": %.6f, \"g_step_seconds\": %.6f, "
+                 "\"epoch_seconds\": %.6f",
+                 static_cast<long long>(s.epoch), static_cast<long long>(s.steps),
+                 s.train.d_loss, s.train.g_gan, s.train.g_l1, s.data_seconds,
+                 s.phases.g_forward_s, s.phases.d_step_s, s.phases.g_step_s, s.epoch_seconds);
+    if (s.has_validation) {
+      std::fprintf(f,
+                   ", \"val_l1\": %.6f, \"val_pixel_accuracy\": %.6f, "
+                   "\"val_rank_correlation\": %.6f, \"val_topk\": %.6f, \"is_best\": %s",
+                   s.val_l1, s.val_pixel_accuracy, s.val_rank_correlation, s.val_topk,
+                   s.is_best ? "true" : "false");
+    }
+    std::fprintf(f, "}%s\n", i + 1 < metrics_history_.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
 }
 
 }  // namespace paintplace::train

@@ -13,6 +13,9 @@
 //   best.ckpt           — model with the lowest validation L1 so far
 //   trainer_state.ckpt  — loop state (next epoch, best metric, step count)
 //                         plus both Adam optimizers' moments and step count
+//   train_metrics.json  — per-epoch loss curves, phase timing breakdown
+//                         (data/G-fwd/D/G-bwd) and validation metrics,
+//                         rewritten after every epoch
 // With the moments restored, resuming replays exactly the run that was
 // interrupted: under a deterministic model configuration (no dropout) the
 // checkpoints of a resumed run are bitwise-identical to an uninterrupted
@@ -64,6 +67,7 @@ class Trainer {
   static constexpr const char* kLastCheckpoint = "last.ckpt";
   static constexpr const char* kBestCheckpoint = "best.ckpt";
   static constexpr const char* kStateCheckpoint = "trainer_state.ckpt";
+  static constexpr const char* kMetricsJson = "train_metrics.json";
 
   /// The forecaster is borrowed; it must outlive the Trainer. With
   /// config.resume, the model weights and loop state are restored here.
@@ -83,8 +87,12 @@ class Trainer {
   double best_val_l1() const { return best_val_l1_; }
   Index total_steps() const { return total_steps_; }
 
+  /// Epochs recorded by run() so far this process (what kMetricsJson holds).
+  const std::vector<EpochStats>& metrics_history() const { return metrics_history_; }
+
  private:
   void save_checkpoints(bool is_best);
+  void write_metrics_json() const;
   void try_resume();
   /// Runs validation and writes the val_* fields (and has_validation) into
   /// `stats`; no-op on an empty sample list.
@@ -96,6 +104,7 @@ class Trainer {
   Index total_steps_ = 0;
   double best_val_l1_ = 0.0;
   bool has_best_ = false;
+  std::vector<EpochStats> metrics_history_;
 };
 
 }  // namespace paintplace::train

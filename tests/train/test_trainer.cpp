@@ -85,6 +85,20 @@ TEST(Trainer, WritesCheckpointsAndResumes) {
   EXPECT_TRUE(fs::exists(fs::path(dir) / Trainer::kBestCheckpoint));
   EXPECT_TRUE(fs::exists(fs::path(dir) / Trainer::kStateCheckpoint));
 
+  // The per-epoch metrics JSON lands next to the checkpoints, covering the
+  // whole run: both epochs, losses, and the per-phase timing breakdown.
+  {
+    const auto bytes = file_bytes(fs::path(dir) / Trainer::kMetricsJson);
+    const std::string json(bytes.begin(), bytes.end());
+    EXPECT_NE(json.find("\"total_steps\": 4"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"epoch\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"epoch\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"d_loss\":"), std::string::npos);
+    EXPECT_NE(json.find("\"g_l1\":"), std::string::npos);
+    EXPECT_NE(json.find("\"g_forward_seconds\":"), std::string::npos);
+    EXPECT_NE(json.find("\"val_l1\":"), std::string::npos);
+  }
+
   // Resuming with the same epoch budget: nothing left to do.
   {
     core::CongestionForecaster forecaster(core::testfix::tiny_model_config());

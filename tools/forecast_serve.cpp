@@ -27,6 +27,8 @@
 #include "common/parallel.h"
 #include "core/forecaster.h"
 #include "net/server.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -50,7 +52,10 @@ struct Options {
   bool allow_swap = false;
   std::string snapshot;          ///< save the serving model here at startup
   Index log_period_ms = 2000;
+  Index idle_ms = 0;             ///< close idle connections after this (0 = never)
   std::string backend;
+  std::string trace;             ///< chrome-trace dump path (also PAINTPLACE_TRACE)
+  std::string metrics_dump;      ///< write final metrics exposition here on drain
   std::uint64_t seed = 1;
 };
 
@@ -73,7 +78,11 @@ void usage() {
       "  --allow-swap           accept in-band checkpoint hot-swap requests\n"
       "  --snapshot PATH        save the serving model to PATH at startup\n"
       "  --log-ms N             metrics log-line period; 0 silences it (default 2000)\n"
+      "  --idle-ms N            close connections idle this long; 0 keeps them (default 0)\n"
       "  --backend NAME         compute backend (reference|cpu_opt)\n"
+      "  --trace PATH           enable tracing, dump chrome://tracing JSON to PATH on drain\n"
+      "                         (PAINTPLACE_TRACE=PATH does the same)\n"
+      "  --metrics-dump PATH    write the final metrics exposition to PATH on drain\n"
       "  --seed N               stand-in model seed (default 1)\n");
 }
 
@@ -135,9 +144,18 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (!std::strcmp(a, "--log-ms")) {
       if (!(v = need_value(i))) return false;
       opt.log_period_ms = std::atoll(v);
+    } else if (!std::strcmp(a, "--idle-ms")) {
+      if (!(v = need_value(i))) return false;
+      opt.idle_ms = std::atoll(v);
     } else if (!std::strcmp(a, "--backend")) {
       if (!(v = need_value(i))) return false;
       opt.backend = v;
+    } else if (!std::strcmp(a, "--trace")) {
+      if (!(v = need_value(i))) return false;
+      opt.trace = v;
+    } else if (!std::strcmp(a, "--metrics-dump")) {
+      if (!(v = need_value(i))) return false;
+      opt.metrics_dump = v;
     } else if (!std::strcmp(a, "--seed")) {
       if (!(v = need_value(i))) return false;
       opt.seed = static_cast<std::uint64_t>(std::atoll(v));
@@ -203,6 +221,7 @@ int main(int argc, char** argv) {
   cfg.port = static_cast<std::uint16_t>(opt.port);
   cfg.allow_swap = opt.allow_swap;
   cfg.metrics_log_period = std::chrono::milliseconds(opt.log_period_ms);
+  cfg.idle_timeout = std::chrono::milliseconds(opt.idle_ms);
   cfg.pool.replicas = opt.replicas;
   cfg.pool.max_replica_depth = opt.max_replica_depth;
   cfg.pool.max_client_inflight = opt.max_client_inflight;
@@ -210,6 +229,9 @@ int main(int argc, char** argv) {
   cfg.pool.serve.max_wait = std::chrono::microseconds(opt.max_wait_us);
   cfg.pool.serve.cache_capacity = opt.cache_capacity;
   cfg.pool.serve.backend = opt.backend;
+  // --trace takes precedence over an inherited PAINTPLACE_TRACE; either way
+  // the tracer is enabled now and the JSON is written on drain.
+  if (!opt.trace.empty()) paintplace::obs::Tracer::instance().configure(opt.trace);
 
   sem_init(&g_stop_sem, 0, 0);
   std::signal(SIGINT, handle_stop);
@@ -231,7 +253,28 @@ int main(int argc, char** argv) {
     while (sem_wait(&g_stop_sem) != 0 && errno == EINTR) {
     }
     std::printf("draining ...\n");
+    // Snapshot gauges before shutdown (the pool is gone afterwards), write
+    // the exposition after it so every counter includes the drained tail.
+    const net::PoolGauges gauges = server.pool_gauges();
     server.shutdown();
+    if (!opt.metrics_dump.empty()) {
+      std::string exposition = net::render_text(server.metrics(), gauges);
+      exposition += paintplace::obs::MetricsRegistry::global().render_prometheus(
+          [](const std::string& name) { return name.rfind("net_", 0) != 0; });
+      if (std::FILE* f = std::fopen(opt.metrics_dump.c_str(), "w")) {
+        std::fwrite(exposition.data(), 1, exposition.size(), f);
+        std::fclose(f);
+        std::printf("metrics written to %s\n", opt.metrics_dump.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write metrics to %s\n", opt.metrics_dump.c_str());
+      }
+    }
+    if (paintplace::obs::Tracer::instance().dump_configured()) {
+      std::printf("trace written to %s (%zu spans, %llu dropped)\n",
+                  paintplace::obs::Tracer::instance().configured_path().c_str(),
+                  paintplace::obs::Tracer::instance().recorded(),
+                  static_cast<unsigned long long>(paintplace::obs::Tracer::instance().dropped()));
+    }
     const net::Metrics& m = server.metrics();
     std::printf("served %llu requests (%llu shed, %llu protocol errors); bye\n",
                 static_cast<unsigned long long>(m.requests_completed.load()),
