@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "fpga/netgen.h"
 #include "img/render.h"
 #include "place/sa_placer.h"
@@ -112,5 +113,20 @@ int main() {
   std::printf("congestion: mean %.3f, max %.3f over %lld channel segments\n",
               cs.mean_utilization, cs.max_utilization, static_cast<long long>(cs.segments));
   std::printf("\nwrote fig2a..fig2e PPM images\n");
+
+  bench::BenchReport report("fig2");
+  report.meta(bench::jstr("design", "diffeq1@0.12"));
+  report.meta(bench::jint("channel_width", static_cast<long long>(arch.params().channel_width)));
+  report.sample({bench::jstr("section", "routing"),
+                 bench::jbool("success", rr.success),
+                 bench::jint("iterations", static_cast<long long>(rr.iterations))});
+  report.sample({bench::jstr("section", "diff"),
+                 bench::jnum("routing_area_mean", diff_routing_area / static_cast<double>(routing_px)),
+                 bench::jnum("block_mean", diff_tiles / static_cast<double>(tile_px))});
+  report.sample({bench::jstr("section", "congestion"),
+                 bench::jnum("mean_utilization", cs.mean_utilization),
+                 bench::jnum("max_utilization", cs.max_utilization),
+                 bench::jint("segments", static_cast<long long>(cs.segments))});
+  report.write();
   return 0;
 }

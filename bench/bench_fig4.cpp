@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "fpga/netgen.h"
 #include "img/render.h"
 #include "place/sa_placer.h"
@@ -20,6 +21,7 @@ int main() {
   const img::PixelGeometry geom(arch, 256);
 
   double mean[2] = {0.0, 0.0};
+  double hpwl[2] = {0.0, 0.0};
   img::Image images[2] = {img::Image(1, 1, 1), img::Image(1, 1, 1)};
   for (int i = 0; i < 2; ++i) {
     place::PlacerOptions opt;
@@ -34,16 +36,28 @@ int main() {
     }
     mean[i] /= static_cast<double>(images[i].num_pixels());
     img::write_image(images[i], "fig4_connectivity_" + std::to_string(i) + ".pgm");
+    hpwl[i] = placer.report().final_cost;
     std::printf("placement %d (alpha_t %.2f): HPWL %.0f, mean connectivity intensity %.4f\n", i,
-                opt.alpha_t, placer.report().final_cost, mean[i]);
+                opt.alpha_t, hpwl[i], mean[i]);
   }
   const img::Image delta = img::abs_diff(images[0], images[1]);
   double mean_delta = 0.0;
   for (Index p = 0; p < delta.num_pixels(); ++p) {
     mean_delta += static_cast<double>(delta.data()[p]);
   }
-  std::printf("mean |difference| between the two connectivity images: %.4f\n",
-              mean_delta / static_cast<double>(delta.num_pixels()));
+  mean_delta /= static_cast<double>(delta.num_pixels());
+  std::printf("mean |difference| between the two connectivity images: %.4f\n", mean_delta);
   std::printf("\nwrote fig4_connectivity_{0,1}.pgm\n");
+
+  bench::BenchReport report("fig4");
+  report.meta(bench::jstr("design", "raygentop@0.05"));
+  for (int i = 0; i < 2; ++i) {
+    report.sample({bench::jstr("section", "placement"), bench::jint("index", i),
+                   bench::jnum("hpwl", hpwl[i]),
+                   bench::jnum("mean_intensity", mean[i])});
+  }
+  report.sample(
+      {bench::jstr("section", "delta"), bench::jnum("mean_abs_delta", mean_delta)});
+  report.write();
   return 0;
 }

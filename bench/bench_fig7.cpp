@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "img/image.h"
 
 using namespace paintplace;
@@ -40,6 +41,10 @@ int main() {
   const data::Sample& probe = *test_set.front();
   img::write_image(img::Image::from_tensor(probe.target), "fig7a_truth.ppm");
 
+  BenchReport report("fig7");
+  report.meta(jstr("design", "OR1200"));
+  report.meta(jint("epochs", static_cast<long long>(scale.epochs)));
+
   std::printf("%-26s %12s %14s %12s\n", "model", "probe acc", "test-set acc", "final L1");
   for (const Config& cfg : configs) {
     core::CongestionForecaster forecaster(model_config(scale, cfg.skips, cfg.use_l1));
@@ -53,7 +58,12 @@ int main() {
     const core::EvalResult eval = forecaster.evaluate(test_set);
     std::printf("%-26s %11.1f%% %13.1f%% %12.3f\n", cfg.label, 100.0 * probe_acc,
                 100.0 * eval.mean_pixel_accuracy, history.back().g_l1);
+    report.sample({jstr("section", "ablation"), jstr("model", cfg.file_tag),
+                   jnum("probe_accuracy", probe_acc),
+                   jnum("test_accuracy", eval.mean_pixel_accuracy),
+                   jnum("final_l1", history.back().g_l1)});
   }
+  report.write();
   std::printf("\nwrote fig7a_truth.ppm, fig7b_l1_allskip.ppm, fig7c_no_l1.ppm, "
               "fig7d_single_skip.ppm\n");
   return 0;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 
 using namespace paintplace;
 using namespace paintplace::bench;
@@ -83,15 +84,24 @@ int main() {
     std::printf("\n");
   }
 
+  BenchReport report("fig8");
+  report.meta(jstr("design", "OR1200"));
+  report.meta(jint("epochs", static_cast<long long>(scale.epochs)));
   std::printf("\ntraining noise (mean |epoch-to-epoch change|, G loss normalized by mean):\n");
   for (int c = 0; c < 3; ++c) {
     const auto& s = g_series[static_cast<std::size_t>(c)];
     double mean = 0.0;
     for (double v : s) mean += v;
     mean /= static_cast<double>(s.size());
-    std::printf("  %-10s G %.4f  D %.4f\n", configs[c].label, series_noise(s) / mean,
-                series_noise(d_series[static_cast<std::size_t>(c)]));
+    const double g_noise = series_noise(s) / mean;
+    const double d_noise = series_noise(d_series[static_cast<std::size_t>(c)]);
+    std::printf("  %-10s G %.4f  D %.4f\n", configs[c].label, g_noise, d_noise);
+    report.sample({jstr("section", "noise"), jstr("model", configs[c].label),
+                   jnum("g_noise", g_noise), jnum("d_noise", d_noise),
+                   jnum("g_final", s.back()),
+                   jnum("d_final", d_series[static_cast<std::size_t>(c)].back())});
   }
+  report.write();
   std::printf("\npaper's read: L1+skip optimizes smoothly; the other two are noisier,\n"
               "which shows up above as larger normalized epoch-to-epoch movement.\n");
   return 0;

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "core/explorer.h"
 #include "img/image.h"
 
@@ -51,6 +52,10 @@ int main() {
       {"right-min", core::Region::right(), core::Objective::kMinimize},
   };
 
+  BenchReport report("fig9");
+  report.meta(jstr("design", "ode"));
+  report.meta(jint("candidates", static_cast<long long>(candidates.size())));
+
   std::printf("%-13s %-7s %-20s %-18s %-12s\n", "objective", "pick", "predicted (region)",
               "truth (region)", "truth-rank");
   int correct_rank = 0;
@@ -67,6 +72,9 @@ int main() {
       if (q.objective == core::Objective::kMinimize ? t < mine : t > mine) better += 1;
     }
     if (better == 0) correct_rank += 1;
+    report.sample({jstr("section", "objective"), jstr("label", q.label),
+                   jnum("predicted", pick.predicted_score), jnum("truth", pick.true_score),
+                   jint("truth_rank", static_cast<long long>(better + 1))});
     std::printf("%-13s #%-6lld %-20.4f %-18.4f best-%lld\n", q.label,
                 static_cast<long long>(pick.sample_index), pick.predicted_score, pick.true_score,
                 static_cast<long long>(better + 1));
@@ -79,5 +87,7 @@ int main() {
   std::printf("\n%d / 5 objectives picked the truly best candidate (ties with near-best are\n"
               "expected at reduced scale); wrote fig9_<objective>_{output,truth}.ppm\n",
               correct_rank);
+  report.sample({jstr("section", "summary"), jint("correct_rank", correct_rank)});
+  report.write();
   return 0;
 }

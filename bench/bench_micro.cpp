@@ -4,6 +4,7 @@
 // discussion of Sec 5.1 and catch performance regressions.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
 #include "common/rng.h"
 #include "core/unet.h"
 #include "data/dataset.h"
@@ -159,6 +160,43 @@ void BM_ColormapDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_ColormapDecode);
 
+// Console reporter that also accumulates each run into a BenchReport so the
+// harness emits BENCH_micro.json alongside the usual console table.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(bench::BenchReport& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      const double iters = static_cast<double>(run.iterations);
+      std::vector<bench::JsonField> fields;
+      fields.push_back(bench::jstr("name", run.benchmark_name()));
+      fields.push_back(bench::jint("iterations", static_cast<long long>(run.iterations)));
+      fields.push_back(bench::jnum("real_time_ms", run.real_accumulated_time / iters * 1e3));
+      fields.push_back(bench::jnum("cpu_time_ms", run.cpu_accumulated_time / iters * 1e3));
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        fields.push_back(bench::jnum("items_per_s", items->second.value));
+      }
+      report_.sample(fields);
+    }
+  }
+
+ private:
+  bench::BenchReport& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::BenchReport report("micro");
+  JsonTeeReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.write();
+  return 0;
+}

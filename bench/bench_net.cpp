@@ -30,6 +30,9 @@
 #include "core/forecaster.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/metrics_registry.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 
 using namespace paintplace;
 
@@ -295,6 +298,121 @@ int main() {
                    bench::jint("post_swap", post_swap)});
     if (failed != 0 || shed != 0 || post_swap == 0 || done == 0) {
       std::printf("FAIL: hot swap dropped or failed accepted requests\n");
+      ok = false;
+    }
+  }
+
+  // ---- 4. Tail-based trace sampling ------------------------------------------
+  // The same no-shed swarm twice: once recording every span, once with
+  // 1-in-100 head sampling and a slow threshold nothing reaches. The sampled
+  // trace must be at least 10x smaller — that is the whole point of tail
+  // sampling. Then a deliberately overloaded run with sampling still on:
+  // every shed request must be tail-retained (obs_trace_retained_error) and
+  // its spans must be present in the dump even though head sampling would
+  // have dropped essentially everything.
+  std::printf("\ntail-based trace sampling (1-in-100 vs full):\n");
+  {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    obs::Counter& sampled_ctr = reg.counter("obs_trace_sampled_total");
+    obs::Counter& retained_err_ctr = reg.counter("obs_trace_retained_error_total");
+    obs::Counter& discarded_ctr = reg.counter("obs_trace_discarded_total");
+
+    // One traced swarm: `conns` pipelined connections, `per_conn` requests
+    // each, against a fresh server. Returns (ok, shed) totals.
+    auto run_traced = [&](bool overload, Index per_conn,
+                          Index depth) -> std::pair<std::uint64_t, std::uint64_t> {
+      net::NetServerConfig scfg;
+      scfg.pool.replicas = overload ? 1 : 2;
+      scfg.pool.max_replica_depth = overload ? 2 : 0;
+      scfg.pool.max_client_inflight = 0;
+      scfg.pool.serve.max_batch = overload ? 4 : 8;
+      scfg.pool.serve.max_wait = std::chrono::microseconds(overload ? 500 : 2000);
+      scfg.pool.serve.cache_capacity = 0;
+      net::NetServer server(scfg, make_model);
+      std::vector<std::thread> threads;
+      std::vector<WorkerTally> tallies(2);
+      for (int c = 0; c < 2; ++c) {
+        threads.emplace_back([&, c] {
+          tallies[static_cast<std::size_t>(c)] =
+              run_worker(server.port(), inputs, per_conn, depth, nullptr);
+        });
+      }
+      for (auto& th : threads) th.join();
+      server.shutdown();
+      std::uint64_t done = 0, shed = 0;
+      for (const WorkerTally& t : tallies) done += t.ok, shed += t.shed;
+      return {done, shed};
+    };
+
+    // Full tracing baseline.
+    tracer.clear();
+    tracer.enable();
+    run_traced(false, reps, 4);
+    const std::string full_json = tracer.dump_json();
+    tracer.clear();
+
+    // Head-sample 1-in-100; the slow threshold is far beyond any loopback
+    // request, so only the head decision keeps anything.
+    obs::SamplerConfig sc;
+    sc.sample_every = 100;
+    sc.slow_threshold_s = 30.0;
+    tracer.sampler().configure(sc);
+    const std::uint64_t sampled0 = sampled_ctr.load();
+    const std::uint64_t discarded0 = discarded_ctr.load();
+    run_traced(false, reps, 4);
+    const std::string sampled_json = tracer.dump_json();
+    const std::uint64_t sampled_delta = sampled_ctr.load() - sampled0;
+    const std::uint64_t discarded_delta = discarded_ctr.load() - discarded0;
+    tracer.clear();
+
+    const double ratio = static_cast<double>(full_json.size()) /
+                         static_cast<double>(std::max<std::size_t>(1, sampled_json.size()));
+    std::printf("  full trace %zu bytes; sampled %zu bytes (%.1fx smaller); "
+                "%llu head-sampled, %llu discarded\n",
+                full_json.size(), sampled_json.size(), ratio,
+                static_cast<unsigned long long>(sampled_delta),
+                static_cast<unsigned long long>(discarded_delta));
+    report.sample({bench::jstr("section", "trace_sampling"),
+                   bench::jnum("size_reduction", ratio),
+                   bench::jint("full_bytes", static_cast<Index>(full_json.size())),
+                   bench::jint("sampled_bytes", static_cast<Index>(sampled_json.size()))});
+    if (ratio < 10.0 || discarded_delta == 0) {
+      std::printf("FAIL: 1-in-100 sampling must shrink the trace >= 10x (got %.1fx)\n", ratio);
+      ok = false;
+    }
+
+    // Overload with sampling on: sheds must be tail-retained regardless of
+    // the head decision. A head-sampled shed commits live instead (counted
+    // at begin), so the coverage invariant is retained + head-sampled >=
+    // sheds: every shed is in the trace one way or the other.
+    const std::uint64_t err0 = retained_err_ctr.load();
+    const std::uint64_t head0 = sampled_ctr.load();
+    const auto [over_ok, over_shed] = run_traced(true, 2 * reps, 16);
+    const std::uint64_t err_delta = retained_err_ctr.load() - err0;
+    const std::uint64_t head_delta = sampled_ctr.load() - head0;
+    const std::string shed_json = tracer.dump_json();
+    const bool shed_spans_present = shed_json.find("net.handle_forecast") != std::string::npos;
+    tracer.sampler().disable();
+    tracer.disable();
+    tracer.clear();
+    std::printf("  overload under sampling: %llu ok, %llu shed; %llu tail-retained + "
+                "%llu head-sampled, shed spans %s\n",
+                static_cast<unsigned long long>(over_ok),
+                static_cast<unsigned long long>(over_shed),
+                static_cast<unsigned long long>(err_delta),
+                static_cast<unsigned long long>(head_delta),
+                shed_spans_present ? "present in dump" : "MISSING from dump");
+    report.sample({bench::jstr("section", "shed_retention"),
+                   bench::jint("shed", static_cast<Index>(over_shed)),
+                   bench::jint("tail_retained", static_cast<Index>(err_delta))});
+    if (over_shed == 0 || err_delta == 0 || err_delta + head_delta < over_shed ||
+        !shed_spans_present) {
+      std::printf("FAIL: every shed request must appear in the trace "
+                  "(shed=%llu retained=%llu head-sampled=%llu)\n",
+                  static_cast<unsigned long long>(over_shed),
+                  static_cast<unsigned long long>(err_delta),
+                  static_cast<unsigned long long>(head_delta));
       ok = false;
     }
   }

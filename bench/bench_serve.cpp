@@ -19,6 +19,8 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "nn/tensor_ops.h"
+#include "obs/profiler.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "serve/forecast_server.h"
 
@@ -206,15 +208,19 @@ int main() {
                                      static_cast<double>(stats.requests)),
          bench::jnum("speedup", rps / one_client_rps)});
   }
-  // ---- 4. Tracing overhead guard --------------------------------------------
+  // ---- 4. Tracing + profiling overhead guard --------------------------------
   // The request path is instrumented with obs::Span at every layer (net,
-  // pool, serve, core, per-layer, per-GEMM). With the tracer disabled — the
-  // production default — a Span must cost one relaxed atomic load. Measure
-  // that cost directly and bound the implied fraction of a request's budget:
-  // even at a generous 64 spans/request, it must stay under 2% of the
-  // single-client request time measured above.
+  // pool, serve, core, per-layer, per-GEMM). With the tracer, the tail
+  // sampler AND the profiler all disabled — the production default — a Span
+  // must cost one relaxed atomic load (tracing and profiling share one
+  // combined flags word; the sampler only runs behind an enabled tracer).
+  // Measure that cost directly and bound the implied fraction of a request's
+  // budget: even at a generous 64 spans/request, it must stay under 2% of
+  // the single-client request time measured above.
   {
     obs::Tracer::instance().disable();
+    obs::Tracer::instance().sampler().disable();
+    obs::Profiler::instance().stop();
     constexpr int kSpanReps = 2'000'000;
     Timer t_span;
     for (int i = 0; i < kSpanReps; ++i) {
@@ -236,6 +242,37 @@ int main() {
       report.write();
       return 1;
     }
+  }
+
+  // ---- 5. Span-stack profiler on the serving path ---------------------------
+  // Run a short single-client server workload with the sampling profiler on
+  // and show where the samples land. The folded stacks should put the bulk
+  // of the time under serve.run_batch's forward pass — if they don't, the
+  // pipeline is spending its budget outside the model.
+  {
+    obs::Profiler& prof = obs::Profiler::instance();
+    prof.clear();
+    prof.start(std::chrono::microseconds(200));
+    serve::ServeConfig scfg;
+    scfg.max_batch = 8;
+    scfg.max_wait = std::chrono::microseconds(2000);
+    scfg.cache_capacity = 0;
+    auto serve_model = std::make_shared<core::CongestionForecaster>(cfg);
+    serve::ForecastServer server(scfg, std::move(serve_model));
+    for (Index i = 0; i < reps; ++i) {
+      server.submit(inputs[static_cast<std::size_t>(i % reps)]).get();
+    }
+    server.shutdown();
+    prof.stop();
+    std::printf("\nprofiler: %llu folded-stack samples over %lld requests; hottest stacks:\n",
+                static_cast<unsigned long long>(prof.samples()),
+                static_cast<long long>(reps));
+    for (const auto& [stack, count] : prof.top_k(5)) {
+      std::printf("  %8llu  %s\n", static_cast<unsigned long long>(count), stack.c_str());
+    }
+    report.sample({bench::jstr("section", "profiler"),
+                   bench::jint("samples", static_cast<Index>(prof.samples()))});
+    prof.clear();
   }
 
   report.write();

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 
 using namespace paintplace;
 using namespace paintplace::bench;
@@ -16,6 +17,7 @@ int main() {
   scale.print("Sec 5.1: routing-vs-inference speedup");
 
   core::CongestionForecaster forecaster(model_config(scale));
+  BenchReport report("speedup");
 
   std::printf("%-10s %14s %14s %10s %10s\n", "Design", "route (s)", "infer (s)", "speedup",
               "magnitude");
@@ -38,11 +40,16 @@ int main() {
     std::printf("%-10s %14.4f %14.4f %9.1fx %9.0fx\n", spec.name.c_str(),
                 world.mean_route_seconds, infer_s, speedup,
                 std::pow(10.0, std::round(std::log10(std::max(1.0, speedup)))));
+    report.sample({jstr("section", "design"), jstr("design", spec.name),
+                   jnum("route_seconds", world.mean_route_seconds),
+                   jnum("infer_seconds", infer_s), jnum("speedup", speedup)});
     total_speedup += speedup;
     rows += 1;
   }
   std::printf("\nmean speedup %.1fx — at paper scale the router works on fabrics ~25x larger\n",
               total_speedup / rows);
   std::printf("while inference grows ~16x (256^2/64^2), widening the gap further.\n");
+  report.sample({jstr("section", "summary"), jnum("mean_speedup", total_speedup / rows)});
+  report.write();
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 
 using namespace paintplace;
 using namespace paintplace::bench;
@@ -126,6 +127,10 @@ int main() {
     for (std::thread& w : workers) w.join();
   }
 
+  BenchReport report("table2");
+  report.meta(jint("epochs", static_cast<long long>(scale.epochs)));
+  report.meta(jint("placements", static_cast<long long>(scale.placements)));
+
   std::printf("\n%-10s %4s | %7s %7s %6s | %7s %7s %6s (paper)\n", "Design", "#P", "Acc.1",
               "Acc.2", "Top10", "Acc.1", "Acc.2", "Top10");
   double sum_acc1 = 0.0, sum_acc2 = 0.0, sum_top10 = 0.0, sum_rank_corr = 0.0;
@@ -135,6 +140,9 @@ int main() {
     std::printf("%-10s %4zu | %6.1f%% %6.1f%% %5.0f%% | %6.1f%% %6.1f%% %5.0f%%   [%.0fs]\n",
                 kPaper[d].design, r.test_size, 100.0 * r.acc1, 100.0 * r.acc2, 100.0 * r.top10,
                 kPaper[d].acc1, kPaper[d].acc2, kPaper[d].top10, r.seconds);
+    report.sample({jstr("section", "design"), jstr("design", kPaper[d].design),
+                   jnum("acc1", r.acc1), jnum("acc2", r.acc2), jnum("top10", r.top10),
+                   jnum("train_seconds", r.seconds)});
     sum_acc1 += r.acc1;
     sum_acc2 += r.acc2;
     sum_top10 += r.top10;
@@ -153,5 +161,9 @@ int main() {
               100.0 * 10.0 / static_cast<double>(scale.placements - fine_tune_pairs));
   std::printf("RUDY baseline (closed-form, non-learned): Top10 %.0f%%  rank-corr %.2f\n",
               100.0 * sum_rudy_top10 / n, sum_rudy_corr / n);
+  report.sample({jstr("section", "means"), jnum("acc1", sum_acc1 / n), jnum("acc2", sum_acc2 / n),
+                 jnum("top10", sum_top10 / n), jnum("rank_corr", sum_rank_corr / n),
+                 jnum("rudy_top10", sum_rudy_top10 / n), jnum("rudy_corr", sum_rudy_corr / n)});
+  report.write();
   return 0;
 }

@@ -129,6 +129,10 @@ void Client::send_swap_request(std::uint64_t request_id, const std::string& chec
   send_bytes(encode_swap_request(request_id, checkpoint_path));
 }
 
+void Client::send_health_request(std::uint64_t request_id) {
+  send_bytes(encode_health_request(request_id));
+}
+
 Frame Client::read_frame() {
   for (;;) {
     if (std::optional<Frame> frame = reader_.next()) return std::move(*frame);
@@ -174,6 +178,15 @@ SwapResponse Client::swap(const std::string& checkpoint_path) {
     throw WireError("server error: " + decode_text(frame));
   }
   return decode_swap_response(frame);
+}
+
+HealthInfo Client::health() {
+  send_health_request(next_id_++);
+  const Frame frame = read_frame();
+  if (frame.type == FrameType::kError) {
+    throw WireError("server error: " + decode_text(frame));
+  }
+  return decode_health_response(frame);
 }
 
 }  // namespace paintplace::net

@@ -71,6 +71,7 @@ class Client {
                      bool want_heatmap = false);
   void send_metrics_request(std::uint64_t request_id);
   void send_swap_request(std::uint64_t request_id, const std::string& checkpoint_path);
+  void send_health_request(std::uint64_t request_id);
 
   /// Next frame from the server. Throws WireError on a malformed stream and
   /// CheckError when the connection closed mid-frame.
@@ -82,6 +83,8 @@ class Client {
   ForecastResponse forecast(const nn::Tensor& input01, bool want_heatmap = false);
   std::string metrics_text();
   SwapResponse swap(const std::string& checkpoint_path);
+  /// Health probe: build identity, uptime, per-replica depths, SLO state.
+  HealthInfo health();
 
   void close();
   bool closed() const { return fd_ < 0; }

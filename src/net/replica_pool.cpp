@@ -126,4 +126,9 @@ PoolStats ReplicaPool::stats() const {
   return out;
 }
 
+std::vector<Index> ReplicaPool::replica_depths() const {
+  std::lock_guard<std::mutex> lock(admission_mu_);
+  return replica_depth_;
+}
+
 }  // namespace paintplace::net

@@ -94,6 +94,8 @@ class ReplicaPool {
   void shutdown();
 
   PoolStats stats() const;
+  /// Current admitted-but-unreleased depth per replica (health reporting).
+  std::vector<Index> replica_depths() const;
   int replicas() const { return static_cast<int>(replicas_.size()); }
   serve::ForecastServer& replica(int i) { return *replicas_.at(static_cast<std::size_t>(i)); }
 

@@ -11,7 +11,10 @@
 #include <cstring>
 #include <deque>
 
+#include "backend/backend.h"
 #include "core/pix2pix.h"
+#include "obs/build_info.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 namespace paintplace::net {
@@ -168,6 +171,9 @@ struct NetServer::Connection {
       case FrameType::kSwapRequest:
         handle_swap(frame);
         return true;
+      case FrameType::kHealthRequest:
+        handle_health(frame);
+        return true;
       default:
         // Clients must not send server-to-client frame types.
         server.metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
@@ -184,16 +190,44 @@ struct NetServer::Connection {
     // thread-local TraceContext through submit (pool dispatch, cache
     // lookup), is carried by PendingRequest into the batch worker, and by
     // Outgoing into the writer — every span along the way records it.
-    const obs::ScopedTraceId trace_scope(obs::TraceContext::next_id());
-    obs::Span span("net.handle_forecast", "net");
+    const std::uint64_t trace_id = obs::TraceContext::next_id();
+    const obs::ScopedTraceId trace_scope(trace_id);
+    // The sampler tracks the request for its whole wire lifetime: begin at
+    // id mint, finish either right here (decode error / unservable / shed)
+    // or in write_loop once the response is on the wire.
+    obs::Sampler& sampler = obs::Tracer::instance().sampler();
+    sampler.begin(trace_id);
+    const auto started_at = std::chrono::steady_clock::now();
 
+    bool admitted = false;
+    obs::RequestOutcome outcome = obs::RequestOutcome::kOk;
+    {
+      // Inner scope: the request span must close (and reach the sampler's
+      // provisional buffer) before finish() decides the request's fate.
+      obs::Span span("net.handle_forecast", "net");
+      admitted = dispatch_forecast(frame, span, outcome);
+    }
+    if (!admitted) {
+      sampler.finish(
+          trace_id,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - started_at).count(),
+          outcome);
+    }
+  }
+
+  /// Decode + admission for one forecast frame. Returns true when the
+  /// request was admitted (a pending Outgoing is queued and write_loop owns
+  /// its completion); false means an immediate response was enqueued and
+  /// `outcome` says how it ended.
+  bool dispatch_forecast(const Frame& frame, obs::Span& span, obs::RequestOutcome& outcome) {
     ForecastRequest req;
     try {
       req = decode_forecast_request(frame);
     } catch (const WireError& e) {
       server.metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
       enqueue_encoded(encode_error(frame.request_id, e.what()));
-      return;
+      outcome = obs::RequestOutcome::kError;
+      return false;
     }
 
     Outgoing out;
@@ -212,7 +246,8 @@ struct NetServer::Connection {
       resp.error = e.what();
       server.metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
       enqueue_encoded(encode_forecast_response(resp));
-      return;
+      outcome = obs::RequestOutcome::kError;
+      return false;
     }
 
     if (!out.admission.admitted()) {
@@ -227,12 +262,37 @@ struct NetServer::Connection {
       resp.status = Status::kShed;
       resp.shed_reason = out.admission.shed;
       enqueue_encoded(encode_forecast_response(resp));
-      return;
+      outcome = obs::RequestOutcome::kShed;
+      return false;
     }
 
     server.metrics_.requests_accepted.fetch_add(1, std::memory_order_relaxed);
     out.pending = true;
     enqueue(std::move(out));
+    return true;
+  }
+
+  void handle_health(const Frame& frame) {
+    HealthInfo info;
+    info.request_id = frame.request_id;
+    info.uptime_seconds = obs::process_uptime_seconds();
+    info.model_version = server.pool_->stats().model_version;
+    const obs::SloMonitor::Status slo = server.slo_monitor_->status();
+    info.slo_state = static_cast<std::uint8_t>(slo.state);
+    info.window_p99_s = slo.window_p99_s;
+    info.window_error_rate = slo.window_error_rate;
+    info.latency_burn_rate = slo.latency_burn_rate;
+    info.error_burn_rate = slo.error_burn_rate;
+    info.window_requests = slo.window_requests;
+    const std::vector<Index> depths = server.pool_->replica_depths();
+    info.replica_depths.reserve(depths.size());
+    for (Index d : depths) info.replica_depths.push_back(static_cast<std::uint32_t>(d));
+    const obs::BuildInfo& build = obs::build_info();
+    info.git_sha = build.git_sha;
+    info.compiler = build.compiler;
+    info.native_kernel = build.native_kernel;
+    info.backend = backend::active_backend().name();
+    enqueue_encoded(encode_health_response(info));
   }
 
   void handle_swap(const Frame& frame) {
@@ -272,32 +332,43 @@ struct NetServer::Connection {
 
       // An admitted forecast: resolve, respond, then release the admission
       // slot — the release point is what admission depth meters.
-      const obs::ScopedTraceId trace_scope(out.trace_id);
-      obs::Span span("net.write_response", "net");
-      ForecastResponse resp;
-      resp.request_id = out.request_id;
-      try {
-        const serve::ForecastResult result = out.admission.future.get();
-        resp.congestion_score = result.congestion_score;
-        resp.model_version = result.model_version;
-        resp.from_cache = result.from_cache;
-        if (out.want_heatmap) resp.heatmap = result.heatmap;
-      } catch (const std::exception& e) {
-        resp.status = Status::kFailed;
-        resp.error = e.what();
-        server.metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
-      }
-      if (!dead.load(std::memory_order_relaxed)) {
-        const std::vector<std::uint8_t> encoded = encode_forecast_response(resp);
-        if (send_all(fd, encoded.data(), encoded.size())) {
-          server.metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
-          server.metrics_.latency.record(
-              std::chrono::duration<double>(std::chrono::steady_clock::now() - out.accepted_at)
-                  .count());
-        } else {
-          dead.store(true, std::memory_order_relaxed);
+      bool failed = false;
+      {
+        // Inner scope so the writer's span reaches the sampler before
+        // finish() commits or discards the request's trace.
+        const obs::ScopedTraceId trace_scope(out.trace_id);
+        obs::Span span("net.write_response", "net");
+        ForecastResponse resp;
+        resp.request_id = out.request_id;
+        try {
+          const serve::ForecastResult result = out.admission.future.get();
+          resp.congestion_score = result.congestion_score;
+          resp.model_version = result.model_version;
+          resp.from_cache = result.from_cache;
+          if (out.want_heatmap) resp.heatmap = result.heatmap;
+        } catch (const std::exception& e) {
+          resp.status = Status::kFailed;
+          resp.error = e.what();
+          failed = true;
+          server.metrics_.requests_failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!dead.load(std::memory_order_relaxed)) {
+          const std::vector<std::uint8_t> encoded = encode_forecast_response(resp);
+          if (send_all(fd, encoded.data(), encoded.size())) {
+            server.metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
+            server.metrics_.latency.record(
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - out.accepted_at)
+                    .count());
+          } else {
+            dead.store(true, std::memory_order_relaxed);
+          }
         }
       }
+      obs::Tracer::instance().sampler().finish(
+          out.trace_id,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - out.accepted_at)
+              .count(),
+          failed ? obs::RequestOutcome::kError : obs::RequestOutcome::kOk);
       out.admission.slot.reset();
     }
   }
@@ -305,6 +376,12 @@ struct NetServer::Connection {
 
 NetServer::NetServer(const NetServerConfig& config, const ModelFactory& make_model)
     : config_(config), pool_(std::make_unique<ReplicaPool>(config.pool, make_model)) {
+  // The pool's replicas have applied ServeConfig::backend by now, so the
+  // build_info label reflects what will actually serve.
+  obs::register_process_metrics(backend::active_backend().name());
+  slo_monitor_ = std::make_unique<obs::SloMonitor>(config_.slo);
+  slo_monitor_->start();
+
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   PP_CHECK_MSG(listen_fd_ >= 0, "socket() failed: " << std::strerror(errno));
   const int one = 1;
@@ -450,6 +527,13 @@ void NetServer::shutdown() {
   // 3. Drain the replicas (everything admitted has already resolved — the
   // writers waited on their futures — so this mostly joins workers).
   pool_->shutdown();
+
+  // 4. One last tick so the final window reflects the drained traffic, then
+  // stop the SLO ticker.
+  if (slo_monitor_) {
+    slo_monitor_->tick();
+    slo_monitor_->stop();
+  }
 }
 
 }  // namespace paintplace::net

@@ -27,6 +27,7 @@
 #include "net/metrics.h"
 #include "net/replica_pool.h"
 #include "net/wire.h"
+#include "obs/slo.h"
 
 namespace paintplace::net {
 
@@ -48,6 +49,9 @@ struct NetServerConfig {
   /// half-close path, so admitted requests are still answered first.
   std::chrono::milliseconds idle_timeout{0};
   ReplicaPoolConfig pool;
+  /// Rolling-window SLO objectives; the monitor runs for the server's
+  /// lifetime and feeds the kHealthResponse frame and slo_* gauges.
+  obs::SloConfig slo;
 };
 
 class NetServer {
@@ -74,6 +78,7 @@ class NetServer {
 
   Metrics& metrics() { return metrics_; }
   ReplicaPool& pool() { return *pool_; }
+  obs::SloMonitor& slo_monitor() { return *slo_monitor_; }
   PoolGauges pool_gauges() const;
 
  private:
@@ -87,6 +92,7 @@ class NetServer {
   NetServerConfig config_;
   std::unique_ptr<ReplicaPool> pool_;
   Metrics metrics_;
+  std::unique_ptr<obs::SloMonitor> slo_monitor_;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

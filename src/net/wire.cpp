@@ -1,5 +1,6 @@
 #include "net/wire.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/check.h"
@@ -204,6 +205,81 @@ std::vector<std::uint8_t> encode_error(std::uint64_t request_id, const std::stri
   return encode_frame(FrameType::kError, 0, 0, request_id, payload);
 }
 
+namespace {
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  const std::size_t n = std::min<std::size_t>(s.size(), 0xFFFF);
+  put<std::uint16_t>(out, static_cast<std::uint16_t>(n));
+  put_bytes(out, s.data(), n);
+}
+
+std::string get_str(PayloadReader& in) {
+  const std::uint16_t n = in.get<std::uint16_t>();
+  std::string out;
+  out.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) {
+    out += static_cast<char>(in.get<std::uint8_t>());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_health_request(std::uint64_t request_id) {
+  return encode_frame(FrameType::kHealthRequest, 0, 0, request_id, {});
+}
+
+std::vector<std::uint8_t> encode_health_response(const HealthInfo& info) {
+  std::vector<std::uint8_t> payload;
+  put<double>(payload, info.uptime_seconds);
+  put<std::uint64_t>(payload, info.model_version);
+  put<std::uint8_t>(payload, info.slo_state);
+  put<std::uint8_t>(payload, info.native_kernel ? 1 : 0);
+  put<std::uint16_t>(payload, 0);
+  put<double>(payload, info.window_p99_s);
+  put<double>(payload, info.window_error_rate);
+  put<double>(payload, info.latency_burn_rate);
+  put<double>(payload, info.error_burn_rate);
+  put<std::uint64_t>(payload, info.window_requests);
+  put<std::uint32_t>(payload, static_cast<std::uint32_t>(info.replica_depths.size()));
+  for (const std::uint32_t depth : info.replica_depths) put<std::uint32_t>(payload, depth);
+  put_str(payload, info.git_sha);
+  put_str(payload, info.compiler);
+  put_str(payload, info.backend);
+  return encode_frame(FrameType::kHealthResponse, 0, 0, info.request_id, payload);
+}
+
+HealthInfo decode_health_response(const Frame& frame) {
+  require_type(frame, FrameType::kHealthResponse, "health response");
+  PayloadReader in(frame.payload, "health response");
+  HealthInfo info;
+  info.request_id = frame.request_id;
+  info.uptime_seconds = in.get<double>();
+  info.model_version = in.get<std::uint64_t>();
+  info.slo_state = in.get<std::uint8_t>();
+  info.native_kernel = in.get<std::uint8_t>() != 0;
+  in.get<std::uint16_t>();
+  info.window_p99_s = in.get<double>();
+  info.window_error_rate = in.get<double>();
+  info.latency_burn_rate = in.get<double>();
+  info.error_burn_rate = in.get<double>();
+  info.window_requests = in.get<std::uint64_t>();
+  const std::uint32_t replicas = in.get<std::uint32_t>();
+  constexpr std::uint32_t kMaxReplicas = 1u << 16;
+  if (replicas > kMaxReplicas) {
+    throw WireError("health response: implausible replica count " + std::to_string(replicas));
+  }
+  info.replica_depths.reserve(replicas);
+  for (std::uint32_t i = 0; i < replicas; ++i) {
+    info.replica_depths.push_back(in.get<std::uint32_t>());
+  }
+  info.git_sha = get_str(in);
+  info.compiler = get_str(in);
+  info.backend = get_str(in);
+  in.expect_end();
+  return info;
+}
+
 ForecastRequest decode_forecast_request(const Frame& frame) {
   require_type(frame, FrameType::kForecastRequest, "forecast request");
   PayloadReader in(frame.payload, "forecast request");
@@ -289,7 +365,7 @@ std::optional<Frame> FrameReader::next() {
   if (magic != kWireMagic) throw WireError("bad frame magic — stream is not PPN1 framed");
   const std::uint8_t raw_type = head[4];
   if (raw_type < static_cast<std::uint8_t>(FrameType::kForecastRequest) ||
-      raw_type > static_cast<std::uint8_t>(FrameType::kError)) {
+      raw_type > kMaxFrameType) {
     throw WireError("unknown frame type " + std::to_string(raw_type));
   }
   std::memcpy(&payload_len, head + 16, sizeof(payload_len));

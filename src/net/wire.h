@@ -51,7 +51,12 @@ enum class FrameType : std::uint8_t {
   kSwapRequest = 5,       ///< checkpoint path to hot-swap (if server allows)
   kSwapResponse = 6,      ///< status + new model version
   kError = 7,             ///< human-readable protocol error, connection closes
+  kHealthRequest = 8,     ///< empty payload
+  kHealthResponse = 9,    ///< build info, uptime, replica depths, SLO state
 };
+
+/// Highest FrameType value — the frame reader's type-range bound.
+constexpr std::uint8_t kMaxFrameType = static_cast<std::uint8_t>(FrameType::kHealthResponse);
 
 /// ForecastRequest flag bits.
 constexpr std::uint8_t kFlagWantHeatmap = 0x1;  ///< else the response is score-only
@@ -116,6 +121,32 @@ struct SwapResponse {
   std::string error;
 };
 
+/// kHealthResponse payload:
+///   f64 uptime_seconds | u64 model_version | u8 slo_state | u8 native_kernel |
+///   u16 reserved | f64 window_p99_s | f64 window_error_rate |
+///   f64 latency_burn_rate | f64 error_burn_rate | u64 window_requests |
+///   u32 n_replicas | u32 replica_depth[n] |
+///   str git_sha | str compiler | str backend   (str = u16 length + bytes)
+/// A health probe answers "what is running and is it meeting its SLOs"
+/// without parsing the full metrics exposition — see obs/slo.h for the
+/// burn-rate semantics and obs/build_info.h for the identity fields.
+struct HealthInfo {
+  std::uint64_t request_id = 0;
+  double uptime_seconds = 0.0;
+  std::uint64_t model_version = 0;
+  std::uint8_t slo_state = 0;  ///< obs::SloState: 0 healthy / 1 warning / 2 breached
+  bool native_kernel = false;
+  double window_p99_s = 0.0;
+  double window_error_rate = 0.0;
+  double latency_burn_rate = 0.0;
+  double error_burn_rate = 0.0;
+  std::uint64_t window_requests = 0;
+  std::vector<std::uint32_t> replica_depths;  ///< admitted-but-unanswered, per replica
+  std::string git_sha;
+  std::string compiler;
+  std::string backend;
+};
+
 // ---- Encoding ---------------------------------------------------------------
 
 std::vector<std::uint8_t> encode_forecast_request(const ForecastRequest& req);
@@ -127,6 +158,8 @@ std::vector<std::uint8_t> encode_swap_request(std::uint64_t request_id,
                                               const std::string& checkpoint_path);
 std::vector<std::uint8_t> encode_swap_response(const SwapResponse& resp);
 std::vector<std::uint8_t> encode_error(std::uint64_t request_id, const std::string& message);
+std::vector<std::uint8_t> encode_health_request(std::uint64_t request_id);
+std::vector<std::uint8_t> encode_health_response(const HealthInfo& info);
 
 // ---- Decoding ---------------------------------------------------------------
 
@@ -135,6 +168,7 @@ std::vector<std::uint8_t> encode_error(std::uint64_t request_id, const std::stri
 ForecastRequest decode_forecast_request(const Frame& frame);
 ForecastResponse decode_forecast_response(const Frame& frame);
 SwapResponse decode_swap_response(const Frame& frame);
+HealthInfo decode_health_response(const Frame& frame);
 /// kSwapRequest / kMetricsResponse / kError payloads are plain text.
 std::string decode_text(const Frame& frame);
 

@@ -1,0 +1,60 @@
+#include "obs/build_info.h"
+
+#include <chrono>
+
+#ifndef PAINTPLACE_GIT_SHA
+#define PAINTPLACE_GIT_SHA "unknown"
+#endif
+#ifndef PAINTPLACE_NATIVE_KERNEL_ENABLED
+#define PAINTPLACE_NATIVE_KERNEL_ENABLED 0
+#endif
+
+namespace paintplace::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point process_start() {
+  static const std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+  return start;
+}
+
+std::string escape_label(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    if (*s == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += *s;
+  }
+  return out;
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{PAINTPLACE_GIT_SHA, __VERSION__,
+                              PAINTPLACE_NATIVE_KERNEL_ENABLED != 0};
+  return info;
+}
+
+double process_uptime_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - process_start())
+      .count();
+}
+
+void register_process_metrics(const std::string& backend, MetricsRegistry& registry) {
+  process_start();  // pin the uptime epoch no later than this call
+  const BuildInfo& info = build_info();
+  std::string labels = "git_sha=\"" + escape_label(info.git_sha) + "\",compiler=\"" +
+                       escape_label(info.compiler) + "\",native_kernel=\"" +
+                       (info.native_kernel ? "1" : "0") + "\",backend=\"" +
+                       escape_label(backend.c_str()) + "\"";
+  registry.set_info("build_info", labels, "what is running: sha, compiler, kernel, backend");
+  registry.gauge_callback(
+      "uptime_seconds", [] { return process_uptime_seconds(); },
+      "seconds since process start");
+}
+
+}  // namespace paintplace::obs

@@ -1,0 +1,37 @@
+// paintplace::obs — process identity for metrics and health reporting.
+//
+// Answers "exactly what is running?": the git sha the binary was configured
+// from, the compiler that built it, whether the cpu_opt micro-kernel got
+// -march=native, plus process uptime. Exposed two ways:
+//   * register_process_metrics() publishes a `build_info{...} 1` info
+//     metric and an `uptime_seconds` callback gauge into a MetricsRegistry
+//     (every serving/bench entry point calls it at startup);
+//   * the PPN1 health frame (net/wire.h HealthInfo) carries the same fields
+//     to remote probes (`forecast_client --health`).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics_registry.h"
+
+namespace paintplace::obs {
+
+struct BuildInfo {
+  const char* git_sha;    ///< short sha at configure time ("unknown" outside git)
+  const char* compiler;   ///< __VERSION__ of the building compiler
+  bool native_kernel;     ///< cpu_opt kernel compiled with -march=native
+};
+
+const BuildInfo& build_info();
+
+/// Seconds since the process first touched this module (register it early
+/// in main for an honest number).
+double process_uptime_seconds();
+
+/// Publishes `build_info` (git sha, compiler, native-kernel flag, plus the
+/// currently active compute backend) and `uptime_seconds` into `registry`.
+/// Idempotent; call again after a backend change to refresh the label.
+void register_process_metrics(const std::string& backend,
+                              MetricsRegistry& registry = MetricsRegistry::global());
+
+}  // namespace paintplace::obs

@@ -42,14 +42,15 @@ double Histogram::sum() const {
 
 double Histogram::bucket_upper(int b) { return std::exp2(b + 1) * 1e-6; }
 
-double Histogram::quantile(double q) const {
+double Histogram::quantile_of(const std::array<std::uint64_t, kBuckets>& buckets, double q) {
   q = std::clamp(q, 0.0, 1.0);
-  const std::uint64_t n = count();
+  std::uint64_t n = 0;
+  for (const std::uint64_t b : buckets) n += b;
   if (n == 0) return 0.0;
   const double target = q * static_cast<double>(n);
   double seen = 0.0;
   for (int b = 0; b < kBuckets; ++b) {
-    const double in_bucket = static_cast<double>(bucket_count(b));
+    const double in_bucket = static_cast<double>(buckets[static_cast<std::size_t>(b)]);
     if (in_bucket == 0.0) continue;
     if (seen + in_bucket >= target) {
       const double frac = (target - seen) / in_bucket;
@@ -59,6 +60,12 @@ double Histogram::quantile(double q) const {
     seen += in_bucket;
   }
   return bucket_upper(kBuckets - 1);
+}
+
+double Histogram::quantile(double q) const {
+  std::array<std::uint64_t, kBuckets> snapshot;
+  for (int b = 0; b < kBuckets; ++b) snapshot[static_cast<std::size_t>(b)] = bucket_count(b);
+  return quantile_of(snapshot, q);
 }
 
 void Histogram::reset() {
@@ -85,6 +92,8 @@ MetricsRegistry::Entry& MetricsRegistry::entry_of(const std::string& name, Kind 
       case Kind::kCounter: entry.counter = std::make_unique<Counter>(); break;
       case Kind::kGauge: entry.gauge = std::make_unique<Gauge>(); break;
       case Kind::kHistogram: entry.histogram = std::make_unique<Histogram>(); break;
+      case Kind::kInfo: break;           // labels set by the caller
+      case Kind::kCallbackGauge: break;  // callback set by the caller
     }
     it = entries_.emplace(name, std::move(entry)).first;
   } else {
@@ -107,6 +116,35 @@ Histogram& MetricsRegistry::histogram(const std::string& name, const std::string
   return *entry_of(name, Kind::kHistogram, help).histogram;
 }
 
+void MetricsRegistry::set_info(const std::string& name, const std::string& labels,
+                               const std::string& help) {
+  Entry& entry = entry_of(name, Kind::kInfo, help);
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.info_labels = labels;
+}
+
+void MetricsRegistry::gauge_callback(const std::string& name, std::function<double()> fn,
+                                     const std::string& help) {
+  Entry& entry = entry_of(name, Kind::kCallbackGauge, help);
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.callback = std::move(fn);
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.kind == Kind::kCounter ? it->second.counter.get()
+                                                                   : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.kind == Kind::kHistogram
+             ? it->second.histogram.get()
+             : nullptr;
+}
+
 std::string MetricsRegistry::render_prometheus(
     const std::function<bool(const std::string&)>& keep) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -122,6 +160,14 @@ std::string MetricsRegistry::render_prometheus(
       case Kind::kGauge:
         out += "# TYPE " + name + " gauge\n";
         out += name + " " + format_value(entry.gauge->value()) + "\n";
+        break;
+      case Kind::kInfo:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + "{" + entry.info_labels + "} 1\n";
+        break;
+      case Kind::kCallbackGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + format_value(entry.callback ? entry.callback() : 0.0) + "\n";
         break;
       case Kind::kHistogram: {
         const Histogram& h = *entry.histogram;

@@ -86,6 +86,12 @@ class Histogram {
   /// inside the winning bucket. 0 with no samples.
   double quantile(double q) const;
 
+  /// The same interpolation over a raw bucket-count array — for quantiles
+  /// of *derived* distributions that were never a live Histogram: windowed
+  /// deltas (SloMonitor) and cross-process aggregation (forecast_client
+  /// ships bucket counts over a pipe).
+  static double quantile_of(const std::array<std::uint64_t, kBuckets>& buckets, double q);
+
   void reset();
 
   std::uint64_t bucket_count(int b) const {
@@ -117,6 +123,24 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name, const std::string& help = "");
   Histogram& histogram(const std::string& name, const std::string& help = "");
 
+  /// Prometheus-style info metric: rendered as `name{labels} 1`. `labels`
+  /// is the pre-formatted label body (`key="value",key2="value2"`).
+  /// Re-registering the same name replaces the labels — idempotent process
+  /// identity (build_info) rather than a time series.
+  void set_info(const std::string& name, const std::string& labels,
+                const std::string& help = "");
+
+  /// Gauge whose value is computed at exposition time (uptime, derived
+  /// rates). The callback must be thread-safe, non-throwing, and must not
+  /// touch the registry (it runs under the registry lock).
+  void gauge_callback(const std::string& name, std::function<double()> fn,
+                      const std::string& help = "");
+
+  /// Reads an instrument if it exists (SloMonitor polls by name without
+  /// creating). nullptr / empty when the name is absent or a different kind.
+  const Counter* find_counter(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
   /// Prometheus text exposition of every instrument, in name order. `keep`
   /// (when set) filters by name — the net front-end uses it to exclude the
   /// counters its legacy flat block already lists.
@@ -127,13 +151,15 @@ class MetricsRegistry {
   std::vector<std::string> names() const;
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kInfo, kCallbackGauge };
   struct Entry {
     Kind kind;
     std::string help;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::string info_labels;        ///< kInfo
+    std::function<double()> callback;  ///< kCallbackGauge
   };
 
   Entry& entry_of(const std::string& name, Kind kind, const std::string& help);

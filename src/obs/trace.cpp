@@ -5,7 +5,14 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/profiler.h"
+#include "obs/sampler.h"
+
 namespace paintplace::obs {
+
+namespace detail {
+std::atomic<std::uint8_t> g_span_mask{0};
+}  // namespace detail
 
 namespace {
 
@@ -112,22 +119,42 @@ ThreadRingHandleImpl::~ThreadRingHandleImpl() {
 }  // namespace
 
 Tracer::ThreadRing& Tracer::ring_for_this_thread() {
+  return *ring_ptr_for_this_thread();
+}
+
+std::shared_ptr<Tracer::ThreadRing> Tracer::ring_ptr_for_this_thread() {
   thread_local ThreadRingHandleImpl handle;
   if (handle.ring == nullptr) {
     handle.tracer = this;
     handle.ring = ThreadRingHandle::claim(*this);
   }
-  return *handle.ring;
+  return handle.ring;
 }
 
 // ---- Tracer -----------------------------------------------------------------
 
-Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {
+Tracer::Tracer()
+    : sampler_(std::make_unique<Sampler>(
+          [](const Sampler::Ring& ring, const SpanEvent& event) { ring->record(event); })),
+      epoch_(std::chrono::steady_clock::now()) {
   if (const char* path = std::getenv("PAINTPLACE_TRACE"); path != nullptr && path[0] != '\0') {
     dump_path_ = path;
-    enabled_.store(true, std::memory_order_relaxed);
+    enable();
+  }
+  if (const char* every = std::getenv("PAINTPLACE_TRACE_SAMPLE");
+      every != nullptr && every[0] != '\0') {
+    SamplerConfig cfg;
+    cfg.sample_every = std::strtoull(every, nullptr, 10);
+    if (cfg.sample_every == 0) cfg.sample_every = 1;
+    if (const char* slow = std::getenv("PAINTPLACE_TRACE_SLOW_MS");
+        slow != nullptr && slow[0] != '\0') {
+      cfg.slow_threshold_s = std::atof(slow) * 1e-3;
+    }
+    sampler_->configure(cfg);
   }
 }
+
+Tracer::~Tracer() = default;
 
 Tracer& Tracer::instance() {
   static Tracer tracer;
@@ -152,7 +179,17 @@ bool Tracer::dump_configured() {
   return dump_json(path);
 }
 
-void Tracer::record(const SpanEvent& event) { ring_for_this_thread().record(event); }
+void Tracer::record(const SpanEvent& event) {
+  const std::shared_ptr<ThreadRing> ring = ring_ptr_for_this_thread();
+  // Request-tied spans route through the tail sampler while it is active:
+  // buffered provisionally, committed to this same ring (or dropped) when
+  // the request finishes. Untied spans and head-sampled requests record
+  // directly, so non-request instrumentation is never lost.
+  if (event.trace_id != 0 && sampler_->active() && sampler_->offer(event, ring)) {
+    return;
+  }
+  ring->record(event);
+}
 
 std::string Tracer::dump_json() const {
   std::vector<std::shared_ptr<ThreadRing>> rings;
@@ -290,25 +327,37 @@ ScopedTraceId::~ScopedTraceId() { t_current_trace_id = prev_; }
 
 // ---- Span -------------------------------------------------------------------
 
-void Span::start(const char* name, const char* category) {
-  active_ = true;
+void Span::start(const char* name, const char* category, std::uint8_t mask) {
+  // The name is copied into the inline buffer for *either* mode: the
+  // profiler's live stack points at event_.name, which must outlive the
+  // caller's (possibly temporary) string.
   copy_str(event_.name, sizeof(event_.name), name);
-  copy_str(event_.category, sizeof(event_.category), category);
-  event_.trace_id = t_current_trace_id;
-  start_us_ = Tracer::instance().now_us();
+  if ((mask & detail::kSpanMaskTrace) != 0) {
+    active_ = true;
+    copy_str(event_.category, sizeof(event_.category), category);
+    event_.trace_id = t_current_trace_id;
+    start_us_ = Tracer::instance().now_us();
+  }
+  if ((mask & detail::kSpanMaskProfile) != 0) {
+    profiled_ = true;
+    Profiler::instance().push(event_.name);
+  }
 }
 
 Span::Span(const char* name, const char* category) {
-  if (!Tracer::instance().enabled()) return;
-  start(name, category);
+  const std::uint8_t mask = detail::g_span_mask.load(std::memory_order_relaxed);
+  if (mask == 0) return;
+  start(name, category, mask);
 }
 
 Span::Span(const std::string& name, const char* category) {
-  if (!Tracer::instance().enabled()) return;
-  start(name.c_str(), category);
+  const std::uint8_t mask = detail::g_span_mask.load(std::memory_order_relaxed);
+  if (mask == 0) return;
+  start(name.c_str(), category, mask);
 }
 
 Span::~Span() {
+  if (profiled_) Profiler::instance().pop();
   if (!active_) return;
   Tracer& tracer = Tracer::instance();
   event_.start_us = start_us_;

@@ -32,6 +32,18 @@
 
 namespace paintplace::obs {
 
+namespace detail {
+/// The one word every Span construction reads: bit 0 = tracing enabled
+/// (Tracer), bit 1 = profiling enabled (Profiler). Folding both features
+/// into a single relaxed atomic load keeps the disabled-path cost of a Span
+/// identical to the tracing-only design — bench_serve guards it.
+inline constexpr std::uint8_t kSpanMaskTrace = 0x1;
+inline constexpr std::uint8_t kSpanMaskProfile = 0x2;
+extern std::atomic<std::uint8_t> g_span_mask;
+}  // namespace detail
+
+class Sampler;
+
 /// One key/value annotation on a span. Keys are static strings (the call
 /// sites own them); string values are truncated to fit the inline buffer.
 struct TraceArg {
@@ -61,12 +73,27 @@ class Tracer {
   static constexpr std::size_t kRingCapacity = 8192;  ///< events per thread
 
   /// Process-wide tracer. First call reads PAINTPLACE_TRACE: when set, the
-  /// tracer starts enabled and remembers the value as the dump path.
+  /// tracer starts enabled and remembers the value as the dump path — and
+  /// PAINTPLACE_TRACE_SAMPLE / PAINTPLACE_TRACE_SLOW_MS, which configure
+  /// the tail sampler (see sampler.h).
   static Tracer& instance();
 
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
-  void enable() { enabled_.store(true, std::memory_order_relaxed); }
-  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const {
+    return (detail::g_span_mask.load(std::memory_order_relaxed) &
+            detail::kSpanMaskTrace) != 0;
+  }
+  void enable() {
+    detail::g_span_mask.fetch_or(detail::kSpanMaskTrace, std::memory_order_relaxed);
+  }
+  void disable() {
+    detail::g_span_mask.fetch_and(
+        static_cast<std::uint8_t>(~detail::kSpanMaskTrace), std::memory_order_relaxed);
+  }
+
+  /// The tail-based sampling policy (inactive by default: every recorded
+  /// span lands in its ring). See sampler.h for the begin/offer/finish
+  /// protocol the request front-end drives.
+  Sampler& sampler() { return *sampler_; }
 
   /// Sets (and overrides) the dump path and enables tracing — the
   /// programmatic twin of PAINTPLACE_TRACE.
@@ -95,9 +122,11 @@ class Tracer {
 
  private:
   Tracer();
+  ~Tracer();  // defined in trace.cpp (Sampler is incomplete here)
   ThreadRing& ring_for_this_thread();
+  std::shared_ptr<ThreadRing> ring_ptr_for_this_thread();
 
-  std::atomic<bool> enabled_{false};
+  std::unique_ptr<Sampler> sampler_;
   std::string dump_path_;
   std::chrono::steady_clock::time_point epoch_;
 
@@ -143,8 +172,11 @@ class ScopedTraceId {
 };
 
 /// RAII span: times from construction to destruction and records into the
-/// tracer's ring. When the tracer is disabled at construction the span is
-/// inert — no clock reads, no string copies, no recording.
+/// tracer's ring. When both tracing and profiling are disabled at
+/// construction the span is inert — one relaxed atomic load, then no clock
+/// reads, no string copies, no recording. With the profiler on, the span
+/// additionally sits on its thread's live-span stack for the lifetime of
+/// the scope (see profiler.h).
 class Span {
  public:
   explicit Span(const char* name, const char* category = "app");
@@ -167,9 +199,10 @@ class Span {
   bool active() const { return active_; }
 
  private:
-  void start(const char* name, const char* category);
+  void start(const char* name, const char* category, std::uint8_t mask);
 
-  bool active_ = false;
+  bool active_ = false;    ///< tracing: record into the ring on destruction
+  bool profiled_ = false;  ///< profiling: pushed onto the live-span stack
   double flops_ = 0.0;
   std::uint64_t start_us_ = 0;
   SpanEvent event_;

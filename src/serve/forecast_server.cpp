@@ -5,6 +5,7 @@
 #include "backend/backend.h"
 #include "nn/tensor_ops.h"
 #include "obs/metrics_registry.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 namespace paintplace::serve {
@@ -48,6 +49,12 @@ ForecastServer::ForecastServer(const ServeConfig& config,
   // fails the server construction instead of silently serving on the default.
   if (!config_.backend.empty()) backend::set_active_backend(config_.backend);
   if (!config_.trace.empty()) obs::Tracer::instance().configure(config_.trace);
+  if (config_.trace_sample > 0) {
+    obs::SamplerConfig sampler_cfg;
+    sampler_cfg.sample_every = config_.trace_sample;
+    sampler_cfg.slow_threshold_s = config_.trace_slow_ms * 1e-3;
+    obs::Tracer::instance().sampler().configure(sampler_cfg);
+  }
   registry_.publish(std::move(model), std::move(label));
   workers_.reserve(static_cast<std::size_t>(config.workers));
   for (int w = 0; w < config.workers; ++w) {

@@ -49,6 +49,14 @@ struct ServeConfig {
   /// programmatic twin of PAINTPLACE_TRACE) and writes the trace JSON there
   /// on shutdown. Like the backend, the tracer is process-wide.
   std::string trace;
+  /// Tail-based trace sampling: head-sample 1-in-this-many requests, always
+  /// retain slow/shed/error requests (see obs/sampler.h). 0 keeps the
+  /// record-everything behavior. The sampler — like the tracer — is
+  /// process-wide; the request lifecycle (begin/finish) is driven by the
+  /// net front-end, so this knob only matters behind a NetServer.
+  std::uint64_t trace_sample = 0;
+  /// Requests slower than this always commit their trace when sampling.
+  double trace_slow_ms = 100.0;
 };
 
 class ForecastServer {

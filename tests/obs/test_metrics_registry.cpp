@@ -185,5 +185,59 @@ TEST(MetricsRegistry, RenderFilterDropsExcludedNames) {
   EXPECT_NE(text.find("gemm_calls_total 1\n"), std::string::npos);
 }
 
+TEST(MetricsRegistry, InfoMetricRendersLabelsAndIsReplaceable) {
+  MetricsRegistry reg;
+  reg.set_info("build_info", "git_sha=\"abc\",backend=\"cpu\"", "process identity");
+  EXPECT_NE(reg.render_prometheus().find("build_info{git_sha=\"abc\",backend=\"cpu\"} 1\n"),
+            std::string::npos);
+
+  // Re-registering replaces the labels (identity, not a time series).
+  reg.set_info("build_info", "git_sha=\"abc\",backend=\"cpu_opt\"");
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("backend=\"cpu_opt\"} 1\n"), std::string::npos);
+  EXPECT_EQ(text.find("backend=\"cpu\"}"), std::string::npos);
+}
+
+TEST(MetricsRegistry, CallbackGaugeEvaluatesAtExposition) {
+  MetricsRegistry reg;
+  double value = 1.5;
+  reg.gauge_callback("uptime_seconds", [&value] { return value; });
+  EXPECT_NE(reg.render_prometheus().find("uptime_seconds 1.5\n"), std::string::npos);
+  value = 2.5;  // no re-registration needed: the callback is live
+  EXPECT_NE(reg.render_prometheus().find("uptime_seconds 2.5\n"), std::string::npos);
+}
+
+TEST(MetricsRegistry, FindReturnsOnlyMatchingKinds) {
+  MetricsRegistry reg;
+  reg.counter("c").fetch_add(3);
+  reg.histogram("h").record(0.5);
+
+  ASSERT_NE(reg.find_counter("c"), nullptr);
+  EXPECT_EQ(reg.find_counter("c")->load(), 3u);
+  ASSERT_NE(reg.find_histogram("h"), nullptr);
+  EXPECT_EQ(reg.find_histogram("h")->count(), 1u);
+
+  // Absent names and kind mismatches both come back null — find never
+  // creates (the SloMonitor polls by name before the instruments exist).
+  EXPECT_EQ(reg.find_counter("absent"), nullptr);
+  EXPECT_EQ(reg.find_counter("h"), nullptr);
+  EXPECT_EQ(reg.find_histogram("c"), nullptr);
+}
+
+TEST(Histogram, QuantileOfRawBucketsMatchesALiveHistogram) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i * 1e-3);  // 1ms .. 1s
+
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    buckets[static_cast<std::size_t>(b)] = h.bucket_count(b);
+  }
+  for (double q : {0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(Histogram::quantile_of(buckets, q), h.quantile(q)) << "q=" << q;
+  }
+  // Empty bucket arrays quantile to zero (a windowed delta with no traffic).
+  EXPECT_DOUBLE_EQ(Histogram::quantile_of({}, 0.99), 0.0);
+}
+
 }  // namespace
 }  // namespace paintplace::obs

@@ -18,9 +18,11 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +30,7 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "net/client.h"
+#include "obs/metrics_registry.h"
 
 namespace {
 
@@ -36,6 +39,7 @@ using paintplace::Rng;
 using paintplace::Timer;
 namespace net = paintplace::net;
 namespace nn = paintplace::nn;
+namespace obs = paintplace::obs;
 
 struct Options {
   std::string host = "127.0.0.1";
@@ -49,10 +53,19 @@ struct Options {
   Index pipeline = 4;   ///< in-flight requests per connection
   bool want_heatmap = false;
   std::string swap;     ///< checkpoint to hot-swap mid-run
+  bool health = false;  ///< probe the server's health frame and exit
+  /// Fail the swarm when the client-observed p99 exceeds this factor times
+  /// the server-side p99 (0 disables). Generous by design: the client p99
+  /// includes pipeline queueing the server never sees.
+  double check_p99_factor = 0.0;
   std::uint64_t seed = 42;
 };
 
-/// One worker's counts, accumulated across its connections.
+/// One worker's counts, accumulated across its connections. Stays a POD —
+/// children ship it to the parent as raw bytes over a pipe — so the
+/// client-side latency distribution rides along as bucket counts (same
+/// bucket layout as obs::Histogram; the parent re-derives quantiles with
+/// Histogram::quantile_of).
 struct Tally {
   std::uint64_t completed = 0;      ///< kOk responses
   std::uint64_t shed = 0;           ///< kShed responses (not errors)
@@ -61,6 +74,9 @@ struct Tally {
   std::uint64_t cache_hits = 0;
   std::uint64_t pre_swap = 0;       ///< responses from the initial model version
   std::uint64_t post_swap = 0;      ///< responses from a later version
+  std::uint64_t reconnects = 0;     ///< mid-run reconnects that kept the run alive
+  std::uint64_t latency_count = 0;  ///< send-to-response samples recorded
+  std::uint64_t latency_buckets[paintplace::obs::Histogram::kBuckets] = {};
   bool swap_ok = false;
 
   void operator+=(const Tally& o) {
@@ -71,6 +87,11 @@ struct Tally {
     cache_hits += o.cache_hits;
     pre_swap += o.pre_swap;
     post_swap += o.post_swap;
+    reconnects += o.reconnects;
+    latency_count += o.latency_count;
+    for (int b = 0; b < paintplace::obs::Histogram::kBuckets; ++b) {
+      latency_buckets[b] += o.latency_buckets[b];
+    }
     swap_ok = swap_ok || o.swap_ok;
   }
 };
@@ -90,6 +111,9 @@ void usage() {
       "  --pipeline N      in-flight requests per connection (default 4)\n"
       "  --heatmap         request full heat maps (default score-only)\n"
       "  --swap PATH       hot-swap this checkpoint mid-run (needs --allow-swap)\n"
+      "  --health          print the server's health frame (build, uptime, SLO,\n"
+      "                    replica depths) and exit; non-zero only when unreachable\n"
+      "  --check-p99-factor F  fail unless client p99 <= F x server p99 (0 = off)\n"
       "  --seed N          placement-pool seed (default 42)\n");
 }
 
@@ -139,6 +163,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (!std::strcmp(a, "--swap")) {
       if (!(v = need_value(i))) return false;
       opt.swap = v;
+    } else if (!std::strcmp(a, "--health")) {
+      opt.health = true;
+    } else if (!std::strcmp(a, "--check-p99-factor")) {
+      if (!(v = need_value(i))) return false;
+      opt.check_p99_factor = std::atof(v);
     } else if (!std::strcmp(a, "--seed")) {
       if (!(v = need_value(i))) return false;
       opt.seed = static_cast<std::uint64_t>(std::atoll(v));
@@ -161,43 +190,79 @@ nn::Tensor pool_tensor(const Options& opt, Index index) {
 }
 
 /// One pipelined connection: keep `pipeline` requests in flight, read
-/// responses as they come, stop submitting at the deadline, drain.
+/// responses as they come, stop submitting at the deadline, drain. Every
+/// send-to-response round trip lands in the worker's
+/// client_request_latency_seconds histogram; a connection dropped mid-run
+/// reconnects (bounded) and keeps going instead of failing the swarm —
+/// that is what lets a swarm ride over a server restart.
 void run_connection(const Options& opt, std::uint64_t conn_seed, std::uint64_t initial_version,
                     Tally& tally) {
+  obs::Histogram& latency = obs::MetricsRegistry::global().histogram(
+      "client_request_latency_seconds", "client-observed send to response per request");
+  obs::Counter& reconnects = obs::MetricsRegistry::global().counter(
+      "client_reconnects_total", "mid-run reconnects after a dropped connection");
+  constexpr int kMaxReconnects = 5;
   try {
-    net::Client client(opt.host, static_cast<std::uint16_t>(opt.port));
+    net::RetryPolicy retry;
+    retry.max_retries = 3;
+    net::Client client(opt.host, static_cast<std::uint16_t>(opt.port), net::kDefaultMaxPayload,
+                       retry);
     Rng pick(conn_seed);
     Timer clock;
     std::uint64_t next_id = 1;
     Index in_flight = 0;
+    // Responses come back in request order per connection, so a FIFO of
+    // send times pairs each response with its request without an id map.
+    std::deque<double> sent_at;
+    int drops = 0;
     const double deadline_s = static_cast<double>(opt.duration_ms) / 1e3;
     while (true) {
       const bool time_left = clock.seconds() < deadline_s;
       if (!time_left && in_flight == 0) break;
-      if (time_left && in_flight < opt.pipeline) {
-        client.send_forecast(next_id++, pool_tensor(opt, pick.uniform_int(0, opt.pool - 1)),
-                             opt.want_heatmap);
-        in_flight += 1;
-        continue;
-      }
-      const net::ForecastResponse resp = client.read_forecast_response();
-      in_flight -= 1;
-      switch (resp.status) {
-        case net::Status::kOk:
-          tally.completed += 1;
-          if (resp.from_cache) tally.cache_hits += 1;
-          if (resp.model_version > initial_version) {
-            tally.post_swap += 1;
-          } else {
-            tally.pre_swap += 1;
-          }
-          break;
-        case net::Status::kShed:
-          tally.shed += 1;
-          break;
-        case net::Status::kFailed:
-          tally.failed += 1;
-          break;
+      try {
+        if (time_left && in_flight < opt.pipeline) {
+          client.send_forecast(next_id++, pool_tensor(opt, pick.uniform_int(0, opt.pool - 1)),
+                               opt.want_heatmap);
+          sent_at.push_back(clock.seconds());
+          in_flight += 1;
+          continue;
+        }
+        const net::ForecastResponse resp = client.read_forecast_response();
+        in_flight -= 1;
+        if (!sent_at.empty()) {
+          latency.record(clock.seconds() - sent_at.front());
+          sent_at.pop_front();
+        }
+        switch (resp.status) {
+          case net::Status::kOk:
+            tally.completed += 1;
+            if (resp.from_cache) tally.cache_hits += 1;
+            if (resp.model_version > initial_version) {
+              tally.post_swap += 1;
+            } else {
+              tally.pre_swap += 1;
+            }
+            break;
+          case net::Status::kShed:
+            tally.shed += 1;
+            break;
+          case net::Status::kFailed:
+            tally.failed += 1;
+            break;
+        }
+      } catch (const std::exception& e) {
+        // The connection died mid-run. In-flight requests are lost (their
+        // responses were never read); reconnect and keep submitting unless
+        // the drop budget is spent or only the drain remained.
+        if (++drops > kMaxReconnects) throw;
+        if (!time_left) break;
+        std::fprintf(stderr, "[conn %llu] reconnecting after: %s\n",
+                     static_cast<unsigned long long>(conn_seed), e.what());
+        client.reconnect();
+        reconnects.fetch_add(1);
+        tally.reconnects += 1;
+        in_flight = 0;
+        sent_at.clear();
       }
     }
   } catch (const std::exception& e) {
@@ -260,7 +325,41 @@ Tally run_worker(const Options& opt, int worker_index) {
 
   for (auto& t : threads) t.join();
   for (const Tally& t : tallies) total += t;
+  // Every connection thread recorded into this process's registry; ship the
+  // bucket counts to the parent, which re-aggregates across workers.
+  const obs::Histogram& latency =
+      obs::MetricsRegistry::global().histogram("client_request_latency_seconds");
+  total.latency_count = latency.count();
+  for (int b = 0; b < obs::Histogram::kBuckets; ++b) {
+    total.latency_buckets[b] = latency.bucket_count(b);
+  }
   return total;
+}
+
+/// --health: one probe, human-readable dump of the kHealthResponse frame.
+int run_health_probe(const Options& opt) {
+  try {
+    net::Client client(opt.host, static_cast<std::uint16_t>(opt.port));
+    const net::HealthInfo h = client.health();
+    const char* state = h.slo_state == 0 ? "healthy" : h.slo_state == 1 ? "warning" : "breached";
+    std::printf("server %s:%d up %.1fs, model v%llu\n", opt.host.c_str(), opt.port,
+                h.uptime_seconds, static_cast<unsigned long long>(h.model_version));
+    std::printf("build: sha %s, %s, native kernel %s, backend %s\n", h.git_sha.c_str(),
+                h.compiler.c_str(), h.native_kernel ? "yes" : "no", h.backend.c_str());
+    std::printf("slo: %s; window p99 %.2f ms (burn %.2f), error rate %.4f (burn %.2f), "
+                "%llu requests in window\n",
+                state, h.window_p99_s * 1e3, h.latency_burn_rate, h.window_error_rate,
+                h.error_burn_rate, static_cast<unsigned long long>(h.window_requests));
+    std::printf("replicas:");
+    for (std::size_t r = 0; r < h.replica_depths.size(); ++r) {
+      std::printf(" [%zu] depth %u", r, h.replica_depths[r]);
+    }
+    std::printf("\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "health probe failed: %s\n", e.what());
+    return 1;
+  }
 }
 
 }  // namespace
@@ -269,6 +368,7 @@ int main(int argc, char** argv) {
   std::setvbuf(stdout, nullptr, _IOLBF, 1 << 16);
   Options opt;
   if (!parse_args(argc, argv, opt)) return 2;
+  if (opt.health) return run_health_probe(opt);
   if (opt.procs < 1 || opt.conns < 1 || opt.pool < 1 || opt.pipeline < 1) {
     std::fprintf(stderr, "procs, conns, pool and pipeline must all be >= 1\n");
     return 2;
@@ -340,11 +440,54 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total.pre_swap),
               static_cast<unsigned long long>(total.post_swap));
 
+  // Cross-worker client latency: the bucket counts shipped over the pipes
+  // form one distribution the parent can take honest quantiles of.
+  std::array<std::uint64_t, obs::Histogram::kBuckets> agg{};
+  for (int b = 0; b < obs::Histogram::kBuckets; ++b) agg[static_cast<std::size_t>(b)] =
+      total.latency_buckets[b];
+  const double client_p50_ms = obs::Histogram::quantile_of(agg, 0.50) * 1e3;
+  const double client_p99_ms = obs::Histogram::quantile_of(agg, 0.99) * 1e3;
+  std::printf("client latency p50 %.2f ms, p99 %.2f ms (%llu samples); reconnects %llu\n",
+              client_p50_ms, client_p99_ms,
+              static_cast<unsigned long long>(total.latency_count),
+              static_cast<unsigned long long>(total.reconnects));
+
   // The smoke contract: real traffic flowed, nothing broke, and — when a
   // swap was requested — it succeeded and post-swap answers exist.
   bool ok = !child_failure && total.completed > 0 && total.wire_errors == 0 &&
             total.failed == 0;
   if (!opt.swap.empty()) ok = ok && total.swap_ok && total.post_swap > 0;
+
+  // Client-vs-server p99 sanity: the two views of the same traffic must
+  // agree within a (generous) factor — pipelined requests queue client-side
+  // before the server's accept clock starts, so the client p99 is naturally
+  // the larger one.
+  if (opt.check_p99_factor > 0.0 && total.latency_count > 0) {
+    try {
+      net::Client probe(opt.host, static_cast<std::uint16_t>(opt.port));
+      const std::string text = probe.metrics_text();
+      double server_p99_ms = 0.0;
+      const std::size_t at = text.find("net_latency_p99_ms ");
+      if (at != std::string::npos) {
+        server_p99_ms = std::atof(text.c_str() + at + std::strlen("net_latency_p99_ms "));
+      }
+      if (server_p99_ms <= 0.0) {
+        std::fprintf(stderr, "p99 check: server reported no latency samples\n");
+        ok = false;
+      } else if (client_p99_ms > opt.check_p99_factor * server_p99_ms) {
+        std::fprintf(stderr,
+                     "p99 check FAILED: client %.2f ms > %.1f x server %.2f ms\n",
+                     client_p99_ms, opt.check_p99_factor, server_p99_ms);
+        ok = false;
+      } else {
+        std::printf("p99 check: client %.2f ms within %.1fx of server %.2f ms\n",
+                    client_p99_ms, opt.check_p99_factor, server_p99_ms);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "p99 check failed to scrape the server: %s\n", e.what());
+      ok = false;
+    }
+  }
   std::printf("%s\n", ok ? "SWARM OK" : "SWARM FAILED");
   return ok ? 0 : 1;
 }

@@ -28,6 +28,7 @@
 #include "core/forecaster.h"
 #include "net/server.h"
 #include "obs/metrics_registry.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace {
@@ -55,7 +56,13 @@ struct Options {
   Index idle_ms = 0;             ///< close idle connections after this (0 = never)
   std::string backend;
   std::string trace;             ///< chrome-trace dump path (also PAINTPLACE_TRACE)
+  std::uint64_t trace_sample = 0;  ///< tail-based sampling: head 1-in-N (0 = all)
+  double trace_slow_ms = 100.0;  ///< always retain requests slower than this
+  std::string profile;           ///< collapsed-stack dump path (enables the profiler)
   std::string metrics_dump;      ///< write final metrics exposition here on drain
+  double slo_p99_ms = 250.0;     ///< windowed p99 objective
+  double slo_error_rate = 0.01;  ///< windowed (failed+shed)/total objective
+  double slo_window_s = 60.0;    ///< SLO rolling window
   std::uint64_t seed = 1;
 };
 
@@ -82,7 +89,15 @@ void usage() {
       "  --backend NAME         compute backend (reference|cpu_opt)\n"
       "  --trace PATH           enable tracing, dump chrome://tracing JSON to PATH on drain\n"
       "                         (PAINTPLACE_TRACE=PATH does the same)\n"
+      "  --trace-sample N       tail-based sampling: head-sample 1-in-N requests, always\n"
+      "                         keep slow/shed/error ones (default 0 = record everything)\n"
+      "  --trace-slow-ms X      slow-request retention threshold (default 100)\n"
+      "  --profile PATH         sample span stacks while serving, write collapsed-stack\n"
+      "                         text to PATH on drain and print the top-10 table\n"
       "  --metrics-dump PATH    write the final metrics exposition to PATH on drain\n"
+      "  --slo-p99-ms X         SLO: windowed p99 latency objective (default 250)\n"
+      "  --slo-error-rate X     SLO: windowed error-rate objective (default 0.01)\n"
+      "  --slo-window-s X       SLO rolling window in seconds (default 60)\n"
       "  --seed N               stand-in model seed (default 1)\n");
 }
 
@@ -153,6 +168,24 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (!std::strcmp(a, "--trace")) {
       if (!(v = need_value(i))) return false;
       opt.trace = v;
+    } else if (!std::strcmp(a, "--trace-sample")) {
+      if (!(v = need_value(i))) return false;
+      opt.trace_sample = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (!std::strcmp(a, "--trace-slow-ms")) {
+      if (!(v = need_value(i))) return false;
+      opt.trace_slow_ms = std::atof(v);
+    } else if (!std::strcmp(a, "--profile")) {
+      if (!(v = need_value(i))) return false;
+      opt.profile = v;
+    } else if (!std::strcmp(a, "--slo-p99-ms")) {
+      if (!(v = need_value(i))) return false;
+      opt.slo_p99_ms = std::atof(v);
+    } else if (!std::strcmp(a, "--slo-error-rate")) {
+      if (!(v = need_value(i))) return false;
+      opt.slo_error_rate = std::atof(v);
+    } else if (!std::strcmp(a, "--slo-window-s")) {
+      if (!(v = need_value(i))) return false;
+      opt.slo_window_s = std::atof(v);
     } else if (!std::strcmp(a, "--metrics-dump")) {
       if (!(v = need_value(i))) return false;
       opt.metrics_dump = v;
@@ -229,9 +262,15 @@ int main(int argc, char** argv) {
   cfg.pool.serve.max_wait = std::chrono::microseconds(opt.max_wait_us);
   cfg.pool.serve.cache_capacity = opt.cache_capacity;
   cfg.pool.serve.backend = opt.backend;
+  cfg.pool.serve.trace_sample = opt.trace_sample;
+  cfg.pool.serve.trace_slow_ms = opt.trace_slow_ms;
+  cfg.slo.window_s = opt.slo_window_s;
+  cfg.slo.latency_objective_s = opt.slo_p99_ms * 1e-3;
+  cfg.slo.error_rate_objective = opt.slo_error_rate;
   // --trace takes precedence over an inherited PAINTPLACE_TRACE; either way
   // the tracer is enabled now and the JSON is written on drain.
   if (!opt.trace.empty()) paintplace::obs::Tracer::instance().configure(opt.trace);
+  if (!opt.profile.empty()) paintplace::obs::Profiler::instance().start();
 
   sem_init(&g_stop_sem, 0, 0);
   std::signal(SIGINT, handle_stop);
@@ -274,6 +313,20 @@ int main(int argc, char** argv) {
                   paintplace::obs::Tracer::instance().configured_path().c_str(),
                   paintplace::obs::Tracer::instance().recorded(),
                   static_cast<unsigned long long>(paintplace::obs::Tracer::instance().dropped()));
+    }
+    if (!opt.profile.empty()) {
+      paintplace::obs::Profiler& prof = paintplace::obs::Profiler::instance();
+      prof.stop();
+      if (prof.write_collapsed(opt.profile)) {
+        std::printf("collapsed stacks written to %s (%llu samples)\n", opt.profile.c_str(),
+                    static_cast<unsigned long long>(prof.samples()));
+      } else {
+        std::fprintf(stderr, "cannot write collapsed stacks to %s\n", opt.profile.c_str());
+      }
+      std::printf("hottest span stacks:\n");
+      for (const auto& [stack, count] : prof.top_k(10)) {
+        std::printf("  %8llu  %s\n", static_cast<unsigned long long>(count), stack.c_str());
+      }
     }
     const net::Metrics& m = server.metrics();
     std::printf("served %llu requests (%llu shed, %llu protocol errors); bye\n",
