@@ -14,6 +14,8 @@
 #include "backend/backend.h"
 #include "core/pix2pix.h"
 #include "obs/build_info.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 
@@ -151,6 +153,10 @@ struct NetServer::Connection {
       } catch (const WireError& e) {
         // Framing is unrecoverable: answer with the reason and stop reading.
         server.metrics_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        obs::Log::instance()
+            .warn("net", "protocol_error")
+            .kv("client", client_id)
+            .kv("error", e.what());
         enqueue_encoded(encode_error(0, e.what()));
         return;
       }
@@ -257,6 +263,9 @@ struct NetServer::Connection {
         server.metrics_.shed_client_cap.fetch_add(1, std::memory_order_relaxed);
       }
       if (span.active()) span.arg("shed", to_string(out.admission.shed));
+      obs::FlightRecorder::record(obs::EventKind::kShed, out.trace_id,
+                                  to_string(out.admission.shed),
+                                  static_cast<std::int64_t>(client_id), 0);
       ForecastResponse resp;
       resp.request_id = req.request_id;
       resp.status = Status::kShed;
@@ -267,6 +276,10 @@ struct NetServer::Connection {
     }
 
     server.metrics_.requests_accepted.fetch_add(1, std::memory_order_relaxed);
+    obs::FlightRecorder::record(obs::EventKind::kRequest, out.trace_id, "admitted",
+                                out.admission.replica,
+                                static_cast<std::int64_t>(client_id));
+    server.watchdog_->track(out.trace_id, out.admission.replica);
     out.pending = true;
     enqueue(std::move(out));
     return true;
@@ -284,6 +297,8 @@ struct NetServer::Connection {
     info.latency_burn_rate = slo.latency_burn_rate;
     info.error_burn_rate = slo.error_burn_rate;
     info.window_requests = slo.window_requests;
+    info.watchdog_stalls = server.watchdog_->stalls();
+    info.oldest_request_ms = server.watchdog_->oldest_request_ms();
     const std::vector<Index> depths = server.pool_->replica_depths();
     info.replica_depths.reserve(depths.size());
     for (Index d : depths) info.replica_depths.push_back(static_cast<std::uint32_t>(d));
@@ -333,6 +348,7 @@ struct NetServer::Connection {
       // An admitted forecast: resolve, respond, then release the admission
       // slot — the release point is what admission depth meters.
       bool failed = false;
+      bool completed = false;
       {
         // Inner scope so the writer's span reaches the sampler before
         // finish() commits or discards the request's trace.
@@ -356,19 +372,25 @@ struct NetServer::Connection {
           const std::vector<std::uint8_t> encoded = encode_forecast_response(resp);
           if (send_all(fd, encoded.data(), encoded.size())) {
             server.metrics_.requests_completed.fetch_add(1, std::memory_order_relaxed);
-            server.metrics_.latency.record(
-                std::chrono::duration<double>(std::chrono::steady_clock::now() - out.accepted_at)
-                    .count());
+            completed = true;
           } else {
             dead.store(true, std::memory_order_relaxed);
           }
         }
       }
-      obs::Tracer::instance().sampler().finish(
-          out.trace_id,
+      const double latency_s =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - out.accepted_at)
-              .count(),
+              .count();
+      // The sampler decides first so the latency histogram can carry the
+      // trace id as a bucket exemplar only when that trace actually exists
+      // in the dump (head-sampled or tail-retained).
+      const bool retained = obs::Tracer::instance().sampler().finish(
+          out.trace_id, latency_s,
           failed ? obs::RequestOutcome::kError : obs::RequestOutcome::kOk);
+      if (completed) {
+        server.metrics_.latency.record(latency_s, retained ? out.trace_id : 0);
+      }
+      server.watchdog_->complete(out.trace_id);
       out.admission.slot.reset();
     }
   }
@@ -381,6 +403,16 @@ NetServer::NetServer(const NetServerConfig& config, const ModelFactory& make_mod
   obs::register_process_metrics(backend::active_backend().name());
   slo_monitor_ = std::make_unique<obs::SloMonitor>(config_.slo);
   slo_monitor_->start();
+  // Constructed unconditionally so the obs_watchdog_* gauges always exist
+  // (the health frame reads them); the monitor thread only runs when a
+  // stall threshold is configured.
+  watchdog_ = std::make_unique<obs::Watchdog>(obs::MetricsRegistry::global());
+  watchdog_->configure(config_.watchdog);
+  watchdog_->set_depths_fn([this] {
+    const std::vector<Index> depths = pool_->replica_depths();
+    return std::vector<std::int64_t>(depths.begin(), depths.end());
+  });
+  watchdog_->start();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   PP_CHECK_MSG(listen_fd_ >= 0, "socket() failed: " << std::strerror(errno));
@@ -404,6 +436,13 @@ NetServer::NetServer(const NetServerConfig& config, const ModelFactory& make_mod
   socklen_t len = sizeof(addr);
   PP_CHECK(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
   port_ = ntohs(addr.sin_port);
+
+  obs::Log::instance()
+      .info("net", "listening")
+      .kv("bind", config_.bind_address)
+      .kv("port", static_cast<std::int64_t>(port_))
+      .kv("replicas", pool_->replicas())
+      .kv("stall_ms", config_.watchdog.stall_ms);
 
   acceptor_ = std::thread([this] { accept_loop(); });
   if (config_.metrics_log_period.count() > 0) {
@@ -447,8 +486,28 @@ void NetServer::log_loop() {
     if (log_cv_.wait_for(lock, config_.metrics_log_period) == std::cv_status::no_timeout) {
       continue;  // woken for shutdown — loop re-checks the flag
     }
-    std::printf("%s\n", render_log_line(metrics_, pool_gauges()).c_str());
-    std::fflush(stdout);
+    if (config_.legacy_log) {
+      // Pre-PR-9 one-line text format, kept for one release behind
+      // `forecast_serve --log-format legacy`.
+      std::printf("%s\n", render_log_line(metrics_, pool_gauges()).c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    const PoolGauges pool = pool_gauges();
+    obs::Log::instance()
+        .info("net", "stats")
+        .kv("conns",
+            metrics_.connections_opened.load() - metrics_.connections_closed.load())
+        .kv("accepted", metrics_.requests_accepted.load())
+        .kv("completed", metrics_.requests_completed.load())
+        .kv("failed", metrics_.requests_failed.load())
+        .kv("shed", metrics_.shed_total())
+        .kv("p50_ms", metrics_.latency.quantile(0.50) * 1e3)
+        .kv("p99_ms", metrics_.latency.quantile(0.99) * 1e3)
+        .kv("queue", pool.queue_depth)
+        .kv("cache_hits", pool.cache_hits)
+        .kv("version", pool.model_version)
+        .kv("stalls", watchdog_->stalls());
   }
 }
 
@@ -500,11 +559,25 @@ std::uint64_t NetServer::swap_checkpoint(const std::string& path) {
       },
       path);
   metrics_.hot_swaps.fetch_add(1, std::memory_order_relaxed);
+  obs::Log::instance()
+      .info("net", "hot_swap")
+      .kv("checkpoint", path)
+      .kv("version", version);
+  obs::FlightRecorder::record(obs::EventKind::kSwap, 0, path.c_str(),
+                              static_cast<std::int64_t>(version), 0);
   return version;
 }
 
 void NetServer::shutdown() {
   if (shut_down_.exchange(true)) return;
+
+  obs::Log::instance()
+      .info("net", "drain")
+      .kv("accepted", metrics_.requests_accepted.load())
+      .kv("completed", metrics_.requests_completed.load());
+  obs::FlightRecorder::record(obs::EventKind::kDrain, 0, "net server drain",
+                              static_cast<std::int64_t>(metrics_.requests_accepted.load()),
+                              0);
 
   // 1. Stop intake: close the listener (unblocks accept) and wake the logger.
   ::shutdown(listen_fd_, SHUT_RDWR);
@@ -529,11 +602,12 @@ void NetServer::shutdown() {
   pool_->shutdown();
 
   // 4. One last tick so the final window reflects the drained traffic, then
-  // stop the SLO ticker.
+  // stop the SLO ticker and the watchdog.
   if (slo_monitor_) {
     slo_monitor_->tick();
     slo_monitor_->stop();
   }
+  if (watchdog_) watchdog_->stop();
 }
 
 }  // namespace paintplace::net

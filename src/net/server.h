@@ -28,6 +28,7 @@
 #include "net/replica_pool.h"
 #include "net/wire.h"
 #include "obs/slo.h"
+#include "obs/watchdog.h"
 
 namespace paintplace::net {
 
@@ -52,6 +53,14 @@ struct NetServerConfig {
   /// Rolling-window SLO objectives; the monitor runs for the server's
   /// lifetime and feeds the kHealthResponse frame and slo_* gauges.
   obs::SloConfig slo;
+  /// Stall watchdog (stall_ms = 0 disables). When active, every admitted
+  /// request is aged admission-to-completion; requests past the threshold
+  /// file a structured stall report and force-retain their trace.
+  obs::WatchdogConfig watchdog;
+  /// Emit the pre-PR-9 one-line text format from the periodic metrics
+  /// logger instead of the structured obs::Log line (one-release fallback;
+  /// forecast_serve --log-format legacy).
+  bool legacy_log = false;
 };
 
 class NetServer {
@@ -79,6 +88,7 @@ class NetServer {
   Metrics& metrics() { return metrics_; }
   ReplicaPool& pool() { return *pool_; }
   obs::SloMonitor& slo_monitor() { return *slo_monitor_; }
+  obs::Watchdog& watchdog() { return *watchdog_; }
   PoolGauges pool_gauges() const;
 
  private:
@@ -93,6 +103,7 @@ class NetServer {
   std::unique_ptr<ReplicaPool> pool_;
   Metrics metrics_;
   std::unique_ptr<obs::SloMonitor> slo_monitor_;
+  std::unique_ptr<obs::Watchdog> watchdog_;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

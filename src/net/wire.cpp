@@ -241,6 +241,8 @@ std::vector<std::uint8_t> encode_health_response(const HealthInfo& info) {
   put<double>(payload, info.latency_burn_rate);
   put<double>(payload, info.error_burn_rate);
   put<std::uint64_t>(payload, info.window_requests);
+  put<std::uint64_t>(payload, info.watchdog_stalls);
+  put<double>(payload, info.oldest_request_ms);
   put<std::uint32_t>(payload, static_cast<std::uint32_t>(info.replica_depths.size()));
   for (const std::uint32_t depth : info.replica_depths) put<std::uint32_t>(payload, depth);
   put_str(payload, info.git_sha);
@@ -264,6 +266,8 @@ HealthInfo decode_health_response(const Frame& frame) {
   info.latency_burn_rate = in.get<double>();
   info.error_burn_rate = in.get<double>();
   info.window_requests = in.get<std::uint64_t>();
+  info.watchdog_stalls = in.get<std::uint64_t>();
+  info.oldest_request_ms = in.get<double>();
   const std::uint32_t replicas = in.get<std::uint32_t>();
   constexpr std::uint32_t kMaxReplicas = 1u << 16;
   if (replicas > kMaxReplicas) {

@@ -125,6 +125,7 @@ struct SwapResponse {
 ///   f64 uptime_seconds | u64 model_version | u8 slo_state | u8 native_kernel |
 ///   u16 reserved | f64 window_p99_s | f64 window_error_rate |
 ///   f64 latency_burn_rate | f64 error_burn_rate | u64 window_requests |
+///   u64 watchdog_stalls | f64 oldest_request_ms |
 ///   u32 n_replicas | u32 replica_depth[n] |
 ///   str git_sha | str compiler | str backend   (str = u16 length + bytes)
 /// A health probe answers "what is running and is it meeting its SLOs"
@@ -141,6 +142,8 @@ struct HealthInfo {
   double latency_burn_rate = 0.0;
   double error_burn_rate = 0.0;
   std::uint64_t window_requests = 0;
+  std::uint64_t watchdog_stalls = 0;   ///< stall reports filed (obs::Watchdog)
+  double oldest_request_ms = 0.0;      ///< oldest in-flight request at last tick
   std::vector<std::uint32_t> replica_depths;  ///< admitted-but-unanswered, per replica
   std::string git_sha;
   std::string compiler;

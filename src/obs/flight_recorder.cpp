@@ -1,0 +1,391 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "obs/build_info.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+
+namespace paintplace::obs {
+namespace {
+
+std::uint64_t steady_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Copies `src` into dst[cap], truncating, replacing anything that would
+/// need JSON escaping (quotes, backslashes, control/non-ASCII bytes) with
+/// '_'. Done at record time so the signal handler emits bytes verbatim.
+void sanitize_into(char* dst, std::size_t cap, const char* src) {
+  std::size_t i = 0;
+  if (src != nullptr) {
+    for (; src[i] != '\0' && i + 1 < cap; ++i) {
+      const unsigned char c = static_cast<unsigned char>(src[i]);
+      dst[i] = (c >= 0x20 && c <= 0x7e && c != '"' && c != '\\')
+                   ? static_cast<char>(c)
+                   : '_';
+    }
+  }
+  dst[i] = '\0';
+}
+
+// ---------------------------------------------------------------------------
+// Async-signal-safe append helpers. All formatting in the handler path goes
+// through these: bounds-checked byte copies and hand-rolled integer
+// conversion, nothing else.
+
+struct Appender {
+  char* buf;
+  std::size_t cap;
+  std::size_t len = 0;
+
+  void raw(const char* s, std::size_t n) {
+    if (len + n > cap) n = cap - len;
+    std::memcpy(buf + len, s, n);
+    len += n;
+  }
+  void str(const char* s) { raw(s, std::strlen(s)); }
+  void ch(char c) {
+    if (len < cap) buf[len++] = c;
+  }
+  void u64(std::uint64_t v) {
+    char tmp[24];
+    int n = 0;
+    do {
+      tmp[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) ch(tmp[--n]);
+  }
+  void i64(std::int64_t v) {
+    if (v < 0) {
+      ch('-');
+      // Negate via uint64 so INT64_MIN does not overflow.
+      u64(~static_cast<std::uint64_t>(v) + 1);
+    } else {
+      u64(static_cast<std::uint64_t>(v));
+    }
+  }
+};
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kLog: return "log";
+    case EventKind::kRequest: return "request";
+    case EventKind::kShed: return "shed";
+    case EventKind::kSwap: return "swap";
+    case EventKind::kDrain: return "drain";
+    case EventKind::kStall: return "stall";
+    case EventKind::kSignal: return "signal";
+    case EventKind::kMark: return "mark";
+  }
+  return "mark";
+}
+
+// ---------------------------------------------------------------------------
+// Fixed per-thread storage. Slots are heap-allocated once per thread and
+// published into a fixed pointer table; they are never freed (a thread's
+// last events stay dumpable after it exits), so the handler can walk the
+// table with plain loads. Each slot has a single writer (its thread); the
+// handler is the only concurrent reader, synchronized by the head/depth
+// release stores.
+
+struct FlightRecorder::ThreadSlot {
+  std::uint64_t os_tid = 0;
+
+  // Event ring: head counts events ever recorded; slot = head % capacity.
+  std::atomic<std::uint64_t> head{0};
+  FlightEvent events[kEventsPerThread];
+
+  // Active span stack: names are copied in at push time (no pointers into
+  // stack frames), depth published with release so the handler sees a
+  // consistent prefix.
+  std::atomic<std::uint32_t> span_depth{0};
+  char span_names[kMaxSpanDepth][kSpanNameLen];
+};
+
+namespace {
+
+std::atomic<FlightRecorder::ThreadSlot*> g_slots[FlightRecorder::kMaxThreads];
+std::atomic<std::uint32_t> g_slot_count{0};
+
+// Metrics snapshot the handler embeds verbatim: pre-escaped as JSON string
+// content at refresh time (off the signal path).
+constexpr std::size_t kMetricsSnapshotCap = 256 * 1024;
+char g_metrics_snapshot[kMetricsSnapshotCap];
+std::atomic<std::size_t> g_metrics_snapshot_len{0};
+
+// The dump is rendered into static storage: the handler cannot malloc, and
+// untouched BSS pages cost nothing until a crash actually happens.
+constexpr std::size_t kDumpBufCap = 8 * 1024 * 1024;
+char g_dump_buf[kDumpBufCap];
+
+thread_local FlightRecorder::ThreadSlot* t_slot = nullptr;
+thread_local bool t_slot_overflow = false;
+
+struct sigaction g_prev_actions[32];
+
+}  // namespace
+
+void flight_recorder_signal_handler(int signo) {
+  FlightRecorder& rec = FlightRecorder::instance();
+  FlightRecorder::record(EventKind::kSignal, 0, "fatal signal", signo, 0);
+  const std::size_t n = rec.render_dump(g_dump_buf, kDumpBufCap, signo);
+  const int fd = ::open(rec.dump_path(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    std::size_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::write(fd, g_dump_buf + off, n - off);
+      if (w <= 0) break;
+      off += static_cast<std::size_t>(w);
+    }
+    ::close(fd);
+  }
+  // Restore the default disposition and re-raise so the process still dies
+  // with the original signal (exit status / core dump preserved).
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* rec = new FlightRecorder();
+  return *rec;
+}
+
+FlightRecorder::FlightRecorder() : epoch_us_(steady_us()) {}
+
+void FlightRecorder::enable() {
+  enabled_.store(true, std::memory_order_relaxed);
+  // Spans now also maintain the per-thread forensic stack (one extra copy
+  // per span while enabled; still a single relaxed load when not).
+  detail::set_forensics_spans(true);
+}
+
+void FlightRecorder::install(const std::string& dir) {
+  enable();
+  refresh_metrics_snapshot();
+
+  char pid_buf[16];
+  Appender path{dump_path_, sizeof(dump_path_) - 1};
+  path.str(dir.c_str());
+  if (!dir.empty() && dir.back() != '/') path.ch('/');
+  path.str("postmortem.");
+  Appender pid{pid_buf, sizeof(pid_buf) - 1};
+  pid.u64(static_cast<std::uint64_t>(::getpid()));
+  pid_buf[pid.len] = '\0';
+  path.str(pid_buf);
+  path.str(".json");
+  dump_path_[path.len] = '\0';
+
+  bool expected = false;
+  if (!installed_.compare_exchange_strong(expected, true)) return;
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = flight_recorder_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  for (int signo : {SIGSEGV, SIGABRT, SIGBUS}) {
+    ::sigaction(signo, &action, &g_prev_actions[signo]);
+  }
+}
+
+FlightRecorder::ThreadSlot* FlightRecorder::slot_for_this_thread() {
+  if (t_slot != nullptr) return t_slot;
+  if (t_slot_overflow) return nullptr;
+  const std::uint32_t idx = g_slot_count.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= kMaxThreads) {
+    t_slot_overflow = true;  // beyond the fixed table: this thread records nothing
+    return nullptr;
+  }
+  auto* slot = new ThreadSlot();
+  slot->os_tid = static_cast<std::uint64_t>(::syscall(SYS_gettid));
+  g_slots[idx].store(slot, std::memory_order_release);
+  t_slot = slot;
+  return slot;
+}
+
+void FlightRecorder::record(EventKind kind, std::uint64_t trace_id, const char* msg,
+                            std::int64_t a, std::int64_t b) {
+  FlightRecorder& rec = instance();
+  if (!rec.enabled_.load(std::memory_order_relaxed)) return;
+  ThreadSlot* slot = rec.slot_for_this_thread();
+  if (slot == nullptr) return;
+  const std::uint64_t head = slot->head.load(std::memory_order_relaxed);
+  FlightEvent& e = slot->events[head % kEventsPerThread];
+  e.t_us = steady_us() - rec.epoch_us_;
+  e.trace_id = trace_id;
+  e.kind = kind;
+  sanitize_into(e.msg, sizeof(e.msg), msg);
+  e.a = a;
+  e.b = b;
+  slot->head.store(head + 1, std::memory_order_release);
+}
+
+void FlightRecorder::push_span(const char* name) {
+  FlightRecorder& rec = instance();
+  if (!rec.enabled_.load(std::memory_order_relaxed)) return;
+  ThreadSlot* slot = rec.slot_for_this_thread();
+  if (slot == nullptr) return;
+  const std::uint32_t depth = slot->span_depth.load(std::memory_order_relaxed);
+  if (depth < kMaxSpanDepth) {
+    sanitize_into(slot->span_names[depth], kSpanNameLen, name);
+  }
+  // Depth grows past the table when spans nest absurdly deep; pops below
+  // shrink it back and the overflow frames are simply not named.
+  slot->span_depth.store(depth + 1, std::memory_order_release);
+}
+
+void FlightRecorder::pop_span() {
+  FlightRecorder& rec = instance();
+  if (!rec.enabled_.load(std::memory_order_relaxed)) return;
+  ThreadSlot* slot = t_slot;  // a pop always follows this thread's push
+  if (slot == nullptr) return;
+  const std::uint32_t depth = slot->span_depth.load(std::memory_order_relaxed);
+  if (depth > 0) slot->span_depth.store(depth - 1, std::memory_order_release);
+}
+
+void FlightRecorder::refresh_metrics_snapshot() {
+  const std::string text = MetricsRegistry::global().render_prometheus();
+  std::size_t n = 0;
+  for (char raw : text) {
+    if (n + 8 >= kMetricsSnapshotCap) break;  // worst-case escape is 6 bytes
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (c == '"' || c == '\\') {
+      g_metrics_snapshot[n++] = '\\';
+      g_metrics_snapshot[n++] = static_cast<char>(c);
+    } else if (c == '\n') {
+      g_metrics_snapshot[n++] = '\\';
+      g_metrics_snapshot[n++] = 'n';
+    } else if (c < 0x20 || c > 0x7e) {
+      g_metrics_snapshot[n++] = '_';
+    } else {
+      g_metrics_snapshot[n++] = static_cast<char>(c);
+    }
+  }
+  g_metrics_snapshot_len.store(n, std::memory_order_release);
+}
+
+std::size_t FlightRecorder::render_dump(char* buf, std::size_t cap,
+                                        int signal_number) const {
+  Appender out{buf, cap};
+  out.str("{\"schema\":\"paintplace-postmortem-v1\",\"signal\":");
+  out.i64(signal_number);
+  out.str(",\"pid\":");
+  out.u64(static_cast<std::uint64_t>(::getpid()));
+
+  const BuildInfo& build = build_info();
+  out.str(",\"build\":{\"git_sha\":\"");
+  out.str(build.git_sha);  // configure-time constants: already plain ASCII
+  out.str("\",\"compiler\":\"");
+  // __VERSION__ can contain anything; escape the two JSON-breaking bytes.
+  for (const char* p = build.compiler; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    if (c == '"' || c == '\\' || c < 0x20 || c > 0x7e) {
+      out.ch('_');
+    } else {
+      out.ch(static_cast<char>(c));
+    }
+  }
+  out.str("\",\"native_kernel\":");
+  out.str(build.native_kernel ? "true" : "false");
+  out.str("},\"threads\":[");
+
+  const std::uint32_t slot_count = g_slot_count.load(std::memory_order_acquire);
+  bool first_thread = true;
+  for (std::uint32_t s = 0; s < slot_count && s < kMaxThreads; ++s) {
+    const ThreadSlot* slot = g_slots[s].load(std::memory_order_acquire);
+    if (slot == nullptr) continue;
+    if (!first_thread) out.ch(',');
+    first_thread = false;
+
+    out.str("{\"tid\":");
+    out.u64(slot->os_tid);
+
+    out.str(",\"span_stack\":[");
+    std::uint32_t depth = slot->span_depth.load(std::memory_order_acquire);
+    if (depth > kMaxSpanDepth) depth = kMaxSpanDepth;
+    for (std::uint32_t d = 0; d < depth; ++d) {
+      if (d > 0) out.ch(',');
+      out.ch('"');
+      out.str(slot->span_names[d]);
+      out.ch('"');
+    }
+    out.str("],\"events\":[");
+
+    const std::uint64_t head = slot->head.load(std::memory_order_acquire);
+    const std::uint64_t start = head > kEventsPerThread ? head - kEventsPerThread : 0;
+    for (std::uint64_t i = start; i < head; ++i) {
+      const FlightEvent& e = slot->events[i % kEventsPerThread];
+      if (i != start) out.ch(',');
+      out.str("{\"t_us\":");
+      out.u64(e.t_us);
+      out.str(",\"kind\":\"");
+      out.str(to_string(e.kind));
+      out.str("\",\"trace\":");
+      out.u64(e.trace_id);
+      out.str(",\"msg\":\"");
+      out.str(e.msg);  // sanitized at record time
+      out.str("\",\"a\":");
+      out.i64(e.a);
+      out.str(",\"b\":");
+      out.i64(e.b);
+      out.ch('}');
+    }
+    out.str("]}");
+  }
+
+  out.str("],\"metrics\":\"");
+  out.raw(g_metrics_snapshot, g_metrics_snapshot_len.load(std::memory_order_acquire));
+  out.str("\"}\n");
+  return out.len;
+}
+
+bool FlightRecorder::dump(const std::string& path, int signal_number) {
+  const std::size_t n = render_dump(g_dump_buf, kDumpBufCap, signal_number);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, g_dump_buf + off, n - off);
+    if (w <= 0) break;
+    off += static_cast<std::size_t>(w);
+  }
+  ::close(fd);
+  return off == n;
+}
+
+std::size_t FlightRecorder::recorded() const {
+  std::size_t total = 0;
+  const std::uint32_t slot_count = g_slot_count.load(std::memory_order_acquire);
+  for (std::uint32_t s = 0; s < slot_count && s < kMaxThreads; ++s) {
+    const ThreadSlot* slot = g_slots[s].load(std::memory_order_acquire);
+    if (slot == nullptr) continue;
+    const std::uint64_t head = slot->head.load(std::memory_order_acquire);
+    total += static_cast<std::size_t>(head < kEventsPerThread ? head : kEventsPerThread);
+  }
+  return total;
+}
+
+void FlightRecorder::clear() {
+  const std::uint32_t slot_count = g_slot_count.load(std::memory_order_acquire);
+  for (std::uint32_t s = 0; s < slot_count && s < kMaxThreads; ++s) {
+    ThreadSlot* slot = g_slots[s].load(std::memory_order_acquire);
+    if (slot == nullptr) continue;
+    slot->head.store(0, std::memory_order_release);
+    slot->span_depth.store(0, std::memory_order_release);
+  }
+}
+
+}  // namespace paintplace::obs

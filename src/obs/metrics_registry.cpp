@@ -36,6 +36,26 @@ void Histogram::record(double value) {
                             std::memory_order_relaxed);
 }
 
+void Histogram::record(double value, std::uint64_t trace_id) {
+  record(value);
+  if (trace_id == 0) return;
+  if (value < 0.0) value = 0.0;
+  // Last-write-wins per bucket; the two stores are independently atomic, so
+  // a torn pair can at worst pair a trace with a neighbouring sample's
+  // value from the same bucket — fine for a debugging breadcrumb.
+  const auto b = static_cast<std::size_t>(bucket_of(value));
+  exemplar_trace_[b].store(trace_id, std::memory_order_relaxed);
+  exemplar_millionths_[b].store(static_cast<std::uint64_t>(value * 1e6),
+                                std::memory_order_relaxed);
+}
+
+double Histogram::exemplar_value(int b) const {
+  return static_cast<double>(
+             exemplar_millionths_[static_cast<std::size_t>(b)].load(
+                 std::memory_order_relaxed)) *
+         1e-6;
+}
+
 double Histogram::sum() const {
   return static_cast<double>(sum_millionths_.load(std::memory_order_relaxed)) * 1e-6;
 }
@@ -178,9 +198,19 @@ std::string MetricsRegistry::render_prometheus(
           if (in_bucket == 0 && b != Histogram::kBuckets - 1) continue;  // keep it short
           cumulative += in_bucket;
           const bool last = b == Histogram::kBuckets - 1;
-          out += name + "_bucket{le=\"" +
-                 (last ? std::string("+Inf") : format_value(Histogram::bucket_upper(b))) +
-                 "\"} " + std::to_string(last ? h.count() : cumulative) + "\n";
+          const std::string le =
+              last ? std::string("+Inf") : format_value(Histogram::bucket_upper(b));
+          out += name + "_bucket{le=\"" + le + "\"} " +
+                 std::to_string(last ? h.count() : cumulative) + "\n";
+          // Exemplar: the most recent retained trace that landed in this
+          // band, as a comment so plain Prometheus-text parsers pass over
+          // it (OpenMetrics exemplars need the openmetrics content type).
+          const std::uint64_t exemplar = h.exemplar_trace(b);
+          if (exemplar != 0) {
+            out += "# EXEMPLAR " + name + "_bucket{le=\"" + le + "\"} trace_id=" +
+                   std::to_string(exemplar) + " value=" +
+                   format_value(h.exemplar_value(b)) + "\n";
+          }
         }
         out += name + "_sum " + format_value(h.sum()) + "\n";
         out += name + "_count " + std::to_string(h.count()) + "\n";

@@ -75,6 +75,19 @@ class Histogram {
   static constexpr int kBuckets = 26;
 
   void record(double value);
+  /// Records `value` and attaches `trace_id` as the bucket's exemplar — the
+  /// most recent retained trace that landed in that latency band. 0 leaves
+  /// the exemplar untouched. Exposition renders exemplars as `# EXEMPLAR`
+  /// comment lines so an operator can jump from a histogram bucket straight
+  /// to a concrete trace (OpenMetrics-style, comment-encoded to stay plain
+  /// Prometheus-text compatible).
+  void record(double value, std::uint64_t trace_id);
+  /// Exemplar trace id last attached to bucket b (0 = none).
+  std::uint64_t exemplar_trace(int b) const {
+    return exemplar_trace_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+  }
+  /// The value that carried that exemplar, in recorded units.
+  double exemplar_value(int b) const;
 
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   /// Sum of recorded values (exact to one millionth of a unit per sample).
@@ -102,6 +115,8 @@ class Histogram {
 
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::array<std::atomic<std::uint64_t>, kBuckets> exemplar_trace_{};
+  std::array<std::atomic<std::uint64_t>, kBuckets> exemplar_millionths_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_millionths_{0};
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/log.h"
 #include "obs/trace.h"
 
 namespace paintplace::obs {
@@ -165,7 +166,7 @@ std::string Profiler::collapsed() const {
 bool Profiler::write_collapsed(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "obs: cannot write profile to %s\n", path.c_str());
+    Log::instance().error("obs", "profile_write_failed").kv("path", path);
     return false;
   }
   const std::string body = collapsed();

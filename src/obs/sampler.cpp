@@ -27,6 +27,8 @@ Sampler::Sampler(CommitFn commit) : commit_(std::move(commit)) {
                                 "requests tail-retained: latency over threshold");
   retained_error_ = &reg.counter("obs_trace_retained_error_total",
                                  "requests tail-retained: shed or error outcome");
+  retained_stall_ = &reg.counter("obs_trace_retained_stall_total",
+                                 "requests tail-retained: watchdog stall report");
   discarded_ = &reg.counter("obs_trace_discarded_total",
                             "requests whose buffered spans were discarded");
 }
@@ -71,17 +73,17 @@ bool Sampler::offer(const SpanEvent& event, const Ring& ring) {
   return true;
 }
 
-void Sampler::finish(std::uint64_t trace_id, double latency_s, RequestOutcome outcome) {
-  if (!active() || trace_id == 0) return;
+bool Sampler::finish(std::uint64_t trace_id, double latency_s, RequestOutcome outcome) {
+  if (!active() || trace_id == 0) return true;  // recording live: id is in the trace
   PendingRequest req;
   bool retain = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = pending_.find(trace_id);
-    if (it == pending_.end()) return;
+    if (it == pending_.end()) return true;
     req = std::move(it->second);
     pending_.erase(it);
-    if (req.head_sampled) return;  // committed live; counted at begin()
+    if (req.head_sampled) return true;  // committed live; counted at begin()
     if (outcome != RequestOutcome::kOk) {
       retained_error_->fetch_add(1);
       retain = true;
@@ -97,6 +99,24 @@ void Sampler::finish(std::uint64_t trace_id, double latency_s, RequestOutcome ou
   if (retain) {
     for (const auto& [ring, event] : req.spans) commit_(ring, event);
   }
+  return retain;
+}
+
+void Sampler::force_retain(std::uint64_t trace_id) {
+  if (!active() || trace_id == 0) return;
+  std::vector<std::pair<Ring, SpanEvent>> spans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(trace_id);
+    if (it == pending_.end() || it->second.head_sampled) return;
+    // Flip to head_sampled: spans still to come record live, and finish()
+    // sees the request as already committed.
+    it->second.head_sampled = true;
+    spans = std::move(it->second.spans);
+    it->second.spans.clear();
+    retained_stall_->fetch_add(1);
+  }
+  for (const auto& [ring, event] : spans) commit_(ring, event);
 }
 
 void Sampler::reset() {

@@ -25,6 +25,7 @@
 //   obs_trace_sampled_total        head-sampled requests (committed live)
 //   obs_trace_retained_slow_total  tail-retained: latency over threshold
 //   obs_trace_retained_error_total tail-retained: shed or error outcome
+//   obs_trace_retained_stall_total tail-retained: watchdog force_retain
 //   obs_trace_discarded_total      requests whose spans were dropped
 //
 // Knobs: ServeConfig::{trace_sample,trace_slow_ms}, forecast_serve
@@ -92,7 +93,17 @@ class Sampler {
 
   /// Commits (slow / shed / error) or discards the request's buffered
   /// spans and bumps the decision counters. Unknown ids are ignored.
-  void finish(std::uint64_t trace_id, double latency_s, RequestOutcome outcome);
+  /// Returns false only when the request's spans were discarded — i.e.
+  /// true means the trace id is (conceptually) present in the trace, which
+  /// is what exemplar attachment wants to know.
+  bool finish(std::uint64_t trace_id, double latency_s, RequestOutcome outcome);
+
+  /// Commits a request's buffered spans immediately and marks it retained,
+  /// regardless of the head decision — the watchdog calls this for a
+  /// stalled request so its evidence survives even if the process never
+  /// reaches finish(). Later spans for the id record live; a later
+  /// finish() treats it as already committed. No-op for unknown ids.
+  void force_retain(std::uint64_t trace_id);
 
   /// Drops every in-flight request's buffer and restarts the deterministic
   /// decision sequence (tests, shutdown).
@@ -118,6 +129,7 @@ class Sampler {
   Counter* sampled_ = nullptr;
   Counter* retained_slow_ = nullptr;
   Counter* retained_error_ = nullptr;
+  Counter* retained_stall_ = nullptr;
   Counter* discarded_ = nullptr;
 };
 

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/profiler.h"
 #include "obs/sampler.h"
 
@@ -12,6 +14,15 @@ namespace paintplace::obs {
 
 namespace detail {
 std::atomic<std::uint8_t> g_span_mask{0};
+
+void set_forensics_spans(bool on) {
+  if (on) {
+    g_span_mask.fetch_or(kSpanMaskForensics, std::memory_order_relaxed);
+  } else {
+    g_span_mask.fetch_and(static_cast<std::uint8_t>(~kSpanMaskForensics),
+                          std::memory_order_relaxed);
+  }
+}
 }  // namespace detail
 
 namespace {
@@ -257,7 +268,7 @@ std::string Tracer::dump_json() const {
 bool Tracer::dump_json(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "obs: cannot write trace to %s\n", path.c_str());
+    Log::instance().error("obs", "trace_write_failed").kv("path", path);
     return false;
   }
   const std::string body = dump_json();
@@ -342,6 +353,10 @@ void Span::start(const char* name, const char* category, std::uint8_t mask) {
     profiled_ = true;
     Profiler::instance().push(event_.name);
   }
+  if ((mask & detail::kSpanMaskForensics) != 0) {
+    forensic_ = true;
+    FlightRecorder::push_span(event_.name);
+  }
 }
 
 Span::Span(const char* name, const char* category) {
@@ -357,6 +372,7 @@ Span::Span(const std::string& name, const char* category) {
 }
 
 Span::~Span() {
+  if (forensic_) FlightRecorder::pop_span();
   if (profiled_) Profiler::instance().pop();
   if (!active_) return;
   Tracer& tracer = Tracer::instance();

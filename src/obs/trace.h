@@ -34,12 +34,16 @@ namespace paintplace::obs {
 
 namespace detail {
 /// The one word every Span construction reads: bit 0 = tracing enabled
-/// (Tracer), bit 1 = profiling enabled (Profiler). Folding both features
+/// (Tracer), bit 1 = profiling enabled (Profiler), bit 2 = flight-recorder
+/// span stacks (FlightRecorder — crash forensics). Folding every feature
 /// into a single relaxed atomic load keeps the disabled-path cost of a Span
 /// identical to the tracing-only design — bench_serve guards it.
 inline constexpr std::uint8_t kSpanMaskTrace = 0x1;
 inline constexpr std::uint8_t kSpanMaskProfile = 0x2;
+inline constexpr std::uint8_t kSpanMaskForensics = 0x4;
 extern std::atomic<std::uint8_t> g_span_mask;
+/// Turns the forensics bit on (FlightRecorder::enable / install call this).
+void set_forensics_spans(bool on);
 }  // namespace detail
 
 class Sampler;
@@ -203,6 +207,7 @@ class Span {
 
   bool active_ = false;    ///< tracing: record into the ring on destruction
   bool profiled_ = false;  ///< profiling: pushed onto the live-span stack
+  bool forensic_ = false;  ///< forensics: pushed onto the flight-recorder stack
   double flops_ = 0.0;
   std::uint64_t start_us_ = 0;
   SpanEvent event_;

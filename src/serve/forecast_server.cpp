@@ -4,6 +4,8 @@
 
 #include "backend/backend.h"
 #include "nn/tensor_ops.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/metrics_registry.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
@@ -104,11 +106,19 @@ std::uint64_t ForecastServer::publish_model(std::shared_ptr<core::CongestionFore
   // Cached results were produced by an older version; a hit must mean "the
   // serving model would paint exactly this", so drop them.
   cache_.clear();
+  // debug level: the pool publishes once per replica, and the net layer
+  // already logs the swap once at info.
+  obs::Log::instance()
+      .debug("serve", "publish_model")
+      .kv("version", version);
+  obs::FlightRecorder::record(obs::EventKind::kSwap, 0, "publish_model",
+                              static_cast<std::int64_t>(version), 0);
   return version;
 }
 
 void ForecastServer::shutdown() {
   if (shut_down_.exchange(true)) return;
+  obs::FlightRecorder::record(obs::EventKind::kDrain, 0, "forecast server drain", 0, 0);
   queue_.close();
   for (std::thread& t : workers_) t.join();
   workers_.clear();

@@ -8,6 +8,7 @@
 #include "data/metrics.h"
 #include "nn/serialize.h"
 #include "nn/tensor_ops.h"
+#include "obs/log.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 
@@ -230,6 +231,16 @@ std::vector<EpochStats> Trainer::run(const std::vector<const data::Sample*>& tra
 
     start_epoch_ = epoch + 1;  // state records the NEXT epoch to run
     stats.epoch_seconds = epoch_timer.seconds();
+    {
+      obs::LogLine line = obs::Log::instance().info("train", "epoch");
+      line.kv("epoch", epoch)
+          .kv("steps", stats.steps)
+          .kv("loss_d", stats.train.d_loss)
+          .kv("loss_g_gan", stats.train.g_gan)
+          .kv("loss_g_l1", stats.train.g_l1)
+          .kv("seconds", stats.epoch_seconds);
+      if (stats.has_validation) line.kv("val_l1", stats.val_l1).kv("best", stats.is_best);
+    }
     metrics_history_.push_back(stats);
     save_checkpoints(stats.is_best);
     history.push_back(stats);

@@ -48,6 +48,8 @@ TEST(HealthWire, ResponseRoundTripPreservesEveryField) {
   info.latency_burn_rate = 0.168;
   info.error_burn_rate = 1.5;
   info.window_requests = 4096;
+  info.watchdog_stalls = 5;
+  info.oldest_request_ms = 321.5;
   info.replica_depths = {3, 0, 7};
   info.git_sha = "abc123def456";
   info.compiler = "gcc 12.2.0";
@@ -69,6 +71,8 @@ TEST(HealthWire, ResponseRoundTripPreservesEveryField) {
   EXPECT_DOUBLE_EQ(back.latency_burn_rate, 0.168);
   EXPECT_DOUBLE_EQ(back.error_burn_rate, 1.5);
   EXPECT_EQ(back.window_requests, 4096u);
+  EXPECT_EQ(back.watchdog_stalls, 5u);
+  EXPECT_DOUBLE_EQ(back.oldest_request_ms, 321.5);
   EXPECT_EQ(back.replica_depths, (std::vector<std::uint32_t>{3, 0, 7}));
   EXPECT_EQ(back.git_sha, "abc123def456");
   EXPECT_EQ(back.compiler, "gcc 12.2.0");

@@ -1,0 +1,135 @@
+// Structured-log tests: key=value and JSON-lines rendering, level gating
+// (inert builders), per-key rate limiting with suppression accounting
+// (suppressed=N on the next window, obs_log_{emitted,suppressed}_total in
+// the registry), and key independence — event A saturating its budget must
+// not silence event B.
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace paintplace::obs {
+namespace {
+
+/// The Log is process-wide; each test captures lines into a local vector
+/// and restores the config + default sink afterwards so test_health (which
+/// runs a live server in this binary) keeps its normal output.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_ = Log::instance().config();
+    Log::instance().reset_rate_limits();
+    Log::instance().set_sink([this](const std::string& line) { lines_.push_back(line); });
+  }
+  void TearDown() override {
+    Log::instance().set_sink(nullptr);
+    Log::instance().configure(saved_);
+    Log::instance().reset_rate_limits();
+  }
+
+  static void configure(LogLevel min_level, LogFormat format, std::uint32_t limit = 0,
+                        double window_s = 1.0) {
+    LogConfig cfg;
+    cfg.min_level = min_level;
+    cfg.format = format;
+    cfg.rate_limit_per_key = limit;
+    cfg.rate_window_s = window_s;
+    Log::instance().configure(cfg);
+  }
+
+  LogConfig saved_;
+  std::vector<std::string> lines_;
+};
+
+TEST_F(LogTest, KeyValueRenderingQuotesOnlyWhenNeeded) {
+  configure(LogLevel::kDebug, LogFormat::kKeyValue);
+  Log::instance()
+      .info("net", "listening")
+      .kv("port", 7433)
+      .kv("bind", "127.0.0.1")
+      .kv("note", "has spaces")
+      .kv("ratio", 0.5)
+      .kv("swap", true);
+  ASSERT_EQ(lines_.size(), 1u);
+  const std::string& line = lines_[0];
+  EXPECT_NE(line.find("info net.listening"), std::string::npos);
+  EXPECT_NE(line.find("port=7433"), std::string::npos);
+  EXPECT_NE(line.find("bind=127.0.0.1"), std::string::npos);
+  EXPECT_NE(line.find("note=\"has spaces\""), std::string::npos);  // quoted: embedded space
+  EXPECT_NE(line.find("ratio=0.5"), std::string::npos);
+  EXPECT_NE(line.find("swap=true"), std::string::npos);
+}
+
+TEST_F(LogTest, JsonLinesCarryTheSchemaKeys) {
+  configure(LogLevel::kDebug, LogFormat::kJson);
+  Log::instance()
+      .warn("pool", "shed")
+      .kv("reason", "queue \"deep\"")  // embedded quotes must be escaped
+      .kv("depth", 64);
+  ASSERT_EQ(lines_.size(), 1u);
+  const std::string& line = lines_[0];
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"ts_ms\":"), std::string::npos);
+  EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(line.find("\"subsystem\":\"pool\""), std::string::npos);
+  EXPECT_NE(line.find("\"event\":\"shed\""), std::string::npos);
+  EXPECT_NE(line.find("\"reason\":\"queue \\\"deep\\\"\""), std::string::npos);
+  EXPECT_NE(line.find("\"depth\":64"), std::string::npos);
+}
+
+TEST_F(LogTest, BelowMinimumLevelTheBuilderIsInert) {
+  configure(LogLevel::kWarn, LogFormat::kKeyValue);
+  const std::uint64_t before = Log::instance().emitted();
+  {
+    LogLine line = Log::instance().info("net", "stats");
+    EXPECT_FALSE(line.live());
+    line.kv("ignored", 1);  // must not format anything
+  }
+  EXPECT_TRUE(lines_.empty());
+  EXPECT_EQ(Log::instance().emitted(), before);
+  EXPECT_FALSE(Log::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Log::instance().enabled(LogLevel::kError));
+}
+
+TEST_F(LogTest, RateLimiterSuppressesAndReportsOnTheNextWindow) {
+  // 2 lines per 50ms window for this (level, subsystem, event) key.
+  configure(LogLevel::kDebug, LogFormat::kKeyValue, /*limit=*/2, /*window_s=*/0.05);
+  Counter& emitted_total = MetricsRegistry::global().counter("obs_log_emitted_total");
+  Counter& suppressed_total = MetricsRegistry::global().counter("obs_log_suppressed_total");
+  const std::uint64_t base_emitted = emitted_total.load();
+  const std::uint64_t base_suppressed = suppressed_total.load();
+
+  for (int i = 0; i < 5; ++i) {
+    Log::instance().info("test", "burst").kv("i", i);
+  }
+  EXPECT_EQ(lines_.size(), 2u);  // budget of 2, three dropped
+  EXPECT_EQ(emitted_total.load() - base_emitted, 2u);
+  EXPECT_EQ(suppressed_total.load() - base_suppressed, 3u);
+
+  // The first line of the NEXT window confesses what the limiter dropped.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  Log::instance().info("test", "burst").kv("i", 5);
+  ASSERT_EQ(lines_.size(), 3u);
+  EXPECT_NE(lines_.back().find("suppressed=3"), std::string::npos);
+}
+
+TEST_F(LogTest, DistinctEventsRateLimitIndependently) {
+  configure(LogLevel::kDebug, LogFormat::kKeyValue, /*limit=*/1, /*window_s=*/60.0);
+  Log::instance().info("test", "chatty");
+  Log::instance().info("test", "chatty");  // over budget for its key
+  Log::instance().info("test", "quiet");   // different key: fresh budget
+  Log::instance().error("test", "chatty");  // different level: fresh budget
+  ASSERT_EQ(lines_.size(), 3u);
+  EXPECT_NE(lines_[1].find("quiet"), std::string::npos);
+  EXPECT_NE(lines_[2].find("error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paintplace::obs

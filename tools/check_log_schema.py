@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Validate a structured-log stream (forecast_serve --log-format json).
+
+Every line that looks like a JSON object (starts with '{') must parse as
+one and carry the schema keys the Log emitter guarantees: ts_ms (int),
+level (debug|info|warn|error), subsystem (str), event (str). Non-JSON
+lines (the "LISTENING <port>" contract, blank lines) pass through
+untouched — the checker validates the log grammar, not the whole stream.
+
+Usage:
+    check_log_schema.py LOGFILE [--min-lines N]
+
+Exits 0 when every JSON line validates and at least --min-lines of them
+were seen (default 1 — an empty "log" should fail loudly in CI).
+"""
+
+import argparse
+import json
+import sys
+
+LEVELS = {"debug", "info", "warn", "error"}
+REQUIRED = {"ts_ms": int, "level": str, "subsystem": str, "event": str}
+
+
+def check_line(lineno: int, line: str) -> list:
+    errors = []
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return [f"line {lineno}: not valid JSON ({exc})"]
+    if not isinstance(obj, dict):
+        return [f"line {lineno}: JSON but not an object"]
+    for key, want in REQUIRED.items():
+        if key not in obj:
+            errors.append(f"line {lineno}: missing key {key!r}")
+        elif not isinstance(obj[key], want):
+            errors.append(
+                f"line {lineno}: {key!r} is {type(obj[key]).__name__}, want {want.__name__}"
+            )
+    if "level" in obj and obj["level"] not in LEVELS:
+        errors.append(f"line {lineno}: unknown level {obj['level']!r}")
+    if "suppressed" in obj and (
+        not isinstance(obj["suppressed"], int) or obj["suppressed"] < 1
+    ):
+        errors.append(f"line {lineno}: suppressed must be a positive int")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("logfile", help="log stream to validate")
+    parser.add_argument(
+        "--min-lines",
+        type=int,
+        default=1,
+        help="fail unless at least this many JSON log lines were seen",
+    )
+    args = parser.parse_args()
+
+    checked = 0
+    errors = []
+    with open(args.logfile, "r", encoding="utf-8", errors="replace") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line.startswith("{"):
+                continue
+            checked += 1
+            errors.extend(check_line(lineno, line))
+
+    for err in errors:
+        print(f"check_log_schema: {err}", file=sys.stderr)
+    if checked < args.min_lines:
+        print(
+            f"check_log_schema: saw {checked} JSON log line(s), need {args.min_lines}",
+            file=sys.stderr,
+        )
+        return 1
+    if errors:
+        return 1
+    print(f"check_log_schema: OK ({checked} JSON log lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -350,6 +350,8 @@ int run_health_probe(const Options& opt) {
                 "%llu requests in window\n",
                 state, h.window_p99_s * 1e3, h.latency_burn_rate, h.window_error_rate,
                 h.error_burn_rate, static_cast<unsigned long long>(h.window_requests));
+    std::printf("watchdog: %llu stalls, oldest in-flight %.1f ms\n",
+                static_cast<unsigned long long>(h.watchdog_stalls), h.oldest_request_ms);
     std::printf("replicas:");
     for (std::size_t r = 0; r < h.replica_depths.size(); ++r) {
       std::printf(" [%zu] depth %u", r, h.replica_depths[r]);

@@ -27,6 +27,8 @@
 #include "common/parallel.h"
 #include "core/forecaster.h"
 #include "net/server.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
 #include "obs/metrics_registry.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -60,6 +62,9 @@ struct Options {
   double trace_slow_ms = 100.0;  ///< always retain requests slower than this
   std::string profile;           ///< collapsed-stack dump path (enables the profiler)
   std::string metrics_dump;      ///< write final metrics exposition here on drain
+  std::string postmortem;        ///< dir for crash-forensics dumps (enables recorder)
+  double stall_ms = 0.0;         ///< watchdog stall threshold; 0 disables
+  std::string log_format;        ///< kv | json | legacy ("" = kv / env default)
   double slo_p99_ms = 250.0;     ///< windowed p99 objective
   double slo_error_rate = 0.01;  ///< windowed (failed+shed)/total objective
   double slo_window_s = 60.0;    ///< SLO rolling window
@@ -95,6 +100,12 @@ void usage() {
       "  --profile PATH         sample span stacks while serving, write collapsed-stack\n"
       "                         text to PATH on drain and print the top-10 table\n"
       "  --metrics-dump PATH    write the final metrics exposition to PATH on drain\n"
+      "  --postmortem DIR       crash forensics: record flight events and dump\n"
+      "                         DIR/postmortem.<pid>.json on SIGSEGV/SIGABRT/SIGBUS\n"
+      "  --stall-ms X           watchdog: report any request in flight longer than X ms\n"
+      "                         and force-retain its trace (default 0 = disabled)\n"
+      "  --log-format F         kv (default) | json (JSON lines) | legacy (pre-9 text\n"
+      "                         for the periodic stats line)\n"
       "  --slo-p99-ms X         SLO: windowed p99 latency objective (default 250)\n"
       "  --slo-error-rate X     SLO: windowed error-rate objective (default 0.01)\n"
       "  --slo-window-s X       SLO rolling window in seconds (default 60)\n"
@@ -189,6 +200,19 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (!std::strcmp(a, "--metrics-dump")) {
       if (!(v = need_value(i))) return false;
       opt.metrics_dump = v;
+    } else if (!std::strcmp(a, "--postmortem")) {
+      if (!(v = need_value(i))) return false;
+      opt.postmortem = v;
+    } else if (!std::strcmp(a, "--stall-ms")) {
+      if (!(v = need_value(i))) return false;
+      opt.stall_ms = std::atof(v);
+    } else if (!std::strcmp(a, "--log-format")) {
+      if (!(v = need_value(i))) return false;
+      opt.log_format = v;
+      if (opt.log_format != "kv" && opt.log_format != "json" && opt.log_format != "legacy") {
+        std::fprintf(stderr, "--log-format must be kv, json, or legacy (got %s)\n", v);
+        return false;
+      }
     } else if (!std::strcmp(a, "--seed")) {
       if (!(v = need_value(i))) return false;
       opt.seed = static_cast<std::uint64_t>(std::atoll(v));
@@ -213,6 +237,20 @@ int main(int argc, char** argv) {
   Options opt;
   if (!parse_args(argc, argv, opt)) return 2;
 
+  namespace obs = paintplace::obs;
+  // --log-format picks the structured-log rendering; "legacy" keeps the
+  // structured default (kv) but routes the periodic stats line through the
+  // pre-forensics printf renderer.
+  if (opt.log_format == "json" || opt.log_format == "kv") {
+    obs::LogConfig lcfg = obs::Log::instance().config();
+    lcfg.format =
+        opt.log_format == "json" ? obs::LogFormat::kJson : obs::LogFormat::kKeyValue;
+    obs::Log::instance().configure(lcfg);
+  }
+  // Install the crash handlers before any model/server work so a fault
+  // anywhere past argument parsing produces a post-mortem.
+  if (!opt.postmortem.empty()) obs::FlightRecorder::instance().install(opt.postmortem);
+
   core::Pix2PixConfig mcfg;
   if (!opt.checkpoint.empty()) {
     try {
@@ -221,10 +259,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot read checkpoint %s: %s\n", opt.checkpoint.c_str(), e.what());
       return 1;
     }
-    std::printf("serving checkpoint %s (%lldpx, %lld->%lld channels)\n", opt.checkpoint.c_str(),
-                static_cast<long long>(mcfg.generator.image_size),
-                static_cast<long long>(mcfg.generator.in_channels),
-                static_cast<long long>(mcfg.generator.out_channels));
+    obs::Log::instance()
+        .info("serve_cli", "model")
+        .kv("checkpoint", opt.checkpoint)
+        .kv("image_size", mcfg.generator.image_size)
+        .kv("in_channels", mcfg.generator.in_channels)
+        .kv("out_channels", mcfg.generator.out_channels);
   } else {
     mcfg.generator.image_size = opt.width;
     mcfg.generator.in_channels = opt.in_channels;
@@ -232,10 +272,13 @@ int main(int argc, char** argv) {
     mcfg.generator.max_channels = opt.base_channels * 8;
     mcfg.disc_base_channels = opt.base_channels;
     mcfg.seed = opt.seed;
-    std::printf("serving a seeded stand-in model (%lldpx, %lld channels, seed %llu) — "
-                "forecasts are untrained\n",
-                static_cast<long long>(opt.width), static_cast<long long>(opt.in_channels),
-                static_cast<unsigned long long>(opt.seed));
+    obs::Log::instance()
+        .info("serve_cli", "model")
+        .kv("stand_in", true)
+        .kv("image_size", opt.width)
+        .kv("in_channels", opt.in_channels)
+        .kv("seed", opt.seed)
+        .kv("note", "forecasts are untrained");
   }
 
   net::ModelFactory make_model = [&]() {
@@ -246,7 +289,7 @@ int main(int argc, char** argv) {
 
   if (!opt.snapshot.empty()) {
     make_model()->save(opt.snapshot);
-    std::printf("serving model saved to %s\n", opt.snapshot.c_str());
+    obs::Log::instance().info("serve_cli", "snapshot_saved").kv("path", opt.snapshot);
   }
 
   net::NetServerConfig cfg;
@@ -267,6 +310,8 @@ int main(int argc, char** argv) {
   cfg.slo.window_s = opt.slo_window_s;
   cfg.slo.latency_objective_s = opt.slo_p99_ms * 1e-3;
   cfg.slo.error_rate_objective = opt.slo_error_rate;
+  cfg.watchdog.stall_ms = opt.stall_ms;
+  cfg.legacy_log = opt.log_format == "legacy";
   // --trace takes precedence over an inherited PAINTPLACE_TRACE; either way
   // the tracer is enabled now and the JSON is written on drain.
   if (!opt.trace.empty()) paintplace::obs::Tracer::instance().configure(opt.trace);
@@ -279,11 +324,13 @@ int main(int argc, char** argv) {
 
   try {
     net::NetServer server(cfg, make_model);
-    std::printf("%d replica(s), shard by content hash; max depth %lld/replica, "
-                "client cap %lld; backend %s, pool workers %d\n",
-                opt.replicas, static_cast<long long>(opt.max_replica_depth),
-                static_cast<long long>(opt.max_client_inflight),
-                paintplace::backend::active_backend().name(), paintplace::parallel_workers());
+    obs::Log::instance()
+        .info("serve_cli", "pool")
+        .kv("replicas", opt.replicas)
+        .kv("max_depth", opt.max_replica_depth)
+        .kv("client_cap", opt.max_client_inflight)
+        .kv("backend", paintplace::backend::active_backend().name())
+        .kv("workers", paintplace::parallel_workers());
     // Harnesses poll for this line; flush so it is visible even when stdout
     // is a pipe or file (block-buffered) rather than a tty.
     std::printf("LISTENING %u\n", static_cast<unsigned>(server.port()));
@@ -291,7 +338,7 @@ int main(int argc, char** argv) {
 
     while (sem_wait(&g_stop_sem) != 0 && errno == EINTR) {
     }
-    std::printf("draining ...\n");
+    obs::Log::instance().info("serve_cli", "draining");
     // Snapshot gauges before shutdown (the pool is gone afterwards), write
     // the exposition after it so every counter includes the drained tail.
     const net::PoolGauges gauges = server.pool_gauges();
@@ -303,25 +350,26 @@ int main(int argc, char** argv) {
       if (std::FILE* f = std::fopen(opt.metrics_dump.c_str(), "w")) {
         std::fwrite(exposition.data(), 1, exposition.size(), f);
         std::fclose(f);
-        std::printf("metrics written to %s\n", opt.metrics_dump.c_str());
+        obs::Log::instance().info("serve_cli", "metrics_written").kv("path", opt.metrics_dump);
       } else {
-        std::fprintf(stderr, "cannot write metrics to %s\n", opt.metrics_dump.c_str());
+        obs::Log::instance().error("serve_cli", "metrics_write_failed").kv("path", opt.metrics_dump);
       }
     }
-    if (paintplace::obs::Tracer::instance().dump_configured()) {
-      std::printf("trace written to %s (%zu spans, %llu dropped)\n",
-                  paintplace::obs::Tracer::instance().configured_path().c_str(),
-                  paintplace::obs::Tracer::instance().recorded(),
-                  static_cast<unsigned long long>(paintplace::obs::Tracer::instance().dropped()));
+    if (obs::Tracer::instance().dump_configured()) {
+      obs::Log::instance()
+          .info("serve_cli", "trace_written")
+          .kv("path", obs::Tracer::instance().configured_path())
+          .kv("spans", static_cast<std::uint64_t>(obs::Tracer::instance().recorded()))
+          .kv("dropped", obs::Tracer::instance().dropped());
     }
     if (!opt.profile.empty()) {
-      paintplace::obs::Profiler& prof = paintplace::obs::Profiler::instance();
+      obs::Profiler& prof = obs::Profiler::instance();
       prof.stop();
       if (prof.write_collapsed(opt.profile)) {
-        std::printf("collapsed stacks written to %s (%llu samples)\n", opt.profile.c_str(),
-                    static_cast<unsigned long long>(prof.samples()));
-      } else {
-        std::fprintf(stderr, "cannot write collapsed stacks to %s\n", opt.profile.c_str());
+        obs::Log::instance()
+            .info("serve_cli", "profile_written")
+            .kv("path", opt.profile)
+            .kv("samples", prof.samples());
       }
       std::printf("hottest span stacks:\n");
       for (const auto& [stack, count] : prof.top_k(10)) {
@@ -329,10 +377,12 @@ int main(int argc, char** argv) {
       }
     }
     const net::Metrics& m = server.metrics();
-    std::printf("served %llu requests (%llu shed, %llu protocol errors); bye\n",
-                static_cast<unsigned long long>(m.requests_completed.load()),
-                static_cast<unsigned long long>(m.shed_total()),
-                static_cast<unsigned long long>(m.protocol_errors.load()));
+    obs::Log::instance()
+        .info("serve_cli", "served")
+        .kv("completed", m.requests_completed.load())
+        .kv("shed", m.shed_total())
+        .kv("protocol_errors", m.protocol_errors.load())
+        .kv("watchdog_stalls", server.watchdog().stalls());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "forecast_serve: %s\n", e.what());
     return 1;
