@@ -13,8 +13,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
+#include "backend/pack_cache.h"
 #include "bench/bench_json.h"
 #include "bench/gemm_shapes.h"
 #include "common/parallel.h"
@@ -50,9 +52,14 @@ float max_rel_diff(const std::vector<float>& a, const std::vector<float>& b) {
 struct SweepTotals {
   double ref_flops = 0.0, ref_secs = 0.0;
   double opt_flops = 0.0, opt_secs = 0.0;
+  double warm_secs = 0.0;
+  bool cache_bits_mismatch = false;
+
   float worst_rel = 0.0f;
 
   double speedup() const { return (ref_secs / ref_flops) * (opt_flops / opt_secs); }
+  /// Steady-state gain of the packed-weight cache over the plain kernel.
+  double warm_speedup() const { return opt_secs / warm_secs; }
 };
 
 void run_sweep(const core::GeneratorConfig& gen, Index batch, SweepTotals& totals,
@@ -60,34 +67,52 @@ void run_sweep(const core::GeneratorConfig& gen, Index batch, SweepTotals& total
   const backend::ComputeBackend* ref = backend::find_backend("reference");
   const backend::ComputeBackend* opt = backend::find_backend("cpu_opt");
   std::printf("batch %lld:\n", static_cast<long long>(batch));
-  std::printf("  %-12s %6s %8s %7s   %10s %10s %9s %10s\n", "layer", "M", "N", "K", "ref GF/s",
-              "opt GF/s", "speedup", "rel diff");
+  std::printf("  %-12s %6s %8s %7s   %10s %10s %10s %10s %9s %10s\n", "layer", "M", "N", "K",
+              "ref GF/s", "opt GF/s", "cold GF/s", "warm GF/s", "speedup", "rel diff");
   for (const GemmShape& s : bench::unet_gemm_shapes(gen, batch)) {
     // sgemm reads A as MxK; sgemm_at reads A stored KxM — same element count.
     const auto A = random_vec(s.M * s.K, 11 + s.M);
     const auto B = random_vec(s.K * s.N, 23 + s.N);
     std::vector<float> c_ref(static_cast<std::size_t>(s.M * s.N), 0.0f);
     std::vector<float> c_opt(c_ref.size(), 0.0f);
+    std::vector<float> c_cold(c_ref.size(), 0.0f);
+    std::vector<float> c_warm(c_ref.size(), 0.0f);
 
     const double ref_gfs = bench::time_gemm(*ref, s, A.data(), B.data(), c_ref.data());
     const double opt_gfs = bench::time_gemm(*opt, s, A.data(), B.data(), c_opt.data());
+    // Cold pays the weight-panel pack on every call (first forward after
+    // load/swap); warm runs against the populated cache (serving steady
+    // state). Both must reproduce the uncached result bit-for-bit.
+    const double cold_gfs =
+        bench::time_gemm_cached(*opt, s, A.data(), B.data(), c_cold.data(), /*cold=*/true);
+    const double warm_gfs =
+        bench::time_gemm_cached(*opt, s, A.data(), B.data(), c_warm.data(), /*cold=*/false);
+    backend::PackedWeightCache::instance().invalidate(A.data());
     const float rel = max_rel_diff(c_opt, c_ref);
+    const std::size_t c_bytes = c_ref.size() * sizeof(float);
+    const bool cache_ok = std::memcmp(c_cold.data(), c_opt.data(), c_bytes) == 0 &&
+                          std::memcmp(c_warm.data(), c_opt.data(), c_bytes) == 0;
 
     totals.ref_flops += s.flops();
     totals.ref_secs += s.flops() / (ref_gfs * 1e9);
     totals.opt_flops += s.flops();
     totals.opt_secs += s.flops() / (opt_gfs * 1e9);
+    totals.warm_secs += s.flops() / (warm_gfs * 1e9);
     totals.worst_rel = std::max(totals.worst_rel, rel);
+    totals.cache_bits_mismatch |= !cache_ok;
 
-    std::printf("  %-12s %6lld %8lld %7lld   %10.2f %10.2f %8.2fx %10.2e%s\n", s.label.c_str(),
-                static_cast<long long>(s.M), static_cast<long long>(s.N),
-                static_cast<long long>(s.K), ref_gfs, opt_gfs, opt_gfs / ref_gfs, rel,
-                rel > 1e-4f ? "  MISMATCH" : "");
+    std::printf("  %-12s %6lld %8lld %7lld   %10.2f %10.2f %10.2f %10.2f %8.2fx %10.2e%s%s\n",
+                s.label.c_str(), static_cast<long long>(s.M), static_cast<long long>(s.N),
+                static_cast<long long>(s.K), ref_gfs, opt_gfs, cold_gfs, warm_gfs,
+                opt_gfs / ref_gfs, rel, rel > 1e-4f ? "  MISMATCH" : "",
+                cache_ok ? "" : "  CACHE-BITS");
     if (report != nullptr) {
       report->sample({bench::jstr("layer", s.label), bench::jint("batch", batch),
                       bench::jint("workers", workers), bench::jint("M", s.M),
                       bench::jint("N", s.N), bench::jint("K", s.K),
                       bench::jnum("ref_gflop_s", ref_gfs), bench::jnum("opt_gflop_s", opt_gfs),
+                      bench::jnum("opt_cold_gflop_s", cold_gfs),
+                      bench::jnum("opt_warm_gflop_s", warm_gfs),
                       bench::jnum("speedup", opt_gfs / ref_gfs), bench::jnum("rel_diff", rel)});
     }
   }
@@ -98,9 +123,12 @@ SweepTotals sweep_over(const core::GeneratorConfig& gen, const char* heading,
   std::printf("%s\n", heading);
   SweepTotals totals;
   for (Index batch : {Index{1}, Index{4}}) run_sweep(gen, batch, totals, report, workers);
-  std::printf("  aggregate: reference %.2f GF/s, cpu_opt %.2f GF/s — %.2fx; worst rel diff %.2e\n\n",
-              totals.ref_flops / totals.ref_secs / 1e9, totals.opt_flops / totals.opt_secs / 1e9,
-              totals.speedup(), totals.worst_rel);
+  std::printf(
+      "  aggregate: reference %.2f GF/s, cpu_opt %.2f GF/s — %.2fx; warm cache %.2f GF/s "
+      "(%.2fx over plain opt); worst rel diff %.2e\n\n",
+      totals.ref_flops / totals.ref_secs / 1e9, totals.opt_flops / totals.opt_secs / 1e9,
+      totals.speedup(), totals.opt_flops / totals.warm_secs / 1e9, totals.warm_speedup(),
+      totals.worst_rel);
   return totals;
 }
 
@@ -160,6 +188,7 @@ int main() {
 
   report.meta(bench::jnum("single_thread_speedup", st.speedup()));
   report.meta(bench::jnum("threaded_speedup", mt.speedup()));
+  report.meta(bench::jnum("warm_cache_speedup", mt.warm_speedup()));
   report.write();
 
   std::printf("single-thread aggregate speedup: %.2fx (acceptance: 3x, hard floor: %.1fx)%s\n",
@@ -167,6 +196,10 @@ int main() {
   if (hw_workers > 1) std::printf("threaded aggregate speedup: %.2fx\n", mt.speedup());
   if (worst_rel > 1e-4f) {
     std::printf("FAIL: cpu_opt diverges from reference (worst rel diff %.2e > 1e-4)\n", worst_rel);
+    return 1;
+  }
+  if (st.cache_bits_mismatch || mt.cache_bits_mismatch) {
+    std::printf("FAIL: cached weight packs changed result bits vs the uncached kernel\n");
     return 1;
   }
   if (st.speedup() < hard_floor) {

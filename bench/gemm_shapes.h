@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "backend/backend.h"
+#include "backend/pack_cache.h"
 #include "common/timer.h"
 #include "core/unet.h"
 
@@ -64,6 +65,40 @@ inline double time_gemm(const backend::ComputeBackend& be, const GemmShape& shap
     } else {
       be.sgemm_at(shape.M, shape.N, shape.K, 1.0f, A, B, 0.0f, C);
     }
+    reps += 1;
+  } while (t.seconds() < min_seconds);
+  return shape.flops() * static_cast<double>(reps) / t.seconds() / 1e9;
+}
+
+/// Times the extended call with GemmArgs::cache_weights set, the path a
+/// serving forward takes. `cold` invalidates and re-keys before every rep so
+/// each call pays the panel pack (a model's first forward after load /
+/// hot-swap / fine-tune); warm primes the cache once and then times pure
+/// hits (the steady state). Versions are fabricated locally — the bench
+/// fakes the nn layer's weight identity.
+inline double time_gemm_cached(const backend::ComputeBackend& be, const GemmShape& shape,
+                               const float* A, const float* B, float* C, bool cold,
+                               double min_seconds = 0.15) {
+  static std::uint64_t version = std::uint64_t{1} << 62;
+  backend::GemmArgs args;
+  args.cache_weights = true;
+  args.weight_version = ++version;
+  const auto call = [&] {
+    if (shape.kind == GemmShape::Kind::kGemm) {
+      be.sgemm_ex(shape.M, shape.N, shape.K, 1.0f, A, B, 0.0f, C, args);
+    } else {
+      be.sgemm_at_ex(shape.M, shape.N, shape.K, 1.0f, A, B, 0.0f, C, args);
+    }
+  };
+  if (!cold) call();  // prime: every timed rep below is a cache hit
+  Index reps = 0;
+  Timer t;
+  do {
+    if (cold) {
+      backend::PackedWeightCache::instance().invalidate(A);
+      args.weight_version = ++version;
+    }
+    call();
     reps += 1;
   } while (t.seconds() < min_seconds);
   return shape.flops() * static_cast<double>(reps) / t.seconds() / 1e9;

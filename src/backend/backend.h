@@ -19,6 +19,8 @@
 // code can add backends via register_backend().
 #pragma once
 
+#include <cmath>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +33,60 @@ namespace paintplace::backend {
 inline constexpr const char* kBackendEnvVar = "PAINTPLACE_BACKEND";
 /// Backend used when neither the environment nor the API chose one.
 inline constexpr const char* kDefaultBackendName = "cpu_opt";
+
+/// Elementwise epilogue a GEMM applies to C after the accumulation: an
+/// optional per-row bias add followed by an optional activation. The conv
+/// layers use it to fold bias + LeakyReLU/ReLU/tanh into the kernel's
+/// C-writeback so inference never re-traverses an activation tensor.
+///
+/// Contract for backend authors: sgemm*_ex(..., ep) must be bit-identical to
+/// the plain sgemm* followed by apply_epilogue(M, N, C, ep). apply_epilogue
+/// processes each element as `t = C[i*N+j]; t += bias[i]; t = act(t)` with
+/// act defined by apply_act below — fuse those exact scalar operations, in
+/// that order, on the final accumulated value (i.e. only after the last K
+/// panel's contribution has landed). tests/backend/test_conformance.cpp
+/// enforces this for every registered backend.
+struct Epilogue {
+  enum class Act : std::uint8_t { kNone = 0, kReLU, kLeakyReLU, kTanh };
+
+  Act act = Act::kNone;
+  float slope = 0.0f;           ///< LeakyReLU negative slope
+  const float* bias = nullptr;  ///< per-row bias (length M); nullptr = none
+
+  bool enabled() const { return act != Act::kNone || bias != nullptr; }
+};
+
+/// The scalar activation every epilogue implementation must use. Plain IEEE
+/// single-precision ops (and libm tanh), so the result is identical no
+/// matter which translation unit or ISA the call inlines into.
+inline float apply_act(float t, Epilogue::Act act, float slope) {
+  switch (act) {
+    case Epilogue::Act::kNone: return t;
+    case Epilogue::Act::kReLU: return t > 0.0f ? t : 0.0f;
+    case Epilogue::Act::kLeakyReLU: return t > 0.0f ? t : slope * t;
+    case Epilogue::Act::kTanh: return std::tanh(t);
+  }
+  return t;
+}
+
+/// Applies `ep` to C (MxN, row-major) in place, one pass. The semantic
+/// definition of the epilogue — fused implementations must match it
+/// bit-for-bit — and the fallback the default sgemm*_ex overloads use.
+void apply_epilogue(Index M, Index N, float* C, const Epilogue& ep);
+
+/// Extended-call arguments shared by the sgemm*_ex entry points.
+struct GemmArgs {
+  Epilogue epilogue{};
+
+  /// When `cache_weights` is set, the A operand is a long-lived weight
+  /// matrix (stable pointer, mutation tracked by `weight_version`) and the
+  /// backend may keep its packed panels in the process-wide
+  /// PackedWeightCache across calls. Callers own the version discipline:
+  /// every in-place mutation of A must come with a new version (see
+  /// nn::Parameter::bump_version), or the cache's stale tripwire aborts.
+  bool cache_weights = false;
+  std::uint64_t weight_version = 0;
+};
 
 /// A provider of the dense kernels. Implementations must be stateless or
 /// internally synchronised: one instance serves every thread in the process.
@@ -52,6 +108,17 @@ class ComputeBackend {
   /// C = alpha * A * B^T + beta * C, where B is stored (NxK) row-major.
   virtual void sgemm_bt(Index M, Index N, Index K, float alpha, const float* A, const float* B,
                         float beta, float* C) const = 0;
+
+  // Extended entry points: same math plus a fused epilogue and optional
+  // packed-weight caching of the A operand. The defaults lower to the plain
+  // kernel followed by an apply_epilogue pass, so a new backend is correct
+  // (if unfused) from day one; cpu_opt overrides them with real fusion.
+  virtual void sgemm_ex(Index M, Index N, Index K, float alpha, const float* A, const float* B,
+                        float beta, float* C, const GemmArgs& args) const;
+  virtual void sgemm_at_ex(Index M, Index N, Index K, float alpha, const float* A, const float* B,
+                           float beta, float* C, const GemmArgs& args) const;
+  virtual void sgemm_bt_ex(Index M, Index N, Index K, float alpha, const float* A, const float* B,
+                           float beta, float* C, const GemmArgs& args) const;
 };
 
 /// The backend all nn-layer GEMMs dispatch to. Resolves the PAINTPLACE_BACKEND

@@ -1,8 +1,11 @@
-// "cpu_opt" backend: BLIS-style packed, register-blocked GEMM.
+// "cpu_opt" backend: BLIS-style packed, register-blocked GEMM with pack-once
+// weight caching and fused epilogues.
 //
-// All three variants run through one blocked driver parameterised on element
-// accessors for op(A) and op(B) — the transposed cases differ only in how
-// the pack routines gather, so the hot macro/micro-kernel is shared.
+// All three variants run through one blocked driver parameterised on pack
+// routines for op(A) and op(B) — each operand layout gets a specialised
+// packer with contiguous reads (the old generic accessor lambdas gathered
+// sgemm_bt's B with stride-K loads), and the hot macro/micro-kernel is
+// shared.
 //
 // Tiling (all compile-time constants):
 //   * The C plane is cut into kRowTile x kColTile task tiles; tasks are
@@ -20,14 +23,33 @@
 //     is what keeps batched conv lowering bit-exact vs per-sample (a sample's
 //     columns land at different offsets in the wide batched GEMM).
 //
+// Pack-once weight caching (sgemm*_ex with GemmArgs::cache_weights): the
+// whole of op(A) is packed once into a panel-major strip image — panel k0
+// starts at total_strips*MR*k0, strip s within it at s*MR*kc — and stored in
+// the process-wide PackedWeightCache keyed on (pointer, version, variant,
+// M, K). Row tiles start at multiples of kRowTile (a multiple of MR), so a
+// tile just indexes strips from i0/MR; the cached bytes are exactly what
+// per-tile packing would produce, which keeps cached and uncached runs
+// bit-identical. Packing then disappears from the steady-state forward pass
+// entirely (the big win at N == one sample's columns, where pack time was a
+// fixed tax per call).
+//
+// Fused epilogue (GemmArgs::epilogue): bias-add + activation are applied in
+// the C-writeback of the *last* K panel, per element, in exactly the order
+// apply_epilogue defines — so sgemm_ex(..., ep) is bit-identical to
+// sgemm(...) followed by apply_epilogue(...), and the activation never costs
+// a second pass over C.
+//
 // Build note: CMake compiles this file with -march=native when available
 // (PAINTPLACE_NATIVE_KERNEL, default ON) so the micro-kernel vectorises to
 // the widest FMA the build host has; everything here is plain C++ and also
 // compiles (slower) without it.
 #include <algorithm>
 #include <cstring>
+#include <memory>
 
 #include "backend/backend.h"
+#include "backend/pack_cache.h"
 #include "backend/workspace.h"
 #include "common/parallel.h"
 
@@ -42,11 +64,38 @@ constexpr Index kColTile = 512;  ///< task tile columns (multiple of NR)
 
 static_assert(kRowTile % MR == 0 && kColTile % NR == 0);
 
-/// Packs rows [0,mt) x [0,kc) of op(A) into MR-row strips, k-major within a
-/// strip, rows zero-padded to a full strip. `a(i,k)` reads op(A) at the
-/// tile-local coordinate.
-template <class GetA>
-void pack_a(Index mt, Index kc, GetA a, float* __restrict dst) {
+// PackedWeightCache key variants owned by this backend (backend id 0).
+enum : int { kVariantANormal = 0, kVariantATrans = 1 };
+
+// ---- operand packers --------------------------------------------------------
+// All A packers produce the same layout: MR-row strips, k-major within a
+// strip (d[k*MR + r]), rows zero-padded to a full strip. Likewise B packers:
+// NR-column strips, k-major (d[k*NR + c]), columns zero-padded. Only the
+// gather order differs, chosen per storage layout for contiguous reads.
+
+/// op(A) rows [0,mt) x [0,kc) where A is row-major with row stride `lda`
+/// (sgemm / sgemm_bt): row r is contiguous in k.
+void pack_a_rows(const float* __restrict A, Index lda, Index mt, Index kc,
+                 float* __restrict dst) {
+  const Index strips = (mt + MR - 1) / MR;
+  for (Index s = 0; s < strips; ++s) {
+    const Index i0 = s * MR;
+    const Index rows = std::min(MR, mt - i0);
+    float* __restrict d = dst + s * MR * kc;
+    for (Index r = 0; r < rows; ++r) {
+      const float* __restrict src = A + (i0 + r) * lda;
+      for (Index k = 0; k < kc; ++k) d[k * MR + r] = src[k];
+    }
+    for (Index r = rows; r < MR; ++r) {
+      for (Index k = 0; k < kc; ++k) d[k * MR + r] = 0.0f;
+    }
+  }
+}
+
+/// op(A) = A^T where A is stored (K x M) row-major with row stride `lda`
+/// (sgemm_at): row k of A is contiguous in i, so gather k-outer.
+void pack_a_trans(const float* __restrict A, Index lda, Index mt, Index kc,
+                  float* __restrict dst) {
   const Index strips = (mt + MR - 1) / MR;
   for (Index s = 0; s < strips; ++s) {
     const Index i0 = s * MR;
@@ -54,21 +103,24 @@ void pack_a(Index mt, Index kc, GetA a, float* __restrict dst) {
     float* __restrict d = dst + s * MR * kc;
     if (rows == MR) {
       for (Index k = 0; k < kc; ++k) {
-        for (Index r = 0; r < MR; ++r) d[k * MR + r] = a(i0 + r, k);
+        const float* __restrict src = A + k * lda + i0;
+        for (Index r = 0; r < MR; ++r) d[k * MR + r] = src[r];
       }
     } else {
       for (Index k = 0; k < kc; ++k) {
-        for (Index r = 0; r < rows; ++r) d[k * MR + r] = a(i0 + r, k);
+        const float* __restrict src = A + k * lda + i0;
+        for (Index r = 0; r < rows; ++r) d[k * MR + r] = src[r];
         for (Index r = rows; r < MR; ++r) d[k * MR + r] = 0.0f;
       }
     }
   }
 }
 
-/// Packs columns [0,nt) x rows [0,kc) of op(B) into NR-column strips,
-/// k-major within a strip, columns zero-padded to a full strip.
-template <class GetB>
-void pack_b(Index nt, Index kc, GetB b, float* __restrict dst) {
+/// op(B) rows [0,kc) x columns [0,nt) where B is row-major with row stride
+/// `ldb` (sgemm / sgemm_at): row k is contiguous in j — reads and writes
+/// both stream.
+void pack_b_rows(const float* __restrict B, Index ldb, Index nt, Index kc,
+                 float* __restrict dst) {
   const Index strips = (nt + NR - 1) / NR;
   for (Index s = 0; s < strips; ++s) {
     const Index j0 = s * NR;
@@ -76,15 +128,54 @@ void pack_b(Index nt, Index kc, GetB b, float* __restrict dst) {
     float* __restrict d = dst + s * NR * kc;
     if (cols == NR) {
       for (Index k = 0; k < kc; ++k) {
-        for (Index c = 0; c < NR; ++c) d[k * NR + c] = b(k, j0 + c);
+        std::memcpy(d + k * NR, B + k * ldb + j0, sizeof(float) * NR);
       }
     } else {
       for (Index k = 0; k < kc; ++k) {
-        for (Index c = 0; c < cols; ++c) d[k * NR + c] = b(k, j0 + c);
+        const float* __restrict src = B + k * ldb + j0;
+        for (Index c = 0; c < cols; ++c) d[k * NR + c] = src[c];
         for (Index c = cols; c < NR; ++c) d[k * NR + c] = 0.0f;
       }
     }
   }
+}
+
+/// op(B) = B^T where B is stored (N x K) row-major with row stride `ldb`
+/// (sgemm_bt): column j of op(B) is row j of B, contiguous in k — gather
+/// c-outer so every read streams (the generic accessor used to load with
+/// stride K here, the backward pass's sore spot).
+void pack_b_trans(const float* __restrict B, Index ldb, Index nt, Index kc,
+                  float* __restrict dst) {
+  const Index strips = (nt + NR - 1) / NR;
+  for (Index s = 0; s < strips; ++s) {
+    const Index j0 = s * NR;
+    const Index cols = std::min(NR, nt - j0);
+    float* __restrict d = dst + s * NR * kc;
+    for (Index c = 0; c < cols; ++c) {
+      const float* __restrict src = B + (j0 + c) * ldb;
+      for (Index k = 0; k < kc; ++k) d[k * NR + c] = src[k];
+    }
+    for (Index c = cols; c < NR; ++c) {
+      for (Index k = 0; k < kc; ++k) d[k * NR + c] = 0.0f;
+    }
+  }
+}
+
+/// Packs ALL of op(A) (M x K) into the panel-major strip image the cached
+/// path reads: panel k0 at strips*MR*k0, strip s within it at s*MR*kc.
+/// `pack_tile(i0, mt, k0, kc, dst)` is the same per-tile packer the uncached
+/// path uses, so the bytes are identical to per-tile packing.
+template <class PackTileA>
+void pack_a_full(Index M, Index K, PackTileA pack_tile, float* dst) {
+  const Index strips = (M + MR - 1) / MR;
+  parallel_for_each(strips, [&](Index s) {
+    const Index i0 = s * MR;
+    const Index mt = std::min(MR, M - i0);
+    for (Index k0 = 0; k0 < K; k0 += kKC) {
+      const Index kc = std::min(kKC, K - k0);
+      pack_tile(i0, mt, k0, kc, dst + strips * MR * k0 + s * MR * kc);
+    }
+  });
 }
 
 /// acc(MR x NR) = sum_k a_strip(:,k) * b_strip(k,:).
@@ -157,12 +248,82 @@ void scale_c(Index M, Index N, float beta, float* C) {
   });
 }
 
-template <class GetA, class GetB>
-void blocked_gemm(Index M, Index N, Index K, float alpha, GetA a, GetB b, float beta,
-                  float* __restrict C) {
+/// Forces a value to float storage precision: inhibits the compiler from
+/// contracting the multiply that produced it into an FMA with a following
+/// add (-ffp-contract=fast fuses across statements). The fused epilogue
+/// needs this where the bias add directly follows the alpha scale: the
+/// unfused lowering stores that product to C (rounding it) before the
+/// epilogue pass reads it back, and the fused path must match those bits.
+inline float force_rounded(float v) {
+#if defined(__x86_64__) || defined(__i386__)
+  __asm__("" : "+x"(v));
+#elif defined(__aarch64__)
+  __asm__("" : "+w"(v));
+#elif defined(__GNUC__) || defined(__clang__)
+  __asm__("" : "+m"(v));
+#endif
+  return v;
+}
+
+/// Writes one micro-tile strip of accumulators into C. `ep` is non-null only
+/// on the last K panel: the per-element operation order (accumulate, += bias,
+/// activation) matches apply_epilogue exactly, which is what keeps fused
+/// results bit-identical to the unfused two-pass lowering.
+inline void write_back(Index rows, Index cols, Index i, Index j, Index N, float alpha, float beta,
+                       bool first_panel, const float* __restrict acc, float* __restrict C,
+                       const Epilogue* ep) {
+  for (Index r = 0; r < rows; ++r) {
+    float* __restrict c = C + (i + r) * N + j;
+    const float* __restrict av = acc + r * NR;
+    if (ep == nullptr) {
+      if (first_panel) {
+        if (beta == 0.0f) {
+          for (Index cc = 0; cc < cols; ++cc) c[cc] = alpha * av[cc];
+        } else {
+          for (Index cc = 0; cc < cols; ++cc) c[cc] = alpha * av[cc] + beta * c[cc];
+        }
+      } else {
+        for (Index cc = 0; cc < cols; ++cc) c[cc] += alpha * av[cc];
+      }
+    } else {
+      const bool has_bias = ep->bias != nullptr;
+      const float b = has_bias ? ep->bias[i + r] : 0.0f;
+      const Epilogue::Act act = ep->act;
+      const float slope = ep->slope;
+      for (Index cc = 0; cc < cols; ++cc) {
+        float t;
+        if (first_panel && beta == 0.0f) {
+          t = alpha * av[cc];
+          // A bare product followed by the bias add is the one spot the
+          // compiler could fuse into an FMA; everywhere else the accumulate
+          // already ends in an addition.
+          if (has_bias) t = force_rounded(t);
+        } else if (first_panel) {
+          t = alpha * av[cc] + beta * c[cc];
+        } else {
+          t = c[cc] + alpha * av[cc];
+        }
+        if (has_bias) t += b;
+        c[cc] = apply_act(t, act, slope);
+      }
+    }
+  }
+}
+
+/// A full-matrix cached pack of op(A), in the pack_a_full layout.
+struct CachedA {
+  const float* data = nullptr;
+  Index strips = 0;  ///< total M strips == (M + MR - 1) / MR
+};
+
+template <class PackA, class PackB>
+void blocked_gemm(Index M, Index N, Index K, float alpha, float beta, float* __restrict C,
+                  PackA pack_a_tile, PackB pack_b_tile, const Epilogue* ep,
+                  const CachedA* cached) {
   if (M == 0 || N == 0) return;
   if (K == 0 || alpha == 0.0f) {
     scale_c(M, N, beta, C);
+    if (ep != nullptr) apply_epilogue(M, N, C, *ep);
     return;
   }
   const Index row_tiles = (M + kRowTile - 1) / kRowTile;
@@ -176,35 +337,33 @@ void blocked_gemm(Index M, Index N, Index K, float alpha, GetA a, GetB b, float 
     const Index n_strips = (nt + NR - 1) / NR;
 
     WorkspaceScope ws;
-    float* apack = ws.alloc(static_cast<std::size_t>(m_strips * MR * kKC));
+    float* apack =
+        cached == nullptr ? ws.alloc(static_cast<std::size_t>(m_strips * MR * kKC)) : nullptr;
     float* bpack = ws.alloc(static_cast<std::size_t>(n_strips * NR * kKC));
     alignas(64) float acc[MR * NR];
 
     for (Index k0 = 0; k0 < K; k0 += kKC) {
       const Index kc = std::min(kKC, K - k0);
       const bool first_panel = (k0 == 0);
-      pack_a(mt, kc, [&](Index i, Index k) { return a(i0 + i, k0 + k); }, apack);
-      pack_b(nt, kc, [&](Index k, Index j) { return b(k0 + k, j0 + j); }, bpack);
+      const Epilogue* panel_ep = (k0 + kc == K) ? ep : nullptr;
+      const float* atile;
+      if (cached != nullptr) {
+        // kRowTile is a multiple of MR, so the tile's strips sit at global
+        // strip indices i0/MR.. in the panel-major cached image.
+        atile = cached->data + cached->strips * MR * k0 + (i0 / MR) * MR * kc;
+      } else {
+        pack_a_tile(i0, mt, k0, kc, apack);
+        atile = apack;
+      }
+      pack_b_tile(j0, nt, k0, kc, bpack);
       for (Index sn = 0; sn < n_strips; ++sn) {
         const Index j = j0 + sn * NR;
         const Index cols = std::min(NR, j0 + nt - j);
         for (Index sm = 0; sm < m_strips; ++sm) {
           const Index i = i0 + sm * MR;
           const Index rows = std::min(MR, i0 + mt - i);
-          micro_kernel(kc, apack + sm * MR * kc, bpack + sn * NR * kc, acc);
-          for (Index r = 0; r < rows; ++r) {
-            float* __restrict c = C + (i + r) * N + j;
-            const float* __restrict av = acc + r * NR;
-            if (first_panel) {
-              if (beta == 0.0f) {
-                for (Index cc = 0; cc < cols; ++cc) c[cc] = alpha * av[cc];
-              } else {
-                for (Index cc = 0; cc < cols; ++cc) c[cc] = alpha * av[cc] + beta * c[cc];
-              }
-            } else {
-              for (Index cc = 0; cc < cols; ++cc) c[cc] += alpha * av[cc];
-            }
-          }
+          micro_kernel(kc, atile + sm * MR * kc, bpack + sn * NR * kc, acc);
+          write_back(rows, cols, i, j, N, alpha, beta, first_panel, acc, C, panel_ep);
         }
       }
     }
@@ -217,26 +376,94 @@ class CpuOptBackend final : public ComputeBackend {
 
   void sgemm(Index M, Index N, Index K, float alpha, const float* A, const float* B, float beta,
              float* C) const override {
-    blocked_gemm(
-        M, N, K, alpha, [A, K](Index i, Index k) { return A[i * K + k]; },
-        [B, N](Index k, Index j) { return B[k * N + j]; }, beta, C);
+    run(M, N, K, alpha, A, B, beta, C, nullptr);
   }
 
   void sgemm_at(Index M, Index N, Index K, float alpha, const float* A, const float* B, float beta,
                 float* C) const override {
-    // A stored KxM: op(A)(i,k) = A[k*M + i]. The gather is strided but runs
-    // once per K panel; the macro-kernel only ever sees packed strips.
-    blocked_gemm(
-        M, N, K, alpha, [A, M](Index i, Index k) { return A[k * M + i]; },
-        [B, N](Index k, Index j) { return B[k * N + j]; }, beta, C);
+    run_at(M, N, K, alpha, A, B, beta, C, nullptr);
   }
 
   void sgemm_bt(Index M, Index N, Index K, float alpha, const float* A, const float* B, float beta,
                 float* C) const override {
+    run_bt(M, N, K, alpha, A, B, beta, C, nullptr);
+  }
+
+  void sgemm_ex(Index M, Index N, Index K, float alpha, const float* A, const float* B, float beta,
+                float* C, const GemmArgs& args) const override {
+    run(M, N, K, alpha, A, B, beta, C, &args);
+  }
+
+  void sgemm_at_ex(Index M, Index N, Index K, float alpha, const float* A, const float* B,
+                   float beta, float* C, const GemmArgs& args) const override {
+    run_at(M, N, K, alpha, A, B, beta, C, &args);
+  }
+
+  void sgemm_bt_ex(Index M, Index N, Index K, float alpha, const float* A, const float* B,
+                   float beta, float* C, const GemmArgs& args) const override {
+    run_bt(M, N, K, alpha, A, B, beta, C, &args);
+  }
+
+ private:
+  template <class PackA, class PackB>
+  static void dispatch(Index M, Index N, Index K, float alpha, const float* A, float beta,
+                       float* C, PackA packA, PackB packB, const GemmArgs* args, int variant) {
+    const Epilogue* ep =
+        (args != nullptr && args->epilogue.enabled()) ? &args->epilogue : nullptr;
+    if (args != nullptr && args->cache_weights && M > 0 && K > 0 && alpha != 0.0f) {
+      const Index strips = (M + MR - 1) / MR;
+      const PackedWeightCache::Key key{A, args->weight_version, variant, M, K};
+      // The shared_ptr pins the pack for this call even if the entry is
+      // evicted or invalidated mid-GEMM.
+      std::shared_ptr<const PackedWeights> pinned = PackedWeightCache::instance().get_or_pack(
+          key, A, M * K, static_cast<std::size_t>(strips * MR * K),
+          [&](float* dst) { pack_a_full(M, K, packA, dst); });
+      const CachedA cached{pinned->data.data(), strips};
+      blocked_gemm(M, N, K, alpha, beta, C, packA, packB, ep, &cached);
+      return;
+    }
+    blocked_gemm(M, N, K, alpha, beta, C, packA, packB, ep, nullptr);
+  }
+
+  static void run(Index M, Index N, Index K, float alpha, const float* A, const float* B,
+                  float beta, float* C, const GemmArgs* args) {
+    dispatch(
+        M, N, K, alpha, A, beta, C,
+        [A, K](Index i0, Index mt, Index k0, Index kc, float* d) {
+          pack_a_rows(A + i0 * K + k0, K, mt, kc, d);
+        },
+        [B, N](Index j0, Index nt, Index k0, Index kc, float* d) {
+          pack_b_rows(B + k0 * N + j0, N, nt, kc, d);
+        },
+        args, kVariantANormal);
+  }
+
+  static void run_at(Index M, Index N, Index K, float alpha, const float* A, const float* B,
+                     float beta, float* C, const GemmArgs* args) {
+    // A stored KxM: op(A)(i,k) = A[k*M + i].
+    dispatch(
+        M, N, K, alpha, A, beta, C,
+        [A, M](Index i0, Index mt, Index k0, Index kc, float* d) {
+          pack_a_trans(A + k0 * M + i0, M, mt, kc, d);
+        },
+        [B, N](Index j0, Index nt, Index k0, Index kc, float* d) {
+          pack_b_rows(B + k0 * N + j0, N, nt, kc, d);
+        },
+        args, kVariantATrans);
+  }
+
+  static void run_bt(Index M, Index N, Index K, float alpha, const float* A, const float* B,
+                     float beta, float* C, const GemmArgs* args) {
     // B stored NxK: op(B)(k,j) = B[j*K + k].
-    blocked_gemm(
-        M, N, K, alpha, [A, K](Index i, Index k) { return A[i * K + k]; },
-        [B, K](Index k, Index j) { return B[j * K + k]; }, beta, C);
+    dispatch(
+        M, N, K, alpha, A, beta, C,
+        [A, K](Index i0, Index mt, Index k0, Index kc, float* d) {
+          pack_a_rows(A + i0 * K + k0, K, mt, kc, d);
+        },
+        [B, K](Index j0, Index nt, Index k0, Index kc, float* d) {
+          pack_b_trans(B + j0 * K + k0, K, nt, kc, d);
+        },
+        args, kVariantANormal);
   }
 };
 

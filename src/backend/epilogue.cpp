@@ -1,0 +1,56 @@
+// apply_epilogue + the default (unfused) sgemm*_ex lowering.
+//
+// Deliberately a separate, generically-compiled translation unit: this is
+// the semantic definition the fused cpu_opt writeback must match bit-for-bit,
+// so it must not pick up cpu_opt_backend.cpp's -march=native flags. The
+// per-element operations are plain scalar IEEE single-precision (and libm
+// tanh for the kTanh case), which produce the same bits on every ISA the
+// build targets.
+#include "backend/backend.h"
+
+#include "common/parallel.h"
+
+namespace paintplace::backend {
+
+void apply_epilogue(Index M, Index N, float* C, const Epilogue& ep) {
+  if (!ep.enabled() || M == 0 || N == 0) return;
+  const Epilogue::Act act = ep.act;
+  const float slope = ep.slope;
+  const float* bias = ep.bias;
+  const bool has_bias = bias != nullptr;
+  parallel_for(M, [&](Index ib, Index ie) {
+    for (Index i = ib; i < ie; ++i) {
+      float* __restrict c = C + i * N;
+      // Skip (rather than add 0.0f) when there is no bias: t += 0.0f would
+      // flip -0.0 to +0.0 and break bit-equality with the fused writeback.
+      const float b = has_bias ? bias[i] : 0.0f;
+      for (Index j = 0; j < N; ++j) {
+        float t = c[j];
+        if (has_bias) t += b;
+        c[j] = apply_act(t, act, slope);
+      }
+    }
+  });
+}
+
+void ComputeBackend::sgemm_ex(Index M, Index N, Index K, float alpha, const float* A,
+                              const float* B, float beta, float* C, const GemmArgs& args) const {
+  sgemm(M, N, K, alpha, A, B, beta, C);
+  apply_epilogue(M, N, C, args.epilogue);
+}
+
+void ComputeBackend::sgemm_at_ex(Index M, Index N, Index K, float alpha, const float* A,
+                                 const float* B, float beta, float* C,
+                                 const GemmArgs& args) const {
+  sgemm_at(M, N, K, alpha, A, B, beta, C);
+  apply_epilogue(M, N, C, args.epilogue);
+}
+
+void ComputeBackend::sgemm_bt_ex(Index M, Index N, Index K, float alpha, const float* A,
+                                 const float* B, float beta, float* C,
+                                 const GemmArgs& args) const {
+  sgemm_bt(M, N, K, alpha, A, B, beta, C);
+  apply_epilogue(M, N, C, args.epilogue);
+}
+
+}  // namespace paintplace::backend

@@ -1,0 +1,196 @@
+#include "backend/pack_cache.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics_registry.h"
+
+namespace paintplace::backend {
+namespace {
+
+constexpr std::size_t kDefaultCapacityBytes = 256u << 20;  // 256 MiB
+
+std::size_t capacity_from_env() {
+  if (const char* v = std::getenv("PAINTPLACE_PACK_CACHE_MB")) {
+    const long long mb = std::atoll(v);
+    if (mb >= 0) return static_cast<std::size_t>(mb) << 20;
+  }
+  return kDefaultCapacityBytes;
+}
+
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Gauge& bytes;
+};
+
+/// Bound once; instrument addresses are stable for the registry's lifetime.
+CacheMetrics& cache_metrics() {
+  static CacheMetrics* m = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    return new CacheMetrics{
+        reg.counter("backend_pack_cache_hits_total",
+                    "Packed-weight cache hits (weight panels reused across GEMM calls)"),
+        reg.counter("backend_pack_cache_misses_total",
+                    "Packed-weight cache misses (panels packed from scratch)"),
+        reg.counter("backend_pack_cache_evictions_total",
+                    "Packed-weight cache entries dropped by LRU pressure or invalidation"),
+        reg.gauge("backend_pack_cache_bytes", "Bytes of packed weight panels currently cached"),
+    };
+  }();
+  return *m;
+}
+
+}  // namespace
+
+PackedWeightCache::PackedWeightCache() : capacity_bytes_(capacity_from_env()) {}
+
+PackedWeightCache& PackedWeightCache::instance() {
+  static PackedWeightCache* cache = new PackedWeightCache;  // leaked on purpose
+  return *cache;
+}
+
+std::size_t PackedWeightCache::KeyHash::operator()(const Key& k) const {
+  // splitmix64-style mix over the fields; quality matters little at the
+  // entry counts involved (one per layer per variant).
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  };
+  std::uint64_t h = reinterpret_cast<std::uintptr_t>(k.ptr);
+  h = mix(h, k.version);
+  h = mix(h, static_cast<std::uint64_t>(k.variant));
+  h = mix(h, static_cast<std::uint64_t>(k.M));
+  h = mix(h, static_cast<std::uint64_t>(k.K));
+  return static_cast<std::size_t>(h);
+}
+
+PackedWeightCache::Fingerprint PackedWeightCache::fingerprint(const float* live,
+                                                              Index live_count) {
+  Fingerprint fp;
+  if (live == nullptr || live_count <= 0) return fp;
+  const int n = static_cast<int>(std::min<Index>(Fingerprint::kSamples, live_count));
+  fp.count = n;
+  for (int s = 0; s < n; ++s) {
+    // Evenly spread samples that always include element 0 and the last
+    // element, so edge mutations are caught too.
+    const Index i = n == 1 ? 0 : (static_cast<Index>(s) * (live_count - 1)) / (n - 1);
+    std::uint32_t bits;
+    std::memcpy(&bits, live + i, sizeof bits);
+    fp.bits[static_cast<std::size_t>(s)] = bits;
+  }
+  return fp;
+}
+
+std::shared_ptr<const PackedWeights> PackedWeightCache::get_or_pack(
+    const Key& key, const float* live, Index live_count, std::size_t packed_floats,
+    const std::function<void(float*)>& pack) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      // Stale tripwire: the live weights must still carry the bits they had
+      // at pack time. A mismatch means somebody mutated the buffer without
+      // bumping its version — fail loudly instead of serving old weights.
+      const Fingerprint now = fingerprint(live, live_count);
+      if (now.count != it->second.fp.count || now.bits != it->second.fp.bits) {
+        ++stats_.stale_hits;
+        PP_CHECK_MSG(false, "PackedWeightCache: weights at " << key.ptr << " (version "
+                                << key.version
+                                << ") changed in place without a version bump — stale "
+                                   "packed panels would have been served");
+      }
+      ++stats_.hits;
+      cache_metrics().hits.fetch_add(1);
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.packed;
+    }
+  }
+
+  // Miss: pack outside the lock (packing a big layer takes far longer than
+  // any map operation). If another thread packed the same key meanwhile,
+  // its entry wins and ours is dropped.
+  auto packed = std::make_shared<PackedWeights>();
+  packed->data.resize(packed_floats);
+  pack(packed->data.data());
+  const Fingerprint fp = fingerprint(live, live_count);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  cache_metrics().misses.fetch_add(1);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.packed;
+  }
+  lru_.push_front(key);
+  bytes_ += packed->bytes();
+  entries_.emplace(key, Entry{packed, fp, lru_.begin()});
+  evict_to_capacity_locked();
+  publish_bytes_locked();
+  return packed;
+}
+
+void PackedWeightCache::invalidate(const void* ptr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.ptr == ptr) {
+      bytes_ -= it->second.packed->bytes();
+      ++stats_.evictions;
+      cache_metrics().evictions.fetch_add(1);
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  publish_bytes_locked();
+}
+
+void PackedWeightCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.evictions += entries_.size();
+  cache_metrics().evictions.fetch_add(entries_.size());
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  publish_bytes_locked();
+}
+
+void PackedWeightCache::set_capacity_bytes(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_bytes_ = bytes;
+  evict_to_capacity_locked();
+  publish_bytes_locked();
+}
+
+std::size_t PackedWeightCache::capacity_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_bytes_;
+}
+
+PackedWeightCache::Stats PackedWeightCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.bytes = bytes_;
+  s.entries = entries_.size();
+  return s;
+}
+
+void PackedWeightCache::evict_to_capacity_locked() {
+  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+    auto it = entries_.find(lru_.back());
+    bytes_ -= it->second.packed->bytes();
+    ++stats_.evictions;
+    cache_metrics().evictions.fetch_add(1);
+    entries_.erase(it);
+    lru_.pop_back();
+  }
+}
+
+void PackedWeightCache::publish_bytes_locked() {
+  cache_metrics().bytes.set(static_cast<double>(bytes_));
+}
+
+}  // namespace paintplace::backend

@@ -1,0 +1,140 @@
+// PackedWeightCache — process-wide pack-once store for GEMM weight panels.
+//
+// Every conv/deconv forward lowers its weight tensor to the A operand of a
+// GEMM, and before this cache existed cpu_opt re-gathered those panels into
+// micro-kernel strip layout on every call. Weights are long-lived and change
+// only at well-known points (optimizer steps, checkpoint restore, hot-swap),
+// so the cache packs each (weights, variant, shape) once and hands the
+// packed panels back on every subsequent forward.
+//
+// Keying and staleness: an entry is keyed on the weight buffer's address
+// *and* its version — a process-unique, monotonically increasing number the
+// nn layer bumps on every in-place mutation (see nn::Parameter). Address
+// reuse after a model is destroyed therefore can never alias an old entry
+// (the new tensor has a fresh version), and a mutation that forgets to bump
+// the version trips the fingerprint check below instead of silently serving
+// stale weights. Invalidation is also explicit: Adam::step, checkpoint
+// restore, and ModelRegistry hot-swap call invalidate() on the buffers they
+// retire so the cache's bytes go back immediately rather than waiting for
+// LRU pressure.
+//
+// Stale tripwire: at pack time the cache fingerprints up to 64 sampled
+// elements of the live weight buffer (bit patterns, including the first and
+// last element). Every hit re-samples and compares; a mismatch means the
+// weights changed under an unchanged (ptr, version) key and throws
+// CheckError — loud by design, because the alternative is a model serving
+// forecasts from weights that no longer exist.
+//
+// Capacity: LRU by bytes, default 256 MiB, overridable with the
+// PAINTPLACE_PACK_CACHE_MB environment variable (read once) or
+// set_capacity_bytes(). Entries are handed out as shared_ptr, so an
+// eviction or invalidation never pulls packed panels out from under an
+// in-flight GEMM.
+//
+// Observability: hits/misses/evictions land on the global metrics registry
+// as backend_pack_cache_{hits,misses,evictions}_total plus the
+// backend_pack_cache_bytes gauge.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+
+namespace paintplace::backend {
+
+/// An immutable packed panel buffer. The layout is whatever the packing
+/// backend chose — the cache only tracks identity and size.
+struct PackedWeights {
+  std::vector<float> data;
+
+  std::size_t bytes() const { return data.size() * sizeof(float); }
+};
+
+class PackedWeightCache {
+ public:
+  /// The process-wide cache instance (intentionally leaked, like the backend
+  /// and metrics registries, so teardown order can never matter).
+  static PackedWeightCache& instance();
+
+  /// Cache key: weight buffer identity + the pack layout it was packed for.
+  /// `variant` is backend-private (cpu_opt uses its operand-layout enum);
+  /// backends must not collide on values they do not own, so the convention
+  /// is variant = backend_id * 16 + layout.
+  struct Key {
+    const void* ptr = nullptr;
+    std::uint64_t version = 0;
+    int variant = 0;
+    Index M = 0;
+    Index K = 0;
+
+    bool operator==(const Key&) const = default;
+  };
+
+  /// Returns the packed panels for `key`, packing via `pack` on a miss.
+  /// `live` / `live_count` is the current weight buffer the key describes —
+  /// used for the fingerprint tripwire on both miss (record) and hit
+  /// (verify; throws CheckError on mismatch). `packed_floats` is the size
+  /// of the buffer `pack` fills. Packing runs outside the cache lock; if
+  /// two threads race on the same key, one result wins and both callers get
+  /// it.
+  std::shared_ptr<const PackedWeights> get_or_pack(
+      const Key& key, const float* live, Index live_count, std::size_t packed_floats,
+      const std::function<void(float*)>& pack);
+
+  /// Drops every entry whose key points at `ptr`, regardless of version or
+  /// variant. In-flight holders of the shared_ptr are unaffected.
+  void invalidate(const void* ptr);
+
+  /// Drops everything (tests).
+  void clear();
+
+  void set_capacity_bytes(std::size_t bytes);
+  std::size_t capacity_bytes() const;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t stale_hits = 0;  ///< fingerprint mismatches detected (then thrown)
+    std::size_t bytes = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  PackedWeightCache();
+
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  struct Fingerprint {
+    static constexpr int kSamples = 64;
+    std::array<std::uint32_t, kSamples> bits{};
+    int count = 0;
+  };
+  struct Entry {
+    std::shared_ptr<const PackedWeights> packed;
+    Fingerprint fp;
+    std::list<Key>::iterator lru_it;
+  };
+
+  static Fingerprint fingerprint(const float* live, Index live_count);
+  void evict_to_capacity_locked();
+  void publish_bytes_locked();
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::list<Key> lru_;  ///< front = most recent
+  std::size_t capacity_bytes_;
+  std::size_t bytes_ = 0;
+  Stats stats_{};
+};
+
+}  // namespace paintplace::backend

@@ -108,14 +108,33 @@ UNetGenerator::UNetGenerator(const GeneratorConfig& config) : config_(config) {
       lvl.tanh = std::make_unique<nn::Tanh>();
     }
   }
+
+  // Eval-mode epilogue fusion. Only two activations in the pre-activation
+  // U-Net consume a conv/deconv output directly (everywhere else a norm
+  // layer or a skip concat sits in between, and enc0's output feeds the
+  // skip pre-activation):
+  //   * the bottleneck: enc[d-1].conv (no norm) -> dec[d-1]'s input ReLU;
+  //   * the output head: dec[0].deconv -> Tanh.
+  // The layers fold those into their fused bias pass in eval; dec_forward
+  // skips the corresponding modules. Training keeps the modules (backward
+  // needs the cached pre-activation tensors) and results are bit-identical
+  // either way.
+  enc_[static_cast<std::size_t>(d - 1)].conv->set_fused_activation(
+      backend::Epilogue::Act::kReLU);
+  dec_[static_cast<std::size_t>(d - 1)].act_fused_upstream = true;
+  dec_[0].deconv->set_fused_activation(backend::Epilogue::Act::kTanh);
 }
 
 nn::Tensor UNetGenerator::dec_forward(DecLevel& level, const nn::Tensor& x) {
-  nn::Tensor h = level.act->forward(x);
+  // In eval, fused activations already happened inside the upstream layer's
+  // epilogue (see the constructor): the input ReLU when the bottleneck conv
+  // fused it, the Tanh when this level's deconv fused it.
+  const bool fused = !training_;
+  nn::Tensor h = (fused && level.act_fused_upstream) ? x : level.act->forward(x);
   h = level.deconv->forward(h);
   if (level.bn) h = level.bn->forward(h);
   if (level.dropout) h = level.dropout->forward(h);
-  if (level.tanh) h = level.tanh->forward(h);
+  if (level.tanh && !fused) h = level.tanh->forward(h);
   return h;
 }
 

@@ -98,6 +98,10 @@ class UNetGenerator : public nn::Module {
     std::unique_ptr<nn::Module> bn;         // null at outermost
     std::unique_ptr<nn::Dropout> dropout;   // three innermost levels only
     std::unique_ptr<nn::Tanh> tanh;         // outermost only
+    /// Eval-mode: the upstream layer already applied this level's input
+    /// activation in its GEMM epilogue (bottleneck conv + ReLU), so
+    /// dec_forward skips `act`. Training forwards always run the module.
+    bool act_fused_upstream = false;
   };
 
   nn::Tensor dec_forward(DecLevel& level, const nn::Tensor& x);

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "backend/pack_cache.h"
+
 namespace paintplace::nn {
 
 Adam::Adam(std::vector<Parameter*> params, AdamConfig config)
@@ -35,6 +37,12 @@ void Adam::step() {
       v[i] = b2 * v[i] + (1.0f - b2) * g * g;
       p.value[i] -= alpha * m[i] / (std::sqrt(v[i]) + config_.eps);
     }
+    // The weights just changed in place: retire any packed panels built from
+    // the old values and give the parameter a fresh cache identity. This is
+    // how Trainer fine-tune steps invalidate the serving cache — every
+    // weight update flows through here.
+    p.bump_version();
+    backend::PackedWeightCache::instance().invalidate(p.value.data());
   }
 }
 

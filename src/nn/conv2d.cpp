@@ -51,6 +51,20 @@ Tensor Conv2d::forward(const Tensor& input) {
   const Index Ho = g.out_height(), Wo = g.out_width();
   Tensor output(Shape{N, out_channels_, Ho, Wo});
   const Index plane_cols = g.col_cols();
+  // Bias (always) and the declared activation (eval only — backward needs
+  // the pre-activation tensor) ride the GEMM's fused epilogue: the bias is
+  // per output channel, i.e. per row of the (Cout, cols) GEMM result, for
+  // the single-sample and the batched lowering alike. Weight panels are
+  // cached across eval forwards; in training the optimizer rewrites the
+  // weights every step, so packing once per call is all a cache could do.
+  backend::GemmArgs gemm_args;
+  gemm_args.epilogue.bias = has_bias_ ? bias_.value.data() : nullptr;
+  if (!training_ && fused_act_ != backend::Epilogue::Act::kNone) {
+    gemm_args.epilogue.act = fused_act_;
+    gemm_args.epilogue.slope = fused_slope_;
+  }
+  gemm_args.cache_weights = !training_;
+  gemm_args.weight_version = weight_.version;
   // im2col matrices and batched staging live in the thread's workspace arena:
   // steady-state forwards (the serving loop) reuse the same blocks instead of
   // paying a malloc + page-fault storm per pass.
@@ -59,8 +73,8 @@ Tensor Conv2d::forward(const Tensor& input) {
     float* col = ws.alloc(static_cast<std::size_t>(g.col_rows() * plane_cols));
     im2col(g, input.data(), col);
     // out(Cout, Ho*Wo) = weight(Cout, Cin*k*k) * col
-    sgemm(out_channels_, plane_cols, g.col_rows(), 1.0f, weight_.value.data(), col, 0.0f,
-          output.data());
+    sgemm_ex(out_channels_, plane_cols, g.col_rows(), 1.0f, weight_.value.data(), col, 0.0f,
+             output.data(), gemm_args);
   } else {
     // Batched lowering: unfold every sample into one wide col matrix and run
     // a single GEMM. On the channel-fat, spatially-tiny inner U-Net levels a
@@ -76,7 +90,8 @@ Tensor Conv2d::forward(const Tensor& input) {
       im2col(g, input.data() + n * in_channels_ * H * W, col + n * plane_cols, total_cols);
     }
     float* out_cn = ws.alloc(static_cast<std::size_t>(out_channels_ * total_cols));
-    sgemm(out_channels_, total_cols, g.col_rows(), 1.0f, weight_.value.data(), col, 0.0f, out_cn);
+    sgemm_ex(out_channels_, total_cols, g.col_rows(), 1.0f, weight_.value.data(), col, 0.0f,
+             out_cn, gemm_args);
     // Scatter (Cout, N*Ho*Wo) back to NCHW.
     parallel_for_each(N * out_channels_, [&](Index row) {
       const Index n = row / out_channels_, c = row % out_channels_;
@@ -84,16 +99,6 @@ Tensor Conv2d::forward(const Tensor& input) {
                   out_cn + c * total_cols + n * plane_cols,
                   sizeof(float) * static_cast<std::size_t>(plane_cols));
     });
-  }
-  if (has_bias_) {
-    const Index plane = Ho * Wo;
-    for (Index n = 0; n < N; ++n) {
-      for (Index c = 0; c < out_channels_; ++c) {
-        float* o = output.data() + (n * out_channels_ + c) * plane;
-        const float b = bias_.value[c];
-        for (Index i = 0; i < plane; ++i) o[i] += b;
-      }
-    }
   }
   return output;
 }

@@ -59,13 +59,19 @@ Tensor ConvTranspose2d::forward(const Tensor& input) {
 
   Tensor output(Shape{N, out_channels_, Ho, Wo});
   const Index plane = H * W;
+  // The GEMM's weight panels are cached across eval forwards (the GEMM
+  // result is the col matrix that col2im scatter-adds, so bias/activation
+  // cannot ride the GEMM epilogue here — they fuse after col2im below).
+  backend::GemmArgs gemm_args;
+  gemm_args.cache_weights = !training_;
+  gemm_args.weight_version = weight_.version;
   // Scratch comes from the thread's workspace arena (see Conv2d::forward).
   backend::WorkspaceScope ws;
   if (N == 1) {
     float* col = ws.alloc(static_cast<std::size_t>(g.col_rows() * g.col_cols()));
     // col(Cout*k*k, H*W) = weight^T(Cout*k*k, Cin) * x(Cin, H*W)
-    sgemm_at(g.col_rows(), plane, in_channels_, 1.0f, weight_.value.data(), input.data(), 0.0f,
-             col);
+    sgemm_at_ex(g.col_rows(), plane, in_channels_, 1.0f, weight_.value.data(), input.data(), 0.0f,
+                col, gemm_args);
     col2im(g, col, output.data());
   } else {
     // Batched lowering (see Conv2d::forward): pack the batch into one
@@ -80,20 +86,27 @@ Tensor ConvTranspose2d::forward(const Tensor& input) {
                   sizeof(float) * static_cast<std::size_t>(plane));
     });
     float* col = ws.alloc(static_cast<std::size_t>(g.col_rows() * total_cols));
-    sgemm_at(g.col_rows(), total_cols, in_channels_, 1.0f, weight_.value.data(), packed, 0.0f,
-             col);
+    sgemm_at_ex(g.col_rows(), total_cols, in_channels_, 1.0f, weight_.value.data(), packed, 0.0f,
+                col, gemm_args);
     for (Index n = 0; n < N; ++n) {
       col2im(g, col + n * plane, output.data() + n * out_channels_ * Ho * Wo, total_cols);
     }
   }
-  if (has_bias_) {
-    const Index plane = Ho * Wo;
+  // Bias (always) and the declared activation (eval only) in one pass over
+  // the scattered output — per sample, per-channel bias on the
+  // (Cout, Ho*Wo) plane matrix. Replaces the old bias loop plus a separate
+  // full-tensor activation module traversal.
+  backend::Epilogue ep;
+  ep.bias = has_bias_ ? bias_.value.data() : nullptr;
+  if (!training_ && fused_act_ != backend::Epilogue::Act::kNone) {
+    ep.act = fused_act_;
+    ep.slope = fused_slope_;
+  }
+  if (ep.enabled()) {
+    const Index out_plane = Ho * Wo;
     for (Index n = 0; n < N; ++n) {
-      for (Index c = 0; c < out_channels_; ++c) {
-        float* o = output.data() + (n * out_channels_ + c) * plane;
-        const float b = bias_.value[c];
-        for (Index i = 0; i < plane; ++i) o[i] += b;
-      }
+      backend::apply_epilogue(out_channels_, out_plane,
+                              output.data() + n * out_channels_ * out_plane, ep);
     }
   }
   return output;

@@ -75,4 +75,35 @@ void sgemm_bt(Index M, Index N, Index K, float alpha, const float* A, const floa
   backend::active_backend().sgemm_bt(M, N, K, alpha, A, B, beta, C);
 }
 
+// The _ex wrappers keep the plain span names: a fused call is the same
+// logical GEMM to the trace consumers (CI asserts on gemm.* spans with
+// M/N/K/backend args), it just does more per byte of C traffic.
+
+void sgemm_ex(Index M, Index N, Index K, float alpha, const float* A, const float* B, float beta,
+              float* C, const backend::GemmArgs& args) {
+  PP_CHECK(M >= 0 && N >= 0 && K >= 0);
+  obs::Span span("gemm.sgemm", "gemm");
+  annotate(span, M, N, K);
+  count(M, N, K);
+  backend::active_backend().sgemm_ex(M, N, K, alpha, A, B, beta, C, args);
+}
+
+void sgemm_at_ex(Index M, Index N, Index K, float alpha, const float* A, const float* B,
+                 float beta, float* C, const backend::GemmArgs& args) {
+  PP_CHECK(M >= 0 && N >= 0 && K >= 0);
+  obs::Span span("gemm.sgemm_at", "gemm");
+  annotate(span, M, N, K);
+  count(M, N, K);
+  backend::active_backend().sgemm_at_ex(M, N, K, alpha, A, B, beta, C, args);
+}
+
+void sgemm_bt_ex(Index M, Index N, Index K, float alpha, const float* A, const float* B,
+                 float beta, float* C, const backend::GemmArgs& args) {
+  PP_CHECK(M >= 0 && N >= 0 && K >= 0);
+  obs::Span span("gemm.sgemm_bt", "gemm");
+  annotate(span, M, N, K);
+  count(M, N, K);
+  backend::active_backend().sgemm_bt_ex(M, N, K, alpha, A, B, beta, C, args);
+}
+
 }  // namespace paintplace::nn

@@ -9,6 +9,7 @@
 // backend::set_active_backend().
 #pragma once
 
+#include "backend/backend.h"
 #include "common/check.h"
 
 namespace paintplace::nn {
@@ -24,5 +25,17 @@ void sgemm_at(Index M, Index N, Index K, float alpha, const float* A, const floa
 /// C = alpha * A * B^T + beta * C, where B is (NxK) row-major.
 void sgemm_bt(Index M, Index N, Index K, float alpha, const float* A, const float* B, float beta,
               float* C);
+
+// Extended variants: same math plus a backend::GemmArgs carrying a fused
+// bias/activation epilogue and the packed-weight-cache hints for the A
+// operand. Conv/deconv forwards call these so weight packing happens once
+// per (weights, shape) and activations never cost a second pass over C.
+// Same spans and counters as the plain wrappers.
+void sgemm_ex(Index M, Index N, Index K, float alpha, const float* A, const float* B, float beta,
+              float* C, const backend::GemmArgs& args);
+void sgemm_at_ex(Index M, Index N, Index K, float alpha, const float* A, const float* B,
+                 float beta, float* C, const backend::GemmArgs& args);
+void sgemm_bt_ex(Index M, Index N, Index K, float alpha, const float* A, const float* B,
+                 float beta, float* C, const backend::GemmArgs& args);
 
 }  // namespace paintplace::nn

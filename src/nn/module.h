@@ -13,6 +13,8 @@
 //     zero_grad() / the optimizer between steps).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,14 +23,32 @@
 
 namespace paintplace::nn {
 
+/// Process-unique, monotonically increasing weight-version numbers. Every
+/// Parameter gets a fresh one at construction and on every bump_version(),
+/// so two different weight tensors can never share a (pointer, version)
+/// pair even if the allocator reuses an address — the identity the
+/// backend::PackedWeightCache keys on.
+inline std::uint64_t next_weight_version() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 /// Learnable tensor plus its gradient accumulator.
 struct Parameter {
   std::string name;
   Tensor value;
   Tensor grad;
+  /// Identity of the current value contents for the packed-weight cache.
+  /// Anything that mutates `value` in place (optimizer step, checkpoint
+  /// restore, test poking at the floats) must call bump_version() — a
+  /// forward pass after an un-bumped mutation trips the cache's stale
+  /// fingerprint check and throws.
+  std::uint64_t version = next_weight_version();
 
   explicit Parameter(std::string param_name, Shape shape)
       : name(std::move(param_name)), value(shape), grad(shape) {}
+
+  void bump_version() { version = next_weight_version(); }
 };
 
 /// Non-learnable persistent state (e.g. batch-norm running statistics) that

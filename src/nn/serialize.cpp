@@ -3,6 +3,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "backend/pack_cache.h"
+
 namespace paintplace::nn {
 namespace {
 
@@ -111,7 +113,15 @@ void restore_parameters(Module& module, const TensorMap& tensors) {
                                                   << " vs " << dst.shape().str());
     dst = it->second;
   };
-  for (Parameter* p : module.parameters()) restore_one(p->name, p->value);
+  for (Parameter* p : module.parameters()) {
+    restore_one(p->name, p->value);
+    // Tensor assignment is a std::vector copy-assign: when the capacity
+    // fits, the destination keeps its old data pointer while the values
+    // change under it — exactly the in-place mutation the packed-weight
+    // cache keys against, so retire its entries and re-version.
+    p->bump_version();
+    backend::PackedWeightCache::instance().invalidate(p->value.data());
+  }
   std::vector<NamedBuffer> buffers;
   module.collect_buffers(buffers);
   for (const NamedBuffer& b : buffers) restore_one(b.name, *b.tensor);

@@ -1,11 +1,25 @@
 #include "serve/model_registry.h"
 
+#include "backend/pack_cache.h"
+
 namespace paintplace::serve {
 
 std::uint64_t ModelRegistry::publish(std::shared_ptr<core::CongestionForecaster> model,
                                      std::string label) {
   PP_CHECK_MSG(model != nullptr, "ModelRegistry::publish: null model");
   std::lock_guard<std::mutex> lock(mu_);
+  // Hot swap: retire the outgoing model's packed weight panels so the cache
+  // bytes come back now instead of waiting for LRU pressure. Entries are
+  // shared_ptr-pinned by in-flight forwards, so batches that still hold the
+  // old model finish on its (correct) packs; correctness does not depend on
+  // this call — the (pointer, version) keying already can never alias a new
+  // model's weights onto old panels.
+  if (current_.model != nullptr) {
+    auto& cache = backend::PackedWeightCache::instance();
+    for (nn::Parameter* p : current_.model->model().generator().parameters()) {
+      cache.invalidate(p->value.data());
+    }
+  }
   const std::uint64_t version = next_version_++;
   current_ = ModelSnapshot{version, label, std::move(model)};
   history_.emplace_back(version, std::move(label));

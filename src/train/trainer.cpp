@@ -199,6 +199,10 @@ std::vector<EpochStats> Trainer::run(const std::vector<const data::Sample*>& tra
       {
         obs::Span step_span("train.step", "train");
         if (step_span.active()) step_span.arg("step", total_steps_);
+        // Weight updates inside train_step flow through Adam::step, which
+        // bumps each parameter's version and invalidates its packed panels —
+        // a fine-tune on a serving model can never leave stale weight packs
+        // behind in the PackedWeightCache.
         stats.train += forecaster_.model().train_step(batch.inputs, batch.targets, &step);
       }
       instruments().g_forward.record(step.g_forward_s);

@@ -1,0 +1,265 @@
+// PackedWeightCache lifecycle tests: the cache serves the right panels at
+// every point of a model's life, and never silently the wrong ones.
+//
+//   * miss-then-hit across repeated eval forwards (the serving steady state)
+//   * training forwards bypass the cache entirely
+//   * Adam::step (the fine-tune path) retires and re-packs the panels
+//   * ModelRegistry::publish (hot swap) retires the outgoing model's panels
+//   * an in-place weight mutation without a version bump trips the stale
+//     fingerprint check and throws — loudly, instead of serving dead weights
+//   * LRU capacity eviction drops the coldest entry first
+//   * concurrent get_or_pack / invalidate is race-free (all suites here are
+//     named PackCache* so CI's TSan job can filter to exactly these)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "backend/backend.h"
+#include "backend/pack_cache.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/adam.h"
+#include "nn/conv2d.h"
+#include "nn/tensor.h"
+#include "serve/model_registry.h"
+#include "tests/serve/serve_fixtures.h"
+
+namespace paintplace::backend {
+namespace {
+
+using Stats = PackedWeightCache::Stats;
+
+nn::Tensor random_activations(std::uint64_t seed, Index c, Index hw) {
+  Rng rng(seed);
+  nn::Tensor t(nn::Shape{1, c, hw, hw});
+  for (Index i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+/// The cache is process-global and shared with every other suite in this
+/// binary, so assertions work on stat deltas, never absolutes. The cpu_opt
+/// backend is the only packing backend, so pin it for the module-level tests.
+class PackCacheTest : public ::testing::Test {
+ protected:
+  PackCacheTest() : scoped_backend_("cpu_opt") {}
+
+  static Stats delta(const Stats& before) {
+    const Stats now = PackedWeightCache::instance().stats();
+    Stats d;
+    d.hits = now.hits - before.hits;
+    d.misses = now.misses - before.misses;
+    d.evictions = now.evictions - before.evictions;
+    d.stale_hits = now.stale_hits - before.stale_hits;
+    d.bytes = now.bytes;
+    d.entries = now.entries;
+    return d;
+  }
+
+  ScopedBackend scoped_backend_;
+};
+
+TEST_F(PackCacheTest, SecondEvalForwardHitsFirstMisses) {
+  Rng rng(11);
+  nn::Conv2d conv("c", 3, 8, 3, 1, 1, rng);
+  conv.set_training(false);
+  const nn::Tensor x = random_activations(21, 3, 8);
+
+  const Stats s0 = PackedWeightCache::instance().stats();
+  const nn::Tensor cold = conv.forward(x);
+  Stats d = delta(s0);
+  EXPECT_EQ(d.misses, 1u) << "first eval forward must pack the weight panels";
+  EXPECT_EQ(d.hits, 0u);
+  EXPECT_GT(d.bytes, 0u);
+
+  const Stats s1 = PackedWeightCache::instance().stats();
+  const nn::Tensor warm = conv.forward(x);
+  d = delta(s1);
+  EXPECT_EQ(d.hits, 1u) << "second eval forward must reuse the cached panels";
+  EXPECT_EQ(d.misses, 0u);
+
+  // And reuse changes nothing: warm output bit-matches the cold one.
+  ASSERT_EQ(cold.numel(), warm.numel());
+  EXPECT_EQ(0, std::memcmp(cold.data(), warm.data(),
+                           static_cast<std::size_t>(cold.numel()) * sizeof(float)));
+}
+
+TEST_F(PackCacheTest, TrainingForwardBypassesCache) {
+  Rng rng(12);
+  nn::Conv2d conv("c", 3, 8, 3, 1, 1, rng);
+  conv.set_training(true);
+  const nn::Tensor x = random_activations(22, 3, 8);
+
+  const Stats s0 = PackedWeightCache::instance().stats();
+  conv.forward(x);
+  conv.forward(x);
+  const Stats d = delta(s0);
+  EXPECT_EQ(d.misses, 0u) << "training forwards must not populate the cache";
+  EXPECT_EQ(d.hits, 0u);
+}
+
+TEST_F(PackCacheTest, AdamStepRetiresPanelsAndNextForwardRepacks) {
+  Rng rng(13);
+  nn::Conv2d conv("c", 4, 6, 3, 1, 1, rng);
+  conv.set_training(false);
+  const nn::Tensor x = random_activations(23, 4, 8);
+  conv.forward(x);
+
+  // An optimizer step mutates the weights in place — exactly what a serving
+  // replica sees after a fine-tune pass. Zero gradients keep the values
+  // unchanged numerically, but the version bump + invalidate must fire
+  // regardless: identity, not value, drives the cache.
+  nn::Adam opt(conv.parameters());
+  const Stats s0 = PackedWeightCache::instance().stats();
+  opt.step();
+  Stats d = delta(s0);
+  EXPECT_GE(d.evictions, 1u) << "Adam::step must invalidate the packed weight panels";
+
+  const Stats s1 = PackedWeightCache::instance().stats();
+  conv.forward(x);
+  d = delta(s1);
+  EXPECT_EQ(d.misses, 1u) << "post-step forward must re-pack under the new version";
+  EXPECT_EQ(d.hits, 0u);
+}
+
+TEST_F(PackCacheTest, HotSwapRetiresOutgoingModelPanels) {
+  serve::ModelRegistry registry;
+  registry.publish(serve::testfix::tiny_model(1), "v1");
+  const serve::ModelSnapshot v1 = registry.current();
+
+  const Stats s0 = PackedWeightCache::instance().stats();
+  v1.model->predict(serve::testfix::random_input(31));
+  const Stats after_predict = delta(s0);
+  EXPECT_GT(after_predict.misses, 0u) << "eval predict must populate the cache";
+  const std::uint64_t v1_entries = after_predict.entries - s0.entries;
+
+  const Stats s1 = PackedWeightCache::instance().stats();
+  registry.publish(serve::testfix::tiny_model(2), "v2");
+  const Stats d = delta(s1);
+  EXPECT_GE(d.evictions, v1_entries)
+      << "publish must retire every packed panel of the outgoing model";
+  EXPECT_EQ(d.entries, s0.entries) << "cache footprint returns to its pre-v1 level";
+}
+
+TEST_F(PackCacheTest, UnbumpedMutationTripsStaleCheck) {
+  Rng rng(14);
+  nn::Conv2d conv("c", 3, 8, 3, 1, 1, rng);
+  conv.set_training(false);
+  const nn::Tensor x = random_activations(24, 3, 8);
+  conv.forward(x);
+
+  // Poke the weights without bump_version(): the (ptr, version) key still
+  // matches, so only the fingerprint tripwire stands between the cache and
+  // serving panels packed from weights that no longer exist.
+  conv.weight().value[0] += 1.0f;
+  const Stats s0 = PackedWeightCache::instance().stats();
+  EXPECT_THROW(conv.forward(x), CheckError);
+  Stats d = delta(s0);
+  EXPECT_GE(d.stale_hits, 1u);
+
+  // The documented fix — bump the version — recovers with a fresh pack.
+  conv.weight().bump_version();
+  const Stats s1 = PackedWeightCache::instance().stats();
+  EXPECT_NO_THROW(conv.forward(x));
+  d = delta(s1);
+  EXPECT_EQ(d.misses, 1u);
+}
+
+/// Fabricated direct-API keys for capacity and concurrency tests. Versions
+/// live above 1<<62, far outside what nn::next_weight_version hands out.
+PackedWeightCache::Key raw_key(const float* buf, Index count, std::uint64_t salt) {
+  return PackedWeightCache::Key{buf, (std::uint64_t{1} << 62) + salt, /*variant=*/15, count, 1};
+}
+
+std::shared_ptr<const PackedWeights> pack_copy(PackedWeightCache& cache,
+                                               const PackedWeightCache::Key& key,
+                                               const std::vector<float>& buf) {
+  const auto count = static_cast<Index>(buf.size());
+  return cache.get_or_pack(key, buf.data(), count, buf.size(), [&](float* dst) {
+    std::memcpy(dst, buf.data(), buf.size() * sizeof(float));
+  });
+}
+
+TEST_F(PackCacheTest, CapacityEvictsLeastRecentlyUsed) {
+  auto& cache = PackedWeightCache::instance();
+  const std::size_t old_capacity = cache.capacity_bytes();
+  // Start from an empty cache: entries left behind by earlier tests would
+  // otherwise sit deeper in the LRU than ours and absorb the eviction.
+  cache.clear();
+
+  std::vector<float> a(1024), b(1024), c(1024);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = 1.0f;
+    b[i] = 2.0f;
+    c[i] = 3.0f;
+  }
+  const auto ka = raw_key(a.data(), 1024, 1);
+  const auto kb = raw_key(b.data(), 1024, 2);
+  const auto kc = raw_key(c.data(), 1024, 3);
+
+  // Room for exactly two 4 KiB entries.
+  cache.set_capacity_bytes(2 * 1024 * sizeof(float) + 1024);
+
+  pack_copy(cache, ka, a);             // miss: {a}
+  pack_copy(cache, kb, b);             // miss: {b, a}
+  pack_copy(cache, ka, a);             // hit, a becomes most recent: {a, b}
+  const Stats s0 = cache.stats();
+  pack_copy(cache, kc, c);             // miss, evicts the LRU entry b: {c, a}
+  Stats d;
+  d.evictions = cache.stats().evictions - s0.evictions;
+  EXPECT_GE(d.evictions, 1u);
+
+  const Stats s1 = cache.stats();
+  EXPECT_FLOAT_EQ(pack_copy(cache, ka, a)->data[0], 1.0f);  // still cached
+  EXPECT_EQ(cache.stats().hits, s1.hits + 1);
+  const Stats s2 = cache.stats();
+  EXPECT_FLOAT_EQ(pack_copy(cache, kb, b)->data[0], 2.0f);  // was evicted
+  EXPECT_EQ(cache.stats().misses, s2.misses + 1);
+
+  cache.invalidate(a.data());
+  cache.invalidate(b.data());
+  cache.invalidate(c.data());
+  cache.set_capacity_bytes(old_capacity);
+}
+
+TEST(PackCacheThreads, ConcurrentGetOrPackAndInvalidateIsSafe) {
+  auto& cache = PackedWeightCache::instance();
+  constexpr int kBuffers = 4;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+
+  std::vector<std::vector<float>> bufs(kBuffers, std::vector<float>(512));
+  for (int i = 0; i < kBuffers; ++i) {
+    for (auto& x : bufs[static_cast<std::size_t>(i)]) x = static_cast<float>(i + 1);
+  }
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const auto& buf = bufs[static_cast<std::size_t>((t + i) % kBuffers)];
+        const auto key = raw_key(buf.data(), 512, 100 + static_cast<std::uint64_t>((t + i) % kBuffers));
+        const auto packed = pack_copy(cache, key, buf);
+        // The shared_ptr pins the panels across concurrent invalidation.
+        if (packed->data[0] != buf[0] || packed->data[511] != buf[511]) failed = true;
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    for (int i = 0; i < kIters / 2; ++i) {
+      cache.invalidate(bufs[static_cast<std::size_t>(i % kBuffers)].data());
+    }
+  });
+  for (auto& w : workers) w.join();
+  EXPECT_FALSE(failed.load()) << "a cached pack returned wrong panel contents";
+
+  for (const auto& buf : bufs) cache.invalidate(buf.data());
+}
+
+}  // namespace
+}  // namespace paintplace::backend

@@ -1,0 +1,97 @@
+// Training-path gradient checks pinned to the cpu_opt backend.
+//
+// The nn-layer gradchecks run under the session default backend; these pin
+// cpu_opt explicitly so its packed/blocked kernels — including the
+// sgemm_bt-specialised B^T packer the weight-gradient GEMM uses — are the
+// code under test, at odd shapes that leave partial 6-row / 16-column
+// micro-tiles and partial K panels. Also re-proves the batched-vs-
+// accumulated dW bit-exactness guarantee on cpu_opt specifically: the
+// gradient-accumulation trainer relies on it, and the guarantee is about
+// the backend's reduction order, not the layer's.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "backend/backend.h"
+#include "common/rng.h"
+#include "nn/conv2d.h"
+#include "nn/conv_transpose2d.h"
+#include "nn/gradcheck.h"
+
+namespace paintplace::nn {
+namespace {
+
+Tensor random_tensor(Shape shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (Index i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+TEST(GradCheckCpuOpt, Conv2dOddShapes) {
+  backend::ScopedBackend pin("cpu_opt");
+  // Cout=7 leaves a 1-row micro-tile remainder; Cin*k*k = 5*9 = 45 leaves a
+  // partial K panel; 9x7 input is odd and non-square.
+  Rng rng(41);
+  Conv2d conv("c", 5, 7, 3, 2, 1, rng);
+  const auto result = grad_check(conv, random_tensor(Shape{1, 5, 9, 7}, 42));
+  EXPECT_LT(result.max_input_grad_error, 2e-2f);
+  EXPECT_LT(result.max_param_grad_error, 2e-2f);
+}
+
+TEST(GradCheckCpuOpt, Conv2dBatchedOddShapes) {
+  backend::ScopedBackend pin("cpu_opt");
+  Rng rng(43);
+  Conv2d conv("c", 3, 5, 3, 1, 1, rng);
+  const auto result = grad_check(conv, random_tensor(Shape{3, 3, 5, 7}, 44));
+  EXPECT_LT(result.max_input_grad_error, 2e-2f);
+  EXPECT_LT(result.max_param_grad_error, 2e-2f);
+}
+
+TEST(GradCheckCpuOpt, ConvTranspose2dOddShapes) {
+  backend::ScopedBackend pin("cpu_opt");
+  Rng rng(45);
+  ConvTranspose2d deconv("d", 5, 3, 4, 2, 1, rng);
+  const auto result = grad_check(deconv, random_tensor(Shape{1, 5, 5, 7}, 46));
+  EXPECT_LT(result.max_input_grad_error, 2e-2f);
+  EXPECT_LT(result.max_param_grad_error, 2e-2f);
+}
+
+TEST(GradCheckCpuOpt, BatchedDwBitExactVsAccumulatedPerSample) {
+  backend::ScopedBackend pin("cpu_opt");
+  // Odd everything: Cout=5 rows, col rows 3*3*3=27, col cols 3*5=15 per
+  // sample — every sgemm_bt in the dW reduction runs with partial tiles.
+  const Index B = 3;
+  Rng rng_a(51), rng_b(51);
+  Conv2d batched("c", 3, 5, 3, 2, 1, rng_a);
+  Conv2d sequential("c", 3, 5, 3, 2, 1, rng_b);
+  const Tensor x = random_tensor(Shape{B, 3, 7, 9}, 52);
+
+  const Tensor out_b = batched.forward(x);
+  const Tensor go = random_tensor(out_b.shape(), 53);
+  batched.backward(go);
+
+  const Index x_floats = x.numel() / B;
+  const Index go_floats = go.numel() / B;
+  const Shape sample_shape{1, x.shape()[1], x.shape()[2], x.shape()[3]};
+  const Shape go_shape{1, go.shape()[1], go.shape()[2], go.shape()[3]};
+  for (Index n = 0; n < B; ++n) {
+    Tensor xn(sample_shape);
+    std::copy_n(x.data() + n * x_floats, x_floats, xn.data());
+    Tensor gon(go_shape);
+    std::copy_n(go.data() + n * go_floats, go_floats, gon.data());
+    sequential.forward(xn);
+    sequential.backward(gon);
+  }
+
+  const auto params_b = batched.parameters();
+  const auto params_s = sequential.parameters();
+  ASSERT_EQ(params_b.size(), params_s.size());
+  for (std::size_t p = 0; p < params_b.size(); ++p) {
+    EXPECT_EQ(params_b[p]->grad.max_abs_diff(params_s[p]->grad), 0.0f)
+        << params_b[p]->name << " gradient not bit-exact on cpu_opt";
+  }
+}
+
+}  // namespace
+}  // namespace paintplace::nn
